@@ -1,0 +1,96 @@
+"""E6 -- analysis pipeline: aggregation and diagram generation (requirement vi).
+
+Measures metric aggregation, pivoting and diagram rendering over result sets
+of increasing size (the work Chronos Control does when the result analysis
+page of Fig. 3d is opened).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.aggregate import ResultTable, aggregate_metric, pivot
+from repro.analysis.compare import compare_groups
+from repro.analysis.diagrams import build_diagram, diagram_from_spec
+from repro.analysis.metrics import summarize
+
+RESULT_SET_SIZES = [100, 1000, 5000]
+
+
+def synthetic_results(count: int) -> list[dict]:
+    rng = random.Random(42)
+    engines = ["wiredtiger", "mmapv1"]
+    return [
+        {
+            "parameters": {"storage_engine": engines[index % 2],
+                           "threads": 2 ** (index % 5)},
+            "throughput_ops_per_sec": rng.uniform(1e3, 2e5),
+            "latency_p95_ms": rng.uniform(0.05, 5.0),
+        }
+        for index in range(count)
+    ]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerate_table(report_writer):
+    lines = ["| result set size | groups | p95 of throughput samples |",
+             "| --- | --- | --- |"]
+    for size in RESULT_SET_SIZES:
+        results = synthetic_results(size)
+        summary = summarize([r["throughput_ops_per_sec"] for r in results])
+        groups = pivot(results, "parameters.threads", "throughput_ops_per_sec",
+                       "parameters.storage_engine")
+        lines.append(f"| {size} | {len(groups)} | {summary.p95:,.0f} |")
+    report_writer("E6_analysis", "Analysis pipeline over growing result sets", lines)
+
+
+@pytest.mark.benchmark(group="E6-aggregation")
+@pytest.mark.parametrize("size", RESULT_SET_SIZES)
+def test_benchmark_aggregation(benchmark, size):
+    results = synthetic_results(size)
+
+    def aggregate():
+        table = ResultTable.from_results(results, [
+            "parameters.storage_engine", "parameters.threads",
+            "throughput_ops_per_sec", "latency_p95_ms"])
+        aggregate_metric(results, "throughput_ops_per_sec")
+        compare_groups(results, "parameters.storage_engine", "throughput_ops_per_sec")
+        return table
+
+    table = benchmark(aggregate)
+    assert len(table) == size
+
+
+@pytest.mark.benchmark(group="E6-diagrams")
+@pytest.mark.parametrize("kind", ["bar", "line", "pie"])
+def test_benchmark_diagram_rendering(benchmark, kind):
+    results = synthetic_results(500)
+    spec = {"kind": kind, "title": f"{kind} diagram",
+            "x_field": "parameters.threads", "y_field": "throughput_ops_per_sec",
+            "group_field": "parameters.storage_engine"}
+
+    def render():
+        diagram = diagram_from_spec(spec, results)
+        return diagram.render_ascii(), diagram.render_svg()
+
+    ascii_art, svg = benchmark(render)
+    assert ascii_art and svg.startswith("<svg")
+
+
+@pytest.mark.benchmark(group="E6-diagrams")
+def test_benchmark_markdown_table(benchmark):
+    results = synthetic_results(1000)
+    table = ResultTable.from_results(results, [
+        "parameters.storage_engine", "throughput_ops_per_sec"])
+    markdown = benchmark(table.to_markdown)
+    assert markdown.count("\n") > 1000
+
+
+@pytest.mark.benchmark(group="E6-diagrams")
+def test_benchmark_large_series_line_diagram(benchmark):
+    diagram = build_diagram("line", "big series")
+    diagram.add_series("s", [(index, float(index % 97)) for index in range(2000)])
+    svg = benchmark(diagram.render_svg)
+    assert "<line" in svg

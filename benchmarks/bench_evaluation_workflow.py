@@ -1,0 +1,86 @@
+"""E2 -- evaluation-space expansion and end-to-end orchestration (Fig. 3a/3b).
+
+Measures how an experiment's parameter grid expands into jobs and how much
+the Chronos Control machinery (metadata store, state machine, REST-less
+service calls) costs per job, and regenerates the "grid size -> number of
+jobs" table that the evaluation overview of Fig. 3b displays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.fleet import AgentFleet
+from repro.agents.testing import SleepAgent, register_sleep_system
+from repro.core.control import ChronosControl
+from repro.core.parameters import (
+    checkbox,
+    expand_parameter_space,
+    interval,
+    resolve_assignments,
+    value,
+)
+from repro.util.clock import SimulatedClock
+
+GRID_DEFINITIONS = [checkbox("engine", ["a", "b"]), interval("threads"), value("records")]
+
+
+def expansion_for(grid: dict) -> list[dict]:
+    assignments = resolve_assignments(GRID_DEFINITIONS, grid)
+    return expand_parameter_space(assignments)
+
+
+GRIDS = {
+    "2 engines x 5 threads": {"engine": ["a", "b"],
+                              "threads": {"start": 1, "stop": 16, "step": 2,
+                                          "scale": "geometric"},
+                              "records": 100},
+    "2 engines x 10 threads x 3 sizes": {"engine": ["a", "b"],
+                                         "threads": {"start": 1, "stop": 10, "step": 1},
+                                         "records": [10, 100, 1000]},
+    "1 engine x 100 threads": {"engine": "a",
+                               "threads": {"start": 1, "stop": 100, "step": 1},
+                               "records": 100},
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerate_table(report_writer):
+    lines = ["| parameter grid | jobs |", "| --- | --- |"]
+    for name, grid in GRIDS.items():
+        lines.append(f"| {name} | {len(expansion_for(grid))} |")
+    report_writer("E2_evaluation_workflow", "Parameter grid expansion (Fig. 3a/3b)", lines)
+
+
+def _orchestrate(job_count: int) -> int:
+    """Define, schedule and execute an evaluation with ``job_count`` trivial jobs."""
+    clock = SimulatedClock()
+    control = ChronosControl(clock=clock)
+    admin = control.users.get_by_username("admin")
+    system = register_sleep_system(control, owner_id=admin.id)
+    deployment = control.deployments.register(system.id, "node-1")
+    project = control.projects.create("bench", admin)
+    experiment = control.experiments.create(project.id, system.id, "bench",
+                                            parameters={"work_units": list(range(job_count))})
+    evaluation, _ = control.evaluations.create(experiment.id)
+    fleet = AgentFleet(control, system.id, [deployment.id], SleepAgent, clock=clock)
+    report = fleet.drive_evaluation(evaluation.id)
+    return report.jobs_finished
+
+
+@pytest.mark.benchmark(group="E2-expansion")
+@pytest.mark.parametrize("grid_name", list(GRIDS))
+def test_benchmark_parameter_expansion(benchmark, grid_name):
+    """Cost of validating + expanding one experiment grid."""
+    jobs = benchmark(expansion_for, GRIDS[grid_name])
+    benchmark.extra_info["jobs"] = len(jobs)
+    assert jobs
+
+
+@pytest.mark.benchmark(group="E2-orchestration")
+@pytest.mark.parametrize("job_count", [5, 20, 50])
+def test_benchmark_end_to_end_orchestration(benchmark, job_count):
+    """Full Chronos overhead per evaluation: create, schedule, execute, store."""
+    finished = benchmark.pedantic(_orchestrate, args=(job_count,), rounds=2, iterations=1)
+    benchmark.extra_info["jobs"] = job_count
+    assert finished == job_count

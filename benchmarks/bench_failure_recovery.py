@@ -1,0 +1,105 @@
+"""E4 -- automated failure handling and recovery (requirement iii).
+
+Injects agent failures at increasing rates and measures (a) that every job
+still completes thanks to automatic re-scheduling, and (b) the overhead the
+retries add compared to a failure-free run.  Also benchmarks the recovery
+pass that re-schedules stalled jobs after a heartbeat timeout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.fleet import AgentFleet
+from repro.agents.testing import FlakyAgent, SleepAgent, register_sleep_system
+from repro.core.control import ChronosControl
+from repro.core.enums import JobStatus
+from repro.util.clock import SimulatedClock
+
+JOB_COUNT = 12
+FAILURE_RATES = [0.0, 0.2, 0.4]
+
+
+def run_with_failure_rate(failure_rate: float, max_attempts: int = 6) -> dict:
+    clock = SimulatedClock()
+    control = ChronosControl(clock=clock)
+    admin = control.users.get_by_username("admin")
+    system = register_sleep_system(control, owner_id=admin.id)
+    deployment = control.deployments.register(system.id, "node-1")
+    project = control.projects.create("failures", admin)
+    experiment = control.experiments.create(project.id, system.id, "exp",
+                                            parameters={"work_units": list(range(JOB_COUNT))})
+    evaluation, _ = control.evaluations.create(experiment.id, max_attempts=max_attempts)
+    agent = FlakyAgent(failure_rate=failure_rate, seed=17)
+    fleet = AgentFleet(control, system.id, [deployment.id], lambda: agent, clock=clock)
+    fleet.drive_evaluation(evaluation.id)
+    counts = control.jobs.counts_by_status(evaluation.id)
+    total_attempts = sum(job.attempts for job in control.evaluations.jobs(evaluation.id))
+    return {
+        "failure_rate": failure_rate,
+        "finished": counts["finished"],
+        "failed": counts["failed"],
+        "attempts": total_attempts,
+        "injected_failures": agent.failures_injected,
+    }
+
+
+@pytest.fixture(scope="module")
+def recovery_series(report_writer):
+    series = [run_with_failure_rate(rate) for rate in FAILURE_RATES]
+    lines = ["| injected failure rate | jobs finished | attempts | failures injected |",
+             "| --- | --- | --- | --- |"]
+    for entry in series:
+        lines.append(f"| {entry['failure_rate']:.0%} | {entry['finished']}/{JOB_COUNT} | "
+                     f"{entry['attempts']} | {entry['injected_failures']} |")
+    report_writer("E4_failure_recovery", "Recovery completeness under injected failures",
+                  lines)
+    return series
+
+
+class TestRecoveryShape:
+    def test_all_jobs_recovered_at_every_failure_rate(self, recovery_series):
+        assert all(entry["finished"] == JOB_COUNT for entry in recovery_series)
+        assert all(entry["failed"] == 0 for entry in recovery_series)
+
+    def test_retry_overhead_grows_with_failure_rate(self, recovery_series):
+        attempts = [entry["attempts"] for entry in recovery_series]
+        assert attempts[0] == JOB_COUNT          # no retries without failures
+        assert attempts[1] > attempts[0]
+        assert attempts[2] >= attempts[1]
+
+    def test_injected_failures_equal_extra_attempts(self, recovery_series):
+        for entry in recovery_series:
+            assert entry["attempts"] == JOB_COUNT + entry["injected_failures"]
+
+
+def _stall_and_recover() -> int:
+    """Claim jobs, let their heartbeats expire, run one recovery pass."""
+    clock = SimulatedClock()
+    control = ChronosControl(clock=clock, heartbeat_timeout=60)
+    admin = control.users.get_by_username("admin")
+    system = register_sleep_system(control, owner_id=admin.id)
+    deployments = [control.deployments.register(system.id, f"node-{i}") for i in range(4)]
+    project = control.projects.create("stalls", admin)
+    experiment = control.experiments.create(project.id, system.id, "exp",
+                                            parameters={"work_units": list(range(4))})
+    control.evaluations.create(experiment.id)
+    for deployment in deployments:
+        control.claim_next_job(system.id, deployment.id)
+    clock.advance(120)
+    report = control.recover_stalled_jobs()
+    return len(report.stalled_jobs_recovered)
+
+
+@pytest.mark.benchmark(group="E4-recovery")
+def test_benchmark_stall_recovery_pass(benchmark):
+    """Wall-clock cost of detecting and re-scheduling stalled jobs."""
+    recovered = benchmark(_stall_and_recover)
+    assert recovered == 4
+
+
+@pytest.mark.benchmark(group="E4-recovery")
+def test_benchmark_flaky_evaluation(benchmark):
+    """Wall-clock cost of a full evaluation at a 40% injected failure rate."""
+    outcome = benchmark.pedantic(run_with_failure_rate, args=(0.4,), rounds=2, iterations=1)
+    assert outcome["finished"] == JOB_COUNT

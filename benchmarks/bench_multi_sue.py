@@ -1,0 +1,105 @@
+"""E8 -- multiple Systems under Evaluation through one Chronos Control instance.
+
+The architecture of Fig. 1 shows independent SuEs (system A ... system Z)
+sharing one Chronos Control.  This harness evaluates the document store and
+the key-value store concurrently and checks that the shared instance tracks
+both correctly; the benchmark measures the combined orchestration cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.fleet import AgentFleet
+from repro.agents.kvstore_agent import KeyValueStoreAgent, register_kvstore_system
+from repro.agents.mongodb_agent import MongoDbAgent, register_mongodb_system
+from repro.core.control import ChronosControl
+from repro.util.clock import SimulatedClock
+
+
+def run_multi_sue() -> dict:
+    clock = SimulatedClock()
+    control = ChronosControl(clock=clock)
+    admin = control.users.get_by_username("admin")
+    project = control.projects.create("multi-sue", admin)
+
+    mongodb = register_mongodb_system(control, owner_id=admin.id)
+    kvstore = register_kvstore_system(control, owner_id=admin.id)
+    mongo_deployments = [control.deployments.register(mongodb.id, f"mongo-{i}").id
+                         for i in range(2)]
+    kv_deployment = control.deployments.register(kvstore.id, "kv-1").id
+
+    mongo_experiment = control.experiments.create(project.id, mongodb.id, "mongo",
+                                                  parameters={
+                                                      "storage_engine": ["wiredtiger", "mmapv1"],
+                                                      "threads": [1, 4],
+                                                      "record_count": 80,
+                                                      "operation_count": 150,
+                                                      "query_mix": "80:20",
+                                                      "distribution": "zipfian"})
+    kv_experiment = control.experiments.create(project.id, kvstore.id, "kv",
+                                               parameters={
+                                                   "engine": ["hash", "log"],
+                                                   "key_count": 200,
+                                                   "operation_count": 400,
+                                                   "value_size": 128,
+                                                   "write_fraction": 0.5})
+    mongo_evaluation, mongo_jobs = control.evaluations.create(
+        mongo_experiment.id, deployment_ids=mongo_deployments)
+    kv_evaluation, kv_jobs = control.evaluations.create(
+        kv_experiment.id, deployment_ids=[kv_deployment])
+
+    AgentFleet(control, mongodb.id, mongo_deployments, MongoDbAgent,
+               clock=clock).drive_evaluation(mongo_evaluation.id)
+    AgentFleet(control, kvstore.id, [kv_deployment], KeyValueStoreAgent,
+               clock=clock).drive_evaluation(kv_evaluation.id)
+
+    statistics = control.statistics()
+    kv_results = control.results.for_jobs(
+        [job.id for job in control.evaluations.jobs(kv_evaluation.id)])
+    mongo_results = control.results.for_jobs(
+        [job.id for job in control.evaluations.jobs(mongo_evaluation.id)])
+    return {
+        "statistics": statistics,
+        "mongo_jobs": len(mongo_jobs),
+        "kv_jobs": len(kv_jobs),
+        "mongo_results": [result.data for result in mongo_results],
+        "kv_results": [result.data for result in kv_results],
+    }
+
+
+@pytest.fixture(scope="module")
+def multi_sue_outcome(report_writer):
+    outcome = run_multi_sue()
+    lines = ["| system | jobs | example metric |", "| --- | --- | --- |"]
+    lines.append(f"| mongodb (2 deployments) | {outcome['mongo_jobs']} | "
+                 f"{outcome['mongo_results'][0]['throughput_ops_per_sec']:,.0f} ops/s |")
+    lines.append(f"| kvstore (1 deployment) | {outcome['kv_jobs']} | "
+                 f"{outcome['kv_results'][0]['throughput_ops_per_sec']:,.0f} ops/s |")
+    lines += ["", f"Instance statistics: `{outcome['statistics']['jobs']}`"]
+    report_writer("E8_multi_sue", "Two SuEs through one Chronos Control instance", lines)
+    return outcome
+
+
+class TestMultiSueShape:
+    def test_both_evaluations_finish(self, multi_sue_outcome):
+        jobs = multi_sue_outcome["statistics"]["jobs"]
+        assert jobs["finished"] == multi_sue_outcome["mongo_jobs"] + multi_sue_outcome["kv_jobs"]
+        assert jobs["failed"] == 0
+
+    def test_results_belong_to_the_right_system(self, multi_sue_outcome):
+        assert all("storage_engine" in result["parameters"]
+                   for result in multi_sue_outcome["mongo_results"])
+        assert all(result["engine"] in ("hash", "log")
+                   for result in multi_sue_outcome["kv_results"])
+
+    def test_systems_registered_side_by_side(self, multi_sue_outcome):
+        assert multi_sue_outcome["statistics"]["systems"] == 2
+        assert multi_sue_outcome["statistics"]["deployments"] == 3
+
+
+@pytest.mark.benchmark(group="E8-multi-sue")
+def test_benchmark_multi_sue_orchestration(benchmark):
+    """Wall-clock cost of evaluating two SuEs through one Control instance."""
+    outcome = benchmark.pedantic(run_multi_sue, rounds=2, iterations=1)
+    assert outcome["statistics"]["jobs"]["failed"] == 0

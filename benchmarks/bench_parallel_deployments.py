@@ -1,0 +1,101 @@
+"""E3 -- parallel execution over multiple identical deployments (requirement ii).
+
+The evaluation's jobs are independent, so with D identical deployments the
+simulated makespan should drop close to 1/D until the job queue runs dry.
+The harness regenerates the "deployments -> simulated makespan / speed-up"
+series and benchmarks the scheduler's dispatch throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.fleet import AgentFleet
+from repro.agents.mongodb_agent import MongoDbAgent, register_mongodb_system
+from repro.core.control import ChronosControl
+from repro.util.clock import SimulatedClock
+
+JOB_THREADS = [1, 2, 4, 8, 1, 2, 4, 8]  # eight jobs
+DEPLOYMENT_COUNTS = [1, 2, 4]
+
+
+def run_with_deployments(deployments: int) -> dict:
+    """Run the same 8-job evaluation on ``deployments`` identical deployments."""
+    clock = SimulatedClock()
+    control = ChronosControl(clock=clock)
+    admin = control.users.get_by_username("admin")
+    system = register_mongodb_system(control, owner_id=admin.id)
+    deployment_ids = [control.deployments.register(system.id, f"node-{i}").id
+                      for i in range(deployments)]
+    project = control.projects.create("parallel", admin)
+    experiment = control.experiments.create(project.id, system.id, "parallel",
+                                            parameters={
+                                                "storage_engine": ["wiredtiger"],
+                                                "threads": JOB_THREADS[:4],
+                                                "record_count": 80,
+                                                "operation_count": 150,
+                                                "query_mix": "50:50",
+                                                "distribution": "zipfian",
+                                                "seed": [1, 2],
+                                            })
+    evaluation, jobs = control.evaluations.create(experiment.id,
+                                                  deployment_ids=deployment_ids)
+    fleet = AgentFleet(control, system.id, deployment_ids, MongoDbAgent, clock=clock)
+    report = fleet.drive_evaluation(evaluation.id)
+
+    # Simulated makespan: the busiest deployment's share of the total simulated
+    # work (jobs are balanced FIFO, so this mirrors a real parallel run).
+    results = control.results.for_jobs(
+        [job.id for job in control.evaluations.jobs(evaluation.id)])
+    per_job_seconds = [result.data["simulated_seconds"] for result in results]
+    total = sum(per_job_seconds)
+    rounds_per_deployment = max(report.per_deployment.values())
+    makespan = total * rounds_per_deployment / len(per_job_seconds)
+    return {
+        "deployments": deployments,
+        "jobs": report.jobs_finished,
+        "rounds": rounds_per_deployment,
+        "total_simulated_seconds": total,
+        "makespan": makespan,
+    }
+
+
+@pytest.fixture(scope="module")
+def scaling_series(report_writer):
+    series = [run_with_deployments(count) for count in DEPLOYMENT_COUNTS]
+    baseline = series[0]["makespan"]
+    lines = ["| deployments | jobs | max jobs per deployment | speed-up |",
+             "| --- | --- | --- | --- |"]
+    for entry in series:
+        speedup = baseline / entry["makespan"] if entry["makespan"] else 0.0
+        lines.append(f"| {entry['deployments']} | {entry['jobs']} | "
+                     f"{entry['rounds']} | {speedup:.2f}x |")
+    report_writer("E3_parallel_deployments", "Speed-up with identical deployments", lines)
+    return series
+
+
+class TestScalingShape:
+    def test_all_jobs_finish_regardless_of_deployments(self, scaling_series):
+        assert all(entry["jobs"] == 8 for entry in scaling_series)
+
+    def test_speedup_is_near_linear_until_queue_empties(self, scaling_series):
+        baseline = scaling_series[0]["makespan"]
+        two = baseline / scaling_series[1]["makespan"]
+        four = baseline / scaling_series[2]["makespan"]
+        assert two > 1.6
+        assert four > 3.0
+
+    def test_jobs_balanced_across_deployments(self, scaling_series):
+        assert scaling_series[1]["rounds"] == 4   # 8 jobs over 2 deployments
+        assert scaling_series[2]["rounds"] == 2   # 8 jobs over 4 deployments
+
+
+@pytest.mark.benchmark(group="E3-parallel")
+@pytest.mark.parametrize("deployments", DEPLOYMENT_COUNTS)
+def test_benchmark_fleet_execution(benchmark, deployments):
+    """Wall-clock cost of driving the 8-job evaluation with N deployments."""
+    outcome = benchmark.pedantic(run_with_deployments, args=(deployments,),
+                                 rounds=2, iterations=1)
+    benchmark.extra_info.update({"deployments": deployments,
+                                 "makespan_simulated": outcome["makespan"]})
+    assert outcome["jobs"] == 8

@@ -1,0 +1,99 @@
+"""E5 -- REST API throughput for the agent-facing endpoints (Section 2.2).
+
+Measures the cost of the requests a Chronos Agent issues most often (claim
+job, report progress, upload result) and of the v2 monitoring endpoints, and
+regenerates a requests-per-second table per endpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.testing import register_sleep_system
+from repro.core.control import ChronosControl
+from repro.rest.client import RestClient
+from repro.util.clock import SimulatedClock
+
+
+@pytest.fixture(scope="module")
+def api_setup():
+    control = ChronosControl(clock=SimulatedClock())
+    admin = control.users.get_by_username("admin")
+    system = register_sleep_system(control, owner_id=admin.id)
+    deployment = control.deployments.register(system.id, "node-1")
+    project = control.projects.create("api bench", admin)
+    experiment = control.experiments.create(project.id, system.id, "exp",
+                                            parameters={"work_units": list(range(2000))})
+    evaluation, _ = control.evaluations.create(experiment.id)
+    token = control.users.login("admin", "admin")
+    client = RestClient(control.api, token=token)
+    return control, system, deployment, evaluation, client
+
+
+@pytest.mark.benchmark(group="E5-agent-endpoints")
+def test_benchmark_claim_progress_result_cycle(benchmark, api_setup):
+    """One complete agent interaction: claim -> progress -> logs -> result."""
+    control, system, deployment, _, client = api_setup
+
+    def cycle():
+        job = client.post("/api/v1/agents/next-job", {
+            "system_id": system.id, "deployment_id": deployment.id}).json()["job"]
+        client.patch(f"/api/v1/jobs/{job['id']}/progress", {"progress": 50})
+        client.post(f"/api/v1/jobs/{job['id']}/logs", {"content": "tick"})
+        client.post(f"/api/v1/jobs/{job['id']}/result", {"data": {"ok": 1}})
+        return job
+
+    job = benchmark(cycle)
+    assert job is not None
+
+
+@pytest.mark.benchmark(group="E5-read-endpoints")
+def test_benchmark_job_detail_reads(benchmark, api_setup):
+    control, system, deployment, evaluation, client = api_setup
+    job_id = control.evaluations.jobs(evaluation.id)[0].id
+
+    def read():
+        client.get(f"/api/v1/jobs/{job_id}")
+        client.get(f"/api/v1/jobs/{job_id}/timeline")
+        client.get(f"/api/v1/evaluations/{evaluation.id}/progress")
+
+    benchmark(read)
+
+
+@pytest.mark.benchmark(group="E5-read-endpoints")
+def test_benchmark_v2_statistics(benchmark, api_setup):
+    *_, client = api_setup
+    response = benchmark(client.get, "/api/v2/statistics")
+    assert response.ok
+
+
+@pytest.mark.benchmark(group="E5-auth")
+def test_benchmark_login(benchmark, api_setup):
+    control, *_ , client = api_setup
+
+    def login():
+        return control.api.request("POST", "/api/v1/login",
+                                   body={"username": "admin", "password": "admin"})
+
+    response = benchmark(login)
+    assert response.ok
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerate_table(report_writer, api_setup):
+    """Record per-endpoint request counts (rough requests/second figures come
+    from the pytest-benchmark table itself)."""
+    control, system, deployment, evaluation, client = api_setup
+    lines = [
+        "| endpoint | purpose |",
+        "| --- | --- |",
+        "| POST /api/v1/agents/next-job | agent claims the next job |",
+        "| PATCH /api/v1/jobs/{id}/progress | progress + heartbeat |",
+        "| POST /api/v1/jobs/{id}/logs | periodic log upload |",
+        "| POST /api/v1/jobs/{id}/result | result upload (JSON) |",
+        "| GET /api/v1/evaluations/{id}/progress | monitoring (Fig. 3b) |",
+        "| GET /api/v2/statistics | instance statistics (v2) |",
+        "",
+        "Timings are produced by pytest-benchmark (see bench_output.txt).",
+    ]
+    report_writer("E5_rest_api", "Agent-facing REST endpoint costs", lines)

@@ -1,0 +1,83 @@
+"""E7 -- YCSB core workloads A-F on both storage engines.
+
+Generalises the demo beyond the read/update mix: for every core workload the
+harness reports both engines' throughput, checking the expected shape
+(read-only workloads keep the engines close; update-heavy and RMW workloads
+favour wiredTiger, increasingly so at higher thread counts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.server import DocumentServer
+from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+from repro.workloads.ycsb import CORE_WORKLOADS
+
+THREADS = 8
+WORKLOADS = list(CORE_WORKLOADS)
+
+
+def run_workload(name: str, engine: str, threads: int = THREADS):
+    workload = CORE_WORKLOADS[name]
+    spec = WorkloadSpec(record_count=150, operation_count=300, threads=threads,
+                        mix=workload.mix, distribution=workload.distribution, seed=5)
+    return DocumentBenchmark(DocumentServer(engine), spec).execute_full()
+
+
+@pytest.fixture(scope="module")
+def workload_matrix(report_writer):
+    matrix = {}
+    for name in WORKLOADS:
+        matrix[name] = {
+            "wiredtiger": run_workload(name, "wiredtiger"),
+            "mmapv1": run_workload(name, "mmapv1"),
+        }
+    lines = ["| workload | description | wiredTiger (ops/s) | mmapv1 (ops/s) | ratio |",
+             "| --- | --- | --- | --- | --- |"]
+    for name in WORKLOADS:
+        wired = matrix[name]["wiredtiger"].throughput_ops_per_sec
+        mmap = matrix[name]["mmapv1"].throughput_ops_per_sec
+        lines.append(f"| {name} | {CORE_WORKLOADS[name].description} | "
+                     f"{wired:,.0f} | {mmap:,.0f} | {wired / mmap:.2f}x |")
+    report_writer("E7_ycsb_workloads", f"YCSB A-F at {THREADS} threads", lines)
+    return matrix
+
+
+class TestWorkloadShape:
+    def test_update_heavy_workload_a_favours_wiredtiger(self, workload_matrix):
+        wired = workload_matrix["A"]["wiredtiger"].throughput_ops_per_sec
+        mmap = workload_matrix["A"]["mmapv1"].throughput_ops_per_sec
+        assert wired > mmap * 2
+
+    def test_read_only_workload_c_keeps_engines_close(self, workload_matrix):
+        wired = workload_matrix["C"]["wiredtiger"].throughput_ops_per_sec
+        mmap = workload_matrix["C"]["mmapv1"].throughput_ops_per_sec
+        assert wired / mmap < 3.0
+
+    def test_gap_grows_with_write_fraction(self, workload_matrix):
+        def ratio(name):
+            return (workload_matrix[name]["wiredtiger"].throughput_ops_per_sec
+                    / workload_matrix[name]["mmapv1"].throughput_ops_per_sec)
+
+        assert ratio("A") > ratio("B") > ratio("C") * 0.9
+
+    def test_every_workload_completes_all_operations(self, workload_matrix):
+        for name, engines in workload_matrix.items():
+            for result in engines.values():
+                assert result.operations == 300
+
+
+@pytest.mark.benchmark(group="E7-ycsb")
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("engine", ["wiredtiger", "mmapv1"])
+def test_benchmark_ycsb_workload(benchmark, workload, engine):
+    """Wall-clock cost of running one YCSB workload against one engine."""
+    result = benchmark.pedantic(run_workload, args=(workload, engine),
+                                rounds=2, iterations=1)
+    benchmark.extra_info.update({
+        "workload": workload,
+        "engine": engine,
+        "throughput_ops_per_sec": result.throughput_ops_per_sec,
+    })
+    assert result.operations == 300

@@ -1,0 +1,79 @@
+"""Scheduling an evaluation through the REST API, as a build bot would.
+
+Section 2.2: "the API offers methods to, for example, schedule an evaluation
+which is caused by a successful build of the SuE's build bot."  This example
+plays the role of that build bot: it only ever talks to Chronos Control
+through the versioned REST API (v2 ``/schedule`` for the trigger, v1
+endpoints for monitoring), never through the Python service objects.
+
+Run with::
+
+    python examples/ci_triggered_evaluation.py
+"""
+
+from __future__ import annotations
+
+from repro.agent.fleet import AgentFleet
+from repro.agents.mongodb_agent import MongoDbAgent, register_mongodb_system
+from repro.core.control import ChronosControl
+from repro.rest.client import RestClient
+from repro.util.clock import SimulatedClock
+
+
+def main() -> None:
+    control = ChronosControl(clock=SimulatedClock())
+    admin = control.users.get_by_username("admin")
+
+    # One-time set-up done by the team: system, deployment, project, experiment.
+    system = register_mongodb_system(control, owner_id=admin.id)
+    deployment = control.deployments.register(system.id, "ci-runner",
+                                              environment={"host": "ci"})
+    project = control.projects.create("Continuous benchmarking", admin)
+    experiment = control.experiments.create(
+        project_id=project.id, system_id=system.id,
+        name="per-commit regression check",
+        parameters={
+            "storage_engine": ["wiredtiger"],
+            "threads": [1, 4],
+            "record_count": 150,
+            "operation_count": 300,
+            "query_mix": "90:10",
+            "distribution": "uniform",
+        },
+    )
+
+    # --- the build bot: REST only -----------------------------------------------------
+    bot = RestClient(control.api)
+    token = bot.post("/api/v1/login", {"username": "admin", "password": "admin"}).json()["token"]
+    bot.set_token(token)
+
+    build_id = "build-4711"
+    response = bot.post("/api/v2/schedule", {
+        "experiment_id": experiment.id,
+        "name": f"evaluation for {build_id}",
+        "deployment_ids": [deployment.id],
+        "triggered_by": build_id,
+    })
+    evaluation_id = response.json()["evaluation"]["id"]
+    print(f"build bot scheduled evaluation {evaluation_id} "
+          f"({response.json()['job_count']} jobs) for {build_id}")
+
+    # --- agents do the work (normally running on the CI workers) -----------------------
+    fleet = AgentFleet(control, system.id, [deployment.id], MongoDbAgent,
+                       clock=control.clock)
+    fleet.drive_evaluation(evaluation_id)
+
+    # --- the build bot polls progress and fetches results over REST --------------------
+    progress = bot.get(f"/api/v1/evaluations/{evaluation_id}/progress").json()
+    print(f"progress reported by the API: {progress['counts']}")
+    results = bot.get(f"/api/v1/evaluations/{evaluation_id}/results").json()["results"]
+    for result in results:
+        data = result["data"]
+        print(f"  threads={data['parameters']['threads']}: "
+              f"{data['throughput_ops_per_sec']:.0f} ops/s")
+    statistics = bot.get("/api/v2/statistics").json()["statistics"]
+    print(f"instance statistics: {statistics['jobs']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Two Systems under Evaluation, multiple deployments, parallel job execution.
+
+Demonstrates requirement (ii) of the paper: Chronos supports different SuEs at
+the same time and parallelises evaluations over multiple identical
+deployments.  The MongoDB SuE runs on two deployments while the key-value
+store SuE runs on a third, all through one Chronos Control instance.
+
+Run with::
+
+    python examples/multi_sue_parallel.py
+"""
+
+from __future__ import annotations
+
+from repro.agent.fleet import AgentFleet
+from repro.agents.kvstore_agent import KeyValueStoreAgent, register_kvstore_system
+from repro.agents.mongodb_agent import MongoDbAgent, register_mongodb_system
+from repro.analysis.aggregate import ResultTable
+from repro.core.control import ChronosControl
+from repro.util.clock import SimulatedClock
+
+
+def main() -> None:
+    control = ChronosControl(clock=SimulatedClock())
+    admin = control.users.get_by_username("admin")
+    project = control.projects.create("Multi-SuE evaluation", admin)
+
+    # --- SuE A: the document store on two identical deployments ------------------
+    mongodb = register_mongodb_system(control, owner_id=admin.id)
+    mongodb_deployments = [
+        control.deployments.register(mongodb.id, f"mongo-node-{index}",
+                                     environment={"host": f"node{index}"}).id
+        for index in (1, 2)
+    ]
+    mongodb_experiment = control.experiments.create(
+        project_id=project.id, system_id=mongodb.id, name="engines on two nodes",
+        parameters={
+            "storage_engine": ["wiredtiger", "mmapv1"],
+            "threads": [1, 2, 4],
+            "record_count": 150,
+            "operation_count": 300,
+            "query_mix": "80:20",
+            "distribution": "zipfian",
+        },
+    )
+    mongodb_evaluation, mongodb_jobs = control.evaluations.create(
+        mongodb_experiment.id, deployment_ids=mongodb_deployments
+    )
+
+    # --- SuE B: the key-value store on its own deployment -------------------------
+    kvstore = register_kvstore_system(control, owner_id=admin.id)
+    kvstore_deployment = control.deployments.register(kvstore.id, "kv-node-1").id
+    kvstore_experiment = control.experiments.create(
+        project_id=project.id, system_id=kvstore.id, name="hash vs log engine",
+        parameters={
+            "engine": ["hash", "log"],
+            "key_count": 500,
+            "operation_count": 1000,
+            "value_size": 128,
+            "write_fraction": 0.5,
+        },
+    )
+    kvstore_evaluation, kvstore_jobs = control.evaluations.create(
+        kvstore_experiment.id, deployment_ids=[kvstore_deployment]
+    )
+
+    print(f"MongoDB evaluation : {len(mongodb_jobs)} jobs on "
+          f"{len(mongodb_deployments)} deployments")
+    print(f"KV-store evaluation: {len(kvstore_jobs)} jobs on 1 deployment")
+    print()
+
+    # --- run both fleets -----------------------------------------------------------
+    mongodb_fleet = AgentFleet(control, mongodb.id, mongodb_deployments,
+                               MongoDbAgent, clock=control.clock)
+    kvstore_fleet = AgentFleet(control, kvstore.id, [kvstore_deployment],
+                               KeyValueStoreAgent, clock=control.clock)
+    mongodb_report = mongodb_fleet.drive_evaluation(mongodb_evaluation.id)
+    kvstore_report = kvstore_fleet.drive_evaluation(kvstore_evaluation.id)
+
+    print("MongoDB jobs per deployment:", mongodb_report.per_deployment)
+    print("KV-store jobs per deployment:", kvstore_report.per_deployment)
+    print()
+
+    # --- results ---------------------------------------------------------------------
+    mongodb_results = [result.data for result in control.results.for_jobs(
+        [job.id for job in control.evaluations.jobs(mongodb_evaluation.id)])]
+    kvstore_results = [result.data for result in control.results.for_jobs(
+        [job.id for job in control.evaluations.jobs(kvstore_evaluation.id)])]
+
+    print("MongoDB results:")
+    print(ResultTable.from_results(mongodb_results, [
+        "parameters.storage_engine", "parameters.threads", "throughput_ops_per_sec",
+    ]).sort_by("parameters.threads").to_markdown())
+    print()
+    print("Key-value store results:")
+    print(ResultTable.from_results(kvstore_results, [
+        "parameters.engine", "throughput_ops_per_sec", "storage_bytes",
+    ]).to_markdown())
+    print()
+    print("Chronos instance statistics:", control.statistics())
+
+
+if __name__ == "__main__":
+    main()

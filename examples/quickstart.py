@@ -1,0 +1,52 @@
+"""Quickstart: register an SuE, define an experiment, run it, print the results.
+
+This is the smallest end-to-end use of the toolkit: everything runs
+in-process against one Chronos Control instance and one deployment of the
+simulated MongoDB SuE.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.aggregate import ResultTable
+from repro.demo import prepare_demo, run_demo
+
+
+def main() -> None:
+    # 1. Set up Chronos Control, register the MongoDB SuE, create a project,
+    #    an experiment and an evaluation (one job per parameter combination).
+    setup = prepare_demo(parameters={
+        "storage_engine": ["wiredtiger", "mmapv1"],
+        "threads": [1, 4],
+        "record_count": 200,
+        "operation_count": 400,
+        "query_mix": "95:5",
+        "distribution": "zipfian",
+    })
+    jobs = setup.control.evaluations.jobs(setup.evaluation.id)
+    print(f"Project     : {setup.project.name}")
+    print(f"Experiment  : {setup.experiment.name}")
+    print(f"Evaluation  : {setup.evaluation.id} with {len(jobs)} jobs")
+    print()
+
+    # 2. Run the evaluation with the MongoDB Chronos agent.
+    setup = run_demo(setup)
+    print(f"Finished jobs: {setup.report.jobs_finished}, failed: {setup.report.jobs_failed}")
+    print()
+
+    # 3. Print the result table the Chronos web UI would visualise (Fig. 3d).
+    table = ResultTable.from_results(setup.results, [
+        "parameters.storage_engine",
+        "parameters.threads",
+        "throughput_ops_per_sec",
+        "latency_avg_ms",
+        "latency_p95_ms",
+    ]).sort_by("parameters.threads")
+    print(table.to_markdown())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setup shim so ``pip install -e . --no-use-pep517`` works offline.
+
+The evaluation environment has no network access and no ``wheel`` package,
+so the modern PEP 517 editable-install path (which needs ``bdist_wheel``)
+cannot run.  This classic setup script lets pip fall back to the legacy
+``setup.py develop`` editable install.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Chronos: The Swiss Army Knife for Database "
+        "Evaluations' (EDBT 2020): an Evaluation-as-a-Service toolkit with "
+        "simulated database substrates."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

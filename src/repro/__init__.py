@@ -1,0 +1,27 @@
+"""Chronos reproduction: an Evaluation-as-a-Service toolkit for database evaluations.
+
+This package reimplements the system described in "Chronos: The Swiss Army
+Knife for Database Evaluations" (Vogt et al., EDBT 2020) in pure Python,
+including every substrate the original depends on:
+
+* :mod:`repro.storage` -- an embedded relational store (replaces MySQL/MariaDB)
+  backing Chronos Control's metadata.
+* :mod:`repro.rest` -- an HTTP-style framework with versioned routing
+  (replaces the Apache/PHP REST API).
+* :mod:`repro.docstore` -- a MongoDB-like document database with two storage
+  engines (``wiredtiger`` and ``mmapv1``), the System under Evaluation used by
+  the paper's demonstration.
+* :mod:`repro.core` -- Chronos Control: projects, experiments, evaluations,
+  jobs, systems, deployments, scheduling, failure handling, archiving and
+  result analysis.
+* :mod:`repro.agent` -- the Python reference implementation of the Chronos
+  Agent library (announced as future work in the paper).
+* :mod:`repro.workloads` -- YCSB-style workload generators and the MongoDB
+  benchmark client used by the demo.
+* :mod:`repro.analysis` -- metrics, aggregation and diagram rendering.
+"""
+
+from repro.core.control import ChronosControl
+from repro.version import __version__
+
+__all__ = ["ChronosControl", "__version__"]

@@ -1,0 +1,15 @@
+"""The Python reference implementation of the Chronos Agent library.
+
+The paper ships a generic Java agent library and announces a Python one as
+future work; this package is that Python reference implementation.  An agent
+connects an evaluation client to Chronos Control through the REST API: it
+polls for jobs, runs the benchmark through user-provided lifecycle hooks,
+periodically uploads progress and log output, measures basic metrics and
+uploads the result (or reports the failure) when done.
+"""
+
+from repro.agent.base import ChronosAgent, JobContext
+from repro.agent.connection import AgentConnection
+from repro.agent.runner import AgentRunner
+
+__all__ = ["ChronosAgent", "JobContext", "AgentConnection", "AgentRunner"]

@@ -1,0 +1,86 @@
+"""The agent lifecycle interface implemented by evaluation clients.
+
+"the agent library already provides an interface with all necessary methods
+to be implemented.  Depending on the existing evaluation client, this usually
+narrows down to calling already existing methods of the evaluation client."
+(Section 2.2).
+
+The interface mirrors the evaluation workflow of the introduction: set-up of
+the SuE for the job's parameters, a warm-up phase, the actual benchmark
+execution, an analysis step turning raw measurements into the result JSON,
+and clean-up.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.agent.metrics import AgentMetrics
+
+
+@dataclass
+class JobContext:
+    """Everything an agent implementation needs while executing one job.
+
+    Attributes:
+        job_id: the Chronos job identifier.
+        parameters: the parameter dictionary of this job (one point of the
+            evaluation space).
+        deployment: the deployment description (environment, version).
+        metrics: the agent metrics collector (phase timings, counters).
+        progress: callback reporting progress (0-100) back to Chronos Control.
+        log: callback streaming log output back to Chronos Control.
+    """
+
+    job_id: str
+    parameters: dict[str, Any]
+    deployment: dict[str, Any]
+    metrics: AgentMetrics
+    progress: Callable[[int], None] = lambda progress: None
+    log: Callable[[str], None] = lambda message: None
+    state: dict[str, Any] = field(default_factory=dict)
+
+
+class ChronosAgent(ABC):
+    """Base class for evaluation clients integrated with Chronos.
+
+    Subclasses implement the five lifecycle hooks; the
+    :class:`~repro.agent.runner.AgentRunner` calls them in order for every
+    claimed job and handles all communication with Chronos Control.
+    """
+
+    #: Name of the SuE this agent evaluates (must match the registered system).
+    system_name: str = "unknown-system"
+
+    @abstractmethod
+    def set_up(self, context: JobContext) -> None:
+        """Prepare the SuE for this job (create schema, generate and load data)."""
+
+    def warm_up(self, context: JobContext) -> None:
+        """Warm up the SuE (fill caches/buffers) so measurements are realistic."""
+
+    @abstractmethod
+    def execute(self, context: JobContext) -> dict[str, Any]:
+        """Run the benchmark and return raw measurement data."""
+
+    def analyze(self, context: JobContext, raw: dict[str, Any]) -> dict[str, Any]:
+        """Turn raw measurements into the result JSON stored by Chronos.
+
+        The default implementation returns the raw data unchanged.
+        """
+        return raw
+
+    def clean_up(self, context: JobContext) -> None:
+        """Tear down whatever :meth:`set_up` created."""
+
+    # -- optional hooks -----------------------------------------------------------------
+
+    def extra_result_files(self, context: JobContext,
+                           result: dict[str, Any]) -> dict[str, str] | None:
+        """Additional files to pack into the result's zip archive."""
+        return None
+
+    def aborted(self, context: JobContext) -> None:
+        """Called when the job is aborted while this agent is executing it."""

@@ -1,0 +1,143 @@
+"""The agent runner: polling loop, lifecycle orchestration, failure reporting.
+
+The runner is the piece the Java reference implementation provides for the
+original system: it periodically asks Chronos Control for work, drives the
+agent lifecycle (set-up -> warm-up -> execute -> analyze -> clean-up),
+streams progress and logs, measures the basic metrics and uploads the result.
+Any exception in the lifecycle is reported to Chronos Control as a job
+failure so the failure policy can re-schedule the job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.agent.base import ChronosAgent, JobContext
+from repro.agent.connection import AgentConnection
+from repro.agent.metrics import AgentMetrics
+from repro.errors import AgentError
+from repro.util.clock import Clock, SystemClock
+
+
+@dataclass
+class RunReport:
+    """Summary of one :meth:`AgentRunner.run_until_idle` invocation."""
+
+    jobs_finished: int = 0
+    jobs_failed: int = 0
+    polls: int = 0
+
+    @property
+    def jobs_processed(self) -> int:
+        return self.jobs_finished + self.jobs_failed
+
+
+class AgentRunner:
+    """Runs a :class:`ChronosAgent` against one deployment.
+
+    Args:
+        agent: the evaluation-client integration.
+        connection: authenticated connection to Chronos Control.
+        system_id: the registered system this agent serves.
+        deployment_id: the deployment this runner is responsible for.
+        deployment_info: environment description passed to the agent.
+        clock: clock used for metric timing (simulated in tests/benchmarks).
+        log_every: report progress/log output every ``log_every`` progress steps.
+    """
+
+    def __init__(
+        self,
+        agent: ChronosAgent,
+        connection: AgentConnection,
+        system_id: str,
+        deployment_id: str,
+        deployment_info: dict[str, Any] | None = None,
+        clock: Clock | None = None,
+    ):
+        self.agent = agent
+        self.connection = connection
+        self.system_id = system_id
+        self.deployment_id = deployment_id
+        self.deployment_info = dict(deployment_info or {})
+        self.clock = clock or SystemClock()
+
+    # -- main loops -----------------------------------------------------------------------
+
+    def run_one(self) -> bool:
+        """Claim and execute at most one job.  Returns True when a job ran."""
+        job = self.connection.claim_next_job(self.system_id, self.deployment_id)
+        if job is None:
+            return False
+        self._execute_job(job)
+        return True
+
+    def run_until_idle(self, max_jobs: int | None = None) -> RunReport:
+        """Execute jobs until Chronos Control has no more work for this deployment."""
+        report = RunReport()
+        while max_jobs is None or report.jobs_processed < max_jobs:
+            job = self.connection.claim_next_job(self.system_id, self.deployment_id)
+            report.polls += 1
+            if job is None:
+                break
+            if self._execute_job(job):
+                report.jobs_finished += 1
+            else:
+                report.jobs_failed += 1
+        return report
+
+    # -- job execution --------------------------------------------------------------------------
+
+    def _execute_job(self, job: dict[str, Any]) -> bool:
+        job_id = job["id"]
+        metrics = AgentMetrics(self.clock)
+        context = JobContext(
+            job_id=job_id,
+            parameters=dict(job.get("parameters", {})),
+            deployment=self.deployment_info,
+            metrics=metrics,
+            progress=lambda progress: self.connection.report_progress(job_id, progress),
+            log=lambda message: self.connection.append_log(job_id, message),
+        )
+        try:
+            result = self._run_lifecycle(context, metrics)
+            extra = self.agent.extra_result_files(context, result)
+            self.connection.upload_result(
+                job_id, data=result, metrics=metrics.as_dict(), extra_files=extra
+            )
+            return True
+        except Exception as exc:  # noqa: BLE001 - every failure is reported to Control
+            self.connection.report_failure(job_id, f"{type(exc).__name__}: {exc}")
+            return False
+
+    def _run_lifecycle(self, context: JobContext, metrics: AgentMetrics) -> dict[str, Any]:
+        context.log(f"job {context.job_id} started on deployment {self.deployment_id}")
+
+        metrics.start_phase("setup")
+        self.agent.set_up(context)
+        metrics.stop_phase("setup")
+        context.progress(10)
+
+        metrics.start_phase("warmup")
+        self.agent.warm_up(context)
+        metrics.stop_phase("warmup")
+        context.progress(25)
+
+        metrics.start_phase("execution")
+        raw = self.agent.execute(context)
+        metrics.stop_phase("execution")
+        context.progress(85)
+        if not isinstance(raw, dict):
+            raise AgentError("agent execute() must return a dictionary of measurements")
+
+        metrics.start_phase("analysis")
+        result = self.agent.analyze(context, raw)
+        metrics.stop_phase("analysis")
+        context.progress(95)
+
+        try:
+            self.agent.clean_up(context)
+        finally:
+            context.log(f"job {context.job_id} finished")
+        context.progress(100)
+        return result

@@ -1,0 +1,55 @@
+"""Out-of-band result upload (the HTTP/FTP path of the original agent).
+
+The Java reference agent can upload result archives via HTTP or FTP to a
+different server or a NAS, reducing load on the Chronos Control server.
+This module provides the same capability against a local "remote store"
+directory, exercising the identical agent-side code path (serialise, upload,
+reference the remote location in the result JSON) without a network.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+from typing import Any
+
+from repro.errors import AgentError
+
+
+class ResultUploader:
+    """Uploads result archives to a remote store (a directory standing in for FTP/NAS)."""
+
+    def __init__(self, remote_directory: str | Path):
+        self._remote = Path(remote_directory)
+        self._remote.mkdir(parents=True, exist_ok=True)
+        self.uploads = 0
+
+    def upload(self, job_id: str, data: dict[str, Any],
+               extra_files: dict[str, str] | None = None) -> str:
+        """Pack ``data`` (+ extra files) into a zip and store it remotely.
+
+        Returns the remote path, which agents put into the result JSON so the
+        archive can be retrieved for analysis outside of Chronos.
+        """
+        if not job_id:
+            raise AgentError("job_id is required for a result upload")
+        path = self._remote / f"{job_id}.zip"
+        with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr("result.json", json.dumps(data, sort_keys=True, indent=2))
+            for name, content in (extra_files or {}).items():
+                archive.writestr(name, content)
+        self.uploads += 1
+        return str(path)
+
+    def list_uploads(self) -> list[str]:
+        """Names of all archives currently in the remote store."""
+        return sorted(path.name for path in self._remote.glob("*.zip"))
+
+    def read(self, job_id: str) -> dict[str, Any]:
+        """Read back the result JSON of a previously uploaded archive."""
+        path = self._remote / f"{job_id}.zip"
+        if not path.exists():
+            raise AgentError(f"no uploaded archive for job {job_id!r}")
+        with zipfile.ZipFile(path, "r") as archive:
+            return json.loads(archive.read("result.json").decode("utf-8"))

@@ -1,0 +1,24 @@
+"""Concrete Chronos Agents for the Systems under Evaluation of this repository.
+
+* :class:`~repro.agents.mongodb_agent.MongoDbAgent` -- the paper's demo: the
+  comparative evaluation of the wiredTiger and mmapv1 storage engines.
+* :class:`~repro.agents.kvstore_agent.KeyValueStoreAgent` -- a second SuE
+  demonstrating that multiple systems can be evaluated through the same
+  Chronos Control instance.
+* :mod:`~repro.agents.testing` -- trivial and failure-injecting agents used by
+  tests and the failure-handling experiments.
+"""
+
+from repro.agents.kvstore_agent import KeyValueStoreAgent, register_kvstore_system
+from repro.agents.mongodb_agent import MongoDbAgent, register_mongodb_system
+from repro.agents.testing import FlakyAgent, SleepAgent, register_sleep_system
+
+__all__ = [
+    "MongoDbAgent",
+    "register_mongodb_system",
+    "KeyValueStoreAgent",
+    "register_kvstore_system",
+    "SleepAgent",
+    "FlakyAgent",
+    "register_sleep_system",
+]

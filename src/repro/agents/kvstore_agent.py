@@ -1,0 +1,111 @@
+"""Chronos Agent for the key-value store SuE (second system, requirement ii)."""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any
+
+from repro.agent.base import ChronosAgent, JobContext
+from repro.core.enums import DiagramKind
+from repro.core.parameters import checkbox, value
+from repro.core.systems import diagram_spec, result_config
+from repro.kvstore.store import KeyValueStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.control import ChronosControl
+    from repro.core.entities import System
+
+KVSTORE_SYSTEM_NAME = "kvstore"
+
+
+def register_kvstore_system(control: "ChronosControl", owner_id: str = "") -> "System":
+    """Register the key-value store SuE."""
+    parameters = [
+        checkbox("engine", ["hash", "log"], "key-value engine"),
+        value("key_count", "number of keys loaded", default=1000),
+        value("operation_count", "operations in the measured phase", default=2000),
+        value("value_size", "value size in bytes", default=256),
+        value("write_fraction", "fraction of put operations", default=0.5),
+        value("seed", "random seed", default=7, required=False),
+    ]
+    configuration = result_config(
+        metrics=["throughput_ops_per_sec", "latency_avg_ms", "storage_bytes"],
+        diagrams=[
+            diagram_spec(DiagramKind.BAR, "Throughput by engine",
+                         x_field="engine", y_field="throughput_ops_per_sec"),
+            diagram_spec(DiagramKind.PIE, "Operations",
+                         x_field="operation", y_field="count"),
+        ],
+    )
+    return control.systems.register(
+        name=KVSTORE_SYSTEM_NAME,
+        parameters=parameters,
+        result_configuration=configuration,
+        description="Embedded key-value store with hash and log-structured engines",
+        owner_id=owner_id,
+    )
+
+
+class KeyValueStoreAgent(ChronosAgent):
+    """Evaluation client for the key-value store."""
+
+    system_name = KVSTORE_SYSTEM_NAME
+
+    def set_up(self, context: JobContext) -> None:
+        parameters = context.parameters
+        store = KeyValueStore(engine=parameters.get("engine", "hash"))
+        rng = random.Random(int(parameters.get("seed", 7)))
+        value_size = int(parameters.get("value_size", 256))
+        key_count = int(parameters.get("key_count", 1000))
+        payload = "x" * value_size
+        for index in range(key_count):
+            store.put(f"key{index}", payload)
+        context.state.update({"store": store, "rng": rng, "key_count": key_count,
+                              "value_size": value_size})
+        context.log(f"loaded {key_count} keys into the {store.engine.name} engine")
+
+    def warm_up(self, context: JobContext) -> None:
+        store: KeyValueStore = context.state["store"]
+        rng: random.Random = context.state["rng"]
+        for _ in range(min(100, context.state["key_count"])):
+            store.get(f"key{rng.randrange(context.state['key_count'])}")
+
+    def execute(self, context: JobContext) -> dict[str, Any]:
+        store: KeyValueStore = context.state["store"]
+        rng: random.Random = context.state["rng"]
+        key_count = context.state["key_count"]
+        payload = "y" * context.state["value_size"]
+        operation_count = int(context.parameters.get("operation_count", 2000))
+        write_fraction = float(context.parameters.get("write_fraction", 0.5))
+
+        latencies: list[float] = []
+        reads = writes = 0
+        for _ in range(operation_count):
+            key = f"key{rng.randrange(key_count)}"
+            if rng.random() < write_fraction:
+                latencies.append(store.put(key, payload))
+                writes += 1
+            else:
+                __, cost = store.get_with_cost(key)
+                latencies.append(cost)
+                reads += 1
+        total = sum(latencies)
+        return {
+            "engine": store.engine.name,
+            "operations": operation_count,
+            "reads": reads,
+            "writes": writes,
+            "simulated_seconds": total,
+            "throughput_ops_per_sec": operation_count / total if total else 0.0,
+            "latency_avg_ms": (total / operation_count) * 1000.0 if operation_count else 0.0,
+            "storage_bytes": store.engine.storage_bytes(),
+            "engine_statistics": store.statistics(),
+        }
+
+    def analyze(self, context: JobContext, raw: dict[str, Any]) -> dict[str, Any]:
+        analysed = dict(raw)
+        analysed["parameters"] = dict(context.parameters)
+        return analysed
+
+    def clean_up(self, context: JobContext) -> None:
+        context.state.clear()

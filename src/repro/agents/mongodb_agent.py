@@ -1,0 +1,152 @@
+"""The MongoDB Chronos Agent: the paper's demonstration scenario.
+
+The demo compares the two MongoDB storage engines *wiredTiger* and *mmapv1*.
+This agent is the Chronos integration of the document-store evaluation
+client: for every job it
+
+1. starts (simulates) a server with the storage engine the job's parameters
+   ask for and loads the benchmark collection (``set_up``),
+2. warms the caches (``warm_up``),
+3. runs the operation mix for the job's thread count (``execute``), and
+4. reports throughput / latency as the result JSON (``analyze``).
+
+The system registration helper defines exactly the parameters the demo's
+experiment sweeps (storage engine, number of client threads, record and
+operation counts, read/write ratio, key distribution) plus the diagrams shown
+in Fig. 3d.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.agent.base import ChronosAgent, JobContext
+from repro.core.enums import DiagramKind
+from repro.core.parameters import checkbox, interval, ratio, value
+from repro.core.systems import diagram_spec, result_config
+from repro.docstore.server import DocumentServer
+from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+from repro.workloads.ycsb import mix_from_ratio, ycsb_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.control import ChronosControl
+    from repro.core.entities import System
+
+MONGODB_SYSTEM_NAME = "mongodb"
+
+
+def register_mongodb_system(control: "ChronosControl", owner_id: str = "") -> "System":
+    """Register the MongoDB SuE with its demo parameters and diagrams."""
+    parameters = [
+        checkbox("storage_engine", ["wiredtiger", "mmapv1"],
+                 "MongoDB storage engine to evaluate"),
+        interval("threads", "number of concurrent client threads"),
+        value("record_count", "documents loaded before the measurement", default=500),
+        value("operation_count", "operations in the measured phase", default=1000),
+        ratio("query_mix", "read:update ratio of the benchmark"),
+        checkbox("distribution", ["uniform", "zipfian", "latest", "hotspot"],
+                 "key access distribution"),
+        value("ycsb_workload", "optional YCSB core workload overriding the mix",
+              default="", required=False),
+        value("seed", "random seed for reproducible runs", default=42, required=False),
+    ]
+    configuration = result_config(
+        metrics=["throughput_ops_per_sec", "latency_avg_ms", "latency_p95_ms",
+                 "latency_p99_ms", "storage_bytes"],
+        diagrams=[
+            diagram_spec(DiagramKind.LINE, "Throughput vs threads",
+                         x_field="threads", y_field="throughput_ops_per_sec",
+                         group_field="storage_engine"),
+            diagram_spec(DiagramKind.LINE, "p95 latency vs threads",
+                         x_field="threads", y_field="latency_p95_ms",
+                         group_field="storage_engine"),
+            diagram_spec(DiagramKind.BAR, "Storage footprint",
+                         x_field="storage_engine", y_field="storage_bytes"),
+        ],
+    )
+    return control.systems.register(
+        name=MONGODB_SYSTEM_NAME,
+        parameters=parameters,
+        result_configuration=configuration,
+        description="Document database with interchangeable storage engines "
+                    "(wiredTiger vs mmapv1 demo)",
+        owner_id=owner_id,
+    )
+
+
+class MongoDbAgent(ChronosAgent):
+    """Chronos Agent wrapping the document-store evaluation client."""
+
+    system_name = MONGODB_SYSTEM_NAME
+
+    def __init__(self, server_factory=DocumentServer):
+        self._server_factory = server_factory
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def set_up(self, context: JobContext) -> None:
+        parameters = context.parameters
+        engine = parameters.get("storage_engine", "wiredtiger")
+        spec = self._workload_spec(parameters)
+        server = self._server_factory(storage_engine=engine)
+        benchmark = DocumentBenchmark(server, spec)
+        context.state["benchmark"] = benchmark
+        context.log(f"starting {engine} deployment, loading {spec.record_count} records")
+        load_seconds = benchmark.load()
+        context.metrics.set("load_simulated_seconds", load_seconds)
+        context.metrics.set("records_loaded", spec.record_count)
+
+    def warm_up(self, context: JobContext) -> None:
+        benchmark: DocumentBenchmark = context.state["benchmark"]
+        warm_seconds = benchmark.warm_up()
+        context.metrics.set("warmup_simulated_seconds", warm_seconds)
+        context.log("warm-up finished")
+
+    def execute(self, context: JobContext) -> dict[str, Any]:
+        benchmark: DocumentBenchmark = context.state["benchmark"]
+        context.log(
+            f"running {benchmark.spec.operation_count} operations with "
+            f"{benchmark.spec.threads} threads"
+        )
+        result = benchmark.run()
+        context.metrics.set("operations", result.operations)
+        context.metrics.set("throughput_ops_per_sec", result.throughput_ops_per_sec)
+        return result.as_dict()
+
+    def analyze(self, context: JobContext, raw: dict[str, Any]) -> dict[str, Any]:
+        """Attach the job parameters so every result is self-describing."""
+        analysed = dict(raw)
+        analysed["parameters"] = dict(context.parameters)
+        analysed["storage_bytes"] = raw.get("engine_statistics", {}).get("storage_bytes", 0)
+        return analysed
+
+    def clean_up(self, context: JobContext) -> None:
+        context.state.pop("benchmark", None)
+
+    def extra_result_files(self, context: JobContext,
+                           result: dict[str, Any]) -> dict[str, str] | None:
+        """Store the raw engine statistics in the result archive."""
+        statistics = result.get("engine_statistics", {})
+        lines = [f"{key}: {statistics[key]}" for key in sorted(statistics)]
+        return {"engine_statistics.txt": "\n".join(lines)}
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    @staticmethod
+    def _workload_spec(parameters: dict[str, Any]) -> WorkloadSpec:
+        workload_name = parameters.get("ycsb_workload") or ""
+        if workload_name:
+            workload = ycsb_workload(workload_name)
+            mix = workload.mix
+            distribution = workload.distribution
+        else:
+            mix = mix_from_ratio(parameters.get("query_mix", "95:5"))
+            distribution = parameters.get("distribution", "zipfian")
+        return WorkloadSpec(
+            record_count=int(parameters.get("record_count", 500)),
+            operation_count=int(parameters.get("operation_count", 1000)),
+            threads=int(parameters.get("threads", 1)),
+            mix=mix,
+            distribution=distribution,
+            seed=int(parameters.get("seed", 42)),
+        )

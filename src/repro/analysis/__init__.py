@@ -1,0 +1,32 @@
+"""Result analysis: metrics, aggregation, comparison and diagrams.
+
+Chronos Control "has to offer a large set of basic analysis functions (e.g.,
+different types of diagrams), support the extension by custom ones, and
+provide standard metrics for measurements" (requirement vi).  This package
+provides the standard metrics (execution time, throughput, latency
+percentiles), grouping/aggregation over result sets, engine comparison
+summaries, and bar / line / pie diagrams rendered as ASCII (for the terminal
+examples) and SVG (for files), plus CSV/JSON export.
+"""
+
+from repro.analysis.aggregate import ResultTable, group_results, pivot
+from repro.analysis.compare import compare_groups, speedup_table
+from repro.analysis.diagrams import BarDiagram, Diagram, LineDiagram, PieDiagram, build_diagram
+from repro.analysis.metrics import MetricSummary, latency_percentiles, summarize, throughput
+
+__all__ = [
+    "MetricSummary",
+    "summarize",
+    "throughput",
+    "latency_percentiles",
+    "ResultTable",
+    "group_results",
+    "pivot",
+    "compare_groups",
+    "speedup_table",
+    "Diagram",
+    "BarDiagram",
+    "LineDiagram",
+    "PieDiagram",
+    "build_diagram",
+]

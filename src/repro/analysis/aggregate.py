@@ -1,0 +1,116 @@
+"""Aggregation of evaluation results into tables and pivots.
+
+Works on plain result dictionaries (the ``data`` part of a
+:class:`~repro.core.entities.Result`), so it can be used both inside Chronos
+Control and on archived result bundles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.analysis.metrics import summarize
+from repro.errors import ValidationError
+
+
+def _resolve(document: dict[str, Any], path: str) -> Any:
+    """Resolve a dotted path (e.g. ``parameters.threads``) in a result document."""
+    current: Any = document
+    for segment in path.split("."):
+        if not isinstance(current, dict) or segment not in current:
+            return None
+        current = current[segment]
+    return current
+
+
+@dataclass
+class ResultTable:
+    """A flat table of rows (one per job result) with convenience accessors."""
+
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def from_results(cls, results: Iterable[dict[str, Any]],
+                     columns: list[str]) -> "ResultTable":
+        """Project ``columns`` (dotted paths) out of every result document."""
+        rows = []
+        for result in results:
+            rows.append({column: _resolve(result, column) for column in columns})
+        return cls(columns=list(columns), rows=rows)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        if name not in self.columns:
+            raise ValidationError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def sort_by(self, name: str) -> "ResultTable":
+        """A new table sorted by ``name`` (None values last)."""
+        ordered = sorted(self.rows, key=lambda row: (row.get(name) is None, row.get(name)))
+        return ResultTable(columns=list(self.columns), rows=ordered)
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "ResultTable":
+        return ResultTable(columns=list(self.columns),
+                           rows=[row for row in self.rows if predicate(row)])
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        header = "| " + " | ".join(self.columns) + " |"
+        separator = "| " + " | ".join("---" for _ in self.columns) + " |"
+        lines = [header, separator]
+        for row in self.rows:
+            lines.append("| " + " | ".join(_format_cell(row.get(column))
+                                            for column in self.columns) + " |")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def group_results(results: Iterable[dict[str, Any]],
+                  group_field: str) -> dict[Any, list[dict[str, Any]]]:
+    """Group result documents by the value at ``group_field`` (dotted path)."""
+    groups: dict[Any, list[dict[str, Any]]] = {}
+    for result in results:
+        key = _resolve(result, group_field)
+        groups.setdefault(key, []).append(result)
+    return groups
+
+
+def aggregate_metric(results: Iterable[dict[str, Any]], metric_field: str) -> dict[str, float]:
+    """Summary statistics of ``metric_field`` over the result documents."""
+    values = [
+        value for value in (_resolve(result, metric_field) for result in results)
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    ]
+    if not values:
+        raise ValidationError(f"no numeric values found for {metric_field!r}")
+    return summarize(values).as_dict()
+
+
+def pivot(results: Iterable[dict[str, Any]], x_field: str, y_field: str,
+          group_field: str | None = None) -> dict[Any, list[tuple[Any, float]]]:
+    """Build ``group -> [(x, y), ...]`` series (the data behind a line diagram).
+
+    When ``group_field`` is ``None`` a single series keyed ``"all"`` is
+    returned.  Within each series the points are sorted by x.
+    """
+    series: dict[Any, list[tuple[Any, float]]] = {}
+    for result in results:
+        x_value = _resolve(result, x_field)
+        y_value = _resolve(result, y_field)
+        if x_value is None or y_value is None:
+            continue
+        key = _resolve(result, group_field) if group_field else "all"
+        series.setdefault(key, []).append((x_value, float(y_value)))
+    for key in series:
+        series[key].sort(key=lambda point: (point[0] is None, point[0]))
+    return series
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

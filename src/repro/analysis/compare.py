@@ -1,0 +1,93 @@
+"""Comparative analysis: who wins, by what factor, where do curves cross."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.analysis.aggregate import group_results, pivot
+from repro.errors import ValidationError
+
+
+def compare_groups(results: Iterable[dict[str, Any]], group_field: str,
+                   metric_field: str, higher_is_better: bool = True) -> dict[str, Any]:
+    """Compare the mean of ``metric_field`` between the groups of ``group_field``.
+
+    Returns the per-group means, the winner and the winner's factor over the
+    runner-up -- the headline numbers of the demo ("wiredTiger is N x faster
+    than mmapv1 at this configuration").
+    """
+    results = list(results)
+    groups = group_results(results, group_field)
+    if len(groups) < 2:
+        raise ValidationError("need at least two groups to compare")
+    means: dict[Any, float] = {}
+    for key, members in groups.items():
+        values = [_metric(member, metric_field) for member in members]
+        values = [value for value in values if value is not None]
+        if not values:
+            raise ValidationError(f"group {key!r} has no values for {metric_field!r}")
+        means[key] = sum(values) / len(values)
+    ordered = sorted(means.items(), key=lambda item: item[1], reverse=higher_is_better)
+    winner, winner_value = ordered[0]
+    runner_up, runner_value = ordered[1]
+    factor = (winner_value / runner_value) if runner_value else float("inf")
+    if not higher_is_better and winner_value:
+        factor = runner_value / winner_value
+    return {
+        "metric": metric_field,
+        "means": {str(key): value for key, value in means.items()},
+        "winner": str(winner),
+        "runner_up": str(runner_up),
+        "factor": factor,
+    }
+
+
+def speedup_table(results: Iterable[dict[str, Any]], x_field: str, y_field: str,
+                  group_field: str, baseline_group: str) -> list[dict[str, Any]]:
+    """Per-x speed-up of every group over ``baseline_group``.
+
+    Used by the storage-engine experiment to show the wiredTiger / mmapv1
+    throughput ratio per thread count, including where (if anywhere) the
+    curves cross.
+    """
+    series = pivot(results, x_field, y_field, group_field)
+    if baseline_group not in series:
+        raise ValidationError(f"baseline group {baseline_group!r} not present")
+    baseline = dict(series[baseline_group])
+    table: list[dict[str, Any]] = []
+    for x_value, baseline_value in sorted(baseline.items(), key=lambda item: item[0]):
+        row: dict[str, Any] = {x_field: x_value, baseline_group: baseline_value}
+        for group, points in series.items():
+            if group == baseline_group:
+                continue
+            value = dict(points).get(x_value)
+            row[group] = value
+            row[f"{group}_speedup"] = (value / baseline_value
+                                       if value is not None and baseline_value else None)
+        table.append(row)
+    return table
+
+
+def crossover_points(table: list[dict[str, Any]], speedup_column: str) -> list[Any]:
+    """x values where a speed-up series crosses 1.0 (the curves swap winner)."""
+    crossings: list[Any] = []
+    previous: float | None = None
+    for row in table:
+        value = row.get(speedup_column)
+        if value is None:
+            continue
+        if previous is not None and (previous - 1.0) * (value - 1.0) < 0:
+            crossings.append(row)
+        previous = value
+    return crossings
+
+
+def _metric(result: dict[str, Any], metric_field: str) -> float | None:
+    current: Any = result
+    for segment in metric_field.split("."):
+        if not isinstance(current, dict) or segment not in current:
+            return None
+        current = current[segment]
+    if isinstance(current, bool) or not isinstance(current, (int, float)):
+        return None
+    return float(current)

@@ -1,0 +1,233 @@
+"""Diagram types: bar, line and pie (Section 2.2).
+
+Chronos Control visualises results with bar, line and pie diagrams.  Each
+diagram type here carries its data (series of labelled points), can render
+itself as ASCII art for the terminal examples, as an SVG document for files,
+and exposes its data for tests.  The registry at the bottom supports the
+paper's extension mechanism: custom diagram types can be registered at run
+time and are then available to system result configurations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.svg import svg_document, svg_line, svg_rect, svg_text, svg_wedge
+from repro.errors import ValidationError
+
+
+@dataclass
+class Diagram(ABC):
+    """Base class of all diagrams."""
+
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    series: dict[str, list[tuple[Any, float]]] = field(default_factory=dict)
+
+    def add_series(self, name: str, points: list[tuple[Any, float]]) -> "Diagram":
+        """Add one named series of ``(x, y)`` points."""
+        self.series[str(name)] = [(x, float(y)) for x, y in points]
+        return self
+
+    def add_point(self, series_name: str, x: Any, y: float) -> "Diagram":
+        self.series.setdefault(str(series_name), []).append((x, float(y)))
+        return self
+
+    @abstractmethod
+    def render_ascii(self, width: int = 60) -> str:
+        """Render the diagram as ASCII art."""
+
+    @abstractmethod
+    def render_svg(self, width: int = 640, height: int = 360) -> str:
+        """Render the diagram as an SVG document."""
+
+    # -- shared helpers ----------------------------------------------------------------
+
+    def _all_points(self) -> list[tuple[Any, float]]:
+        points: list[tuple[Any, float]] = []
+        for series_points in self.series.values():
+            points.extend(series_points)
+        return points
+
+    def _require_data(self) -> None:
+        if not self._all_points():
+            raise ValidationError(f"diagram {self.title!r} has no data")
+
+
+@dataclass
+class BarDiagram(Diagram):
+    """Grouped horizontal bars: one bar per (series, x) pair."""
+
+    def render_ascii(self, width: int = 60) -> str:
+        self._require_data()
+        maximum = max(y for _, y in self._all_points()) or 1.0
+        lines = [self.title, "=" * len(self.title)]
+        for series_name, points in self.series.items():
+            for x, y in points:
+                bar = "#" * max(1, int((y / maximum) * width)) if y > 0 else ""
+                label = f"{series_name}/{x}" if len(self.series) > 1 else str(x)
+                lines.append(f"{label:>24} | {bar} {y:,.1f}")
+        return "\n".join(lines)
+
+    def render_svg(self, width: int = 640, height: int = 360) -> str:
+        self._require_data()
+        points = self._all_points()
+        maximum = max(y for _, y in points) or 1.0
+        bar_area = width - 160
+        elements = [svg_text(10, 20, self.title, size=16)]
+        y_offset = 50
+        bar_height = max(12, min(28, (height - 80) // max(1, len(points))))
+        for series_name, series_points in self.series.items():
+            for x, y in series_points:
+                bar_width = (y / maximum) * bar_area
+                label = f"{series_name}/{x}" if len(self.series) > 1 else str(x)
+                elements.append(svg_text(10, y_offset + bar_height * 0.75, label, size=11))
+                elements.append(svg_rect(150, y_offset, bar_width, bar_height - 4,
+                                         fill=_series_color(series_name)))
+                elements.append(svg_text(155 + bar_width, y_offset + bar_height * 0.75,
+                                         f"{y:,.1f}", size=11))
+                y_offset += bar_height
+        return svg_document(width, max(height, y_offset + 20), elements)
+
+
+@dataclass
+class LineDiagram(Diagram):
+    """Line chart: one polyline per series over a numeric/ordinal x axis."""
+
+    def render_ascii(self, width: int = 60, height: int = 12) -> str:
+        self._require_data()
+        lines = [self.title, "=" * len(self.title)]
+        all_points = self._all_points()
+        y_max = max(y for _, y in all_points) or 1.0
+        for series_name, points in self.series.items():
+            lines.append(f"-- {series_name}")
+            for x, y in points:
+                bar = "*" * max(1, int((y / y_max) * width)) if y > 0 else ""
+                lines.append(f"{str(x):>12} | {bar} {y:,.1f}")
+        if self.y_label:
+            lines.append(f"(y: {self.y_label}, x: {self.x_label})")
+        return "\n".join(lines)
+
+    def render_svg(self, width: int = 640, height: int = 360) -> str:
+        self._require_data()
+        all_points = self._all_points()
+        y_max = max(y for _, y in all_points) or 1.0
+        x_values = sorted({x for x, _ in all_points}, key=_order_key)
+        x_positions = {value: index for index, value in enumerate(x_values)}
+        plot_width, plot_height, margin = width - 120, height - 100, 60
+
+        elements = [svg_text(10, 20, self.title, size=16)]
+        elements.append(svg_line(margin, height - 40, margin + plot_width, height - 40))
+        elements.append(svg_line(margin, height - 40, margin, 40))
+        for series_name, points in self.series.items():
+            coordinates = []
+            for x, y in points:
+                px = margin + (x_positions[x] / max(1, len(x_values) - 1)) * plot_width
+                py = (height - 40) - (y / y_max) * plot_height
+                coordinates.append((px, py))
+            for start, end in zip(coordinates, coordinates[1:]):
+                elements.append(svg_line(start[0], start[1], end[0], end[1],
+                                         stroke=_series_color(series_name), width_px=2))
+            if coordinates:
+                last = coordinates[-1]
+                elements.append(svg_text(last[0] + 4, last[1], series_name, size=11))
+        for value, index in x_positions.items():
+            px = margin + (index / max(1, len(x_values) - 1)) * plot_width
+            elements.append(svg_text(px, height - 22, str(value), size=10))
+        return svg_document(width, height, elements)
+
+
+@dataclass
+class PieDiagram(Diagram):
+    """Pie chart over the first series' values."""
+
+    def render_ascii(self, width: int = 40) -> str:
+        self._require_data()
+        points = self._first_series()
+        total = sum(y for _, y in points) or 1.0
+        lines = [self.title, "=" * len(self.title)]
+        for x, y in points:
+            share = y / total
+            bar = "o" * max(1, int(share * width))
+            lines.append(f"{str(x):>16} | {bar} {share * 100:5.1f}%")
+        return "\n".join(lines)
+
+    def render_svg(self, width: int = 400, height: int = 400) -> str:
+        self._require_data()
+        points = self._first_series()
+        total = sum(y for _, y in points) or 1.0
+        center_x, center_y, radius = width / 2, height / 2 + 10, min(width, height) / 3
+        elements = [svg_text(10, 20, self.title, size=16)]
+        angle = 0.0
+        for index, (x, y) in enumerate(points):
+            share = y / total
+            sweep = share * 360.0
+            elements.append(svg_wedge(center_x, center_y, radius, angle, angle + sweep,
+                                      fill=_palette(index)))
+            elements.append(svg_text(10, 40 + index * 16, f"{x}: {share * 100:.1f}%", size=11))
+            angle += sweep
+        return svg_document(width, height, elements)
+
+    def _first_series(self) -> list[tuple[Any, float]]:
+        for points in self.series.values():
+            return points
+        return []
+
+
+_DIAGRAM_TYPES: dict[str, Callable[..., Diagram]] = {
+    "bar": BarDiagram,
+    "line": LineDiagram,
+    "pie": PieDiagram,
+}
+
+
+def register_diagram_type(name: str, factory: Callable[..., Diagram]) -> None:
+    """Register a custom diagram type (the paper's extensibility hook)."""
+    _DIAGRAM_TYPES[name.lower()] = factory
+
+
+def available_diagram_types() -> list[str]:
+    return sorted(_DIAGRAM_TYPES)
+
+
+def build_diagram(kind: str, title: str, x_label: str = "", y_label: str = "") -> Diagram:
+    """Instantiate a diagram of ``kind`` (bar/line/pie or a registered custom type)."""
+    factory = _DIAGRAM_TYPES.get(kind.lower())
+    if factory is None:
+        raise ValidationError(
+            f"unknown diagram type {kind!r}; available: {available_diagram_types()}"
+        )
+    return factory(title=title, x_label=x_label, y_label=y_label)
+
+
+def diagram_from_spec(spec: dict[str, Any], results: list[dict[str, Any]]) -> Diagram:
+    """Build a diagram from a system's diagram specification plus result documents."""
+    from repro.analysis.aggregate import pivot
+
+    diagram = build_diagram(spec["kind"], spec.get("title", "diagram"),
+                            x_label=spec.get("x_field", ""), y_label=spec.get("y_field", ""))
+    series = pivot(results, spec["x_field"], spec["y_field"], spec.get("group_field"))
+    for name, points in series.items():
+        diagram.add_series(str(name), points)
+    return diagram
+
+
+def _series_color(name: str) -> str:
+    return _palette(abs(hash(name)) % 8)
+
+
+def _palette(index: int) -> str:
+    colors = ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+              "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"]
+    return colors[index % len(colors)]
+
+
+def _order_key(value: Any) -> tuple:
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (2, str(value))

@@ -1,0 +1,44 @@
+"""Exporting analysed results: CSV, JSON and rendered diagram files."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.analysis.aggregate import ResultTable
+from repro.analysis.diagrams import Diagram
+
+
+def results_to_csv(table: ResultTable) -> str:
+    """Render a :class:`ResultTable` as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=table.columns)
+    writer.writeheader()
+    for row in table.rows:
+        writer.writerow({column: row.get(column) for column in table.columns})
+    return buffer.getvalue()
+
+
+def results_to_json(results: Iterable[dict[str, Any]], indent: int = 2) -> str:
+    """Serialise raw result documents as pretty-printed JSON."""
+    return json.dumps(list(results), sort_keys=True, indent=indent)
+
+
+def write_csv(table: ResultTable, path: str | Path) -> Path:
+    """Write a CSV export to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(results_to_csv(table), encoding="utf-8")
+    return path
+
+
+def write_diagram_svg(diagram: Diagram, path: str | Path, width: int = 640,
+                      height: int = 360) -> Path:
+    """Render ``diagram`` to an SVG file at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(diagram.render_svg(width=width, height=height), encoding="utf-8")
+    return path

@@ -1,0 +1,93 @@
+"""Standard metrics: execution time, throughput, latency statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Summary statistics of one series of measurements."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+    p50: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stddev": self.stddev,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def summarize(values: Iterable[float]) -> MetricSummary:
+    """Summary statistics (mean, spread, percentiles) of ``values``."""
+    data = sorted(float(value) for value in values)
+    if not data:
+        raise ValidationError("cannot summarise an empty series")
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((value - mean) ** 2 for value in data) / count
+    return MetricSummary(
+        count=count,
+        mean=mean,
+        minimum=data[0],
+        maximum=data[-1],
+        stddev=math.sqrt(variance),
+        p50=percentile(data, 50),
+        p95=percentile(data, 95),
+        p99=percentile(data, 99),
+    )
+
+
+def percentile(sorted_values: list[float], rank: float) -> float:
+    """Linear-interpolated percentile of an already-sorted series."""
+    if not sorted_values:
+        raise ValidationError("cannot compute a percentile of an empty series")
+    if not 0 <= rank <= 100:
+        raise ValidationError("percentile rank must lie in [0, 100]")
+    position = (rank / 100.0) * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction
+
+
+def throughput(operation_count: int, elapsed_seconds: float) -> float:
+    """Operations per second; zero elapsed time yields zero throughput."""
+    if operation_count < 0 or elapsed_seconds < 0:
+        raise ValidationError("operation_count and elapsed_seconds must be non-negative")
+    if elapsed_seconds == 0:
+        return 0.0
+    return operation_count / elapsed_seconds
+
+
+def latency_percentiles(latencies_seconds: Iterable[float],
+                        ranks: tuple[float, ...] = (50, 95, 99)) -> dict[str, float]:
+    """Latency percentiles in milliseconds keyed as ``p<rank>``."""
+    data = sorted(float(value) for value in latencies_seconds)
+    if not data:
+        return {f"p{int(rank)}": 0.0 for rank in ranks}
+    return {f"p{int(rank)}": percentile(data, rank) * 1000.0 for rank in ranks}
+
+
+def execution_time(started_at: float, finished_at: float) -> float:
+    """The paper's standard metric: wall-clock execution time of a job."""
+    if finished_at < started_at:
+        raise ValidationError("finished_at must not precede started_at")
+    return finished_at - started_at

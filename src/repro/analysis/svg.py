@@ -1,0 +1,46 @@
+"""Minimal SVG element helpers used by the diagram renderers."""
+
+from __future__ import annotations
+
+import math
+
+
+def svg_document(width: int, height: int, elements: list[str]) -> str:
+    """Wrap ``elements`` into a standalone SVG document."""
+    body = "\n  ".join(elements)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">\n  '
+        f'<rect width="{width}" height="{height}" fill="white"/>\n  '
+        f"{body}\n</svg>"
+    )
+
+
+def svg_rect(x: float, y: float, width: float, height: float, fill: str = "#1f77b4") -> str:
+    return (f'<rect x="{x:.1f}" y="{y:.1f}" width="{max(width, 0):.1f}" '
+            f'height="{max(height, 0):.1f}" fill="{fill}"/>')
+
+
+def svg_line(x1: float, y1: float, x2: float, y2: float, stroke: str = "#333333",
+             width_px: float = 1.0) -> str:
+    return (f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width_px}"/>')
+
+
+def svg_text(x: float, y: float, content: str, size: int = 12, fill: str = "#111111") -> str:
+    escaped = (content.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;"))
+    return (f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" fill="{fill}">{escaped}</text>')
+
+
+def svg_wedge(cx: float, cy: float, radius: float, start_degrees: float,
+              end_degrees: float, fill: str = "#1f77b4") -> str:
+    """A pie-chart wedge from ``start_degrees`` to ``end_degrees``."""
+    start = math.radians(start_degrees - 90)
+    end = math.radians(end_degrees - 90)
+    x1, y1 = cx + radius * math.cos(start), cy + radius * math.sin(start)
+    x2, y2 = cx + radius * math.cos(end), cy + radius * math.sin(end)
+    large_arc = 1 if (end_degrees - start_degrees) > 180 else 0
+    return (f'<path d="M {cx:.1f} {cy:.1f} L {x1:.1f} {y1:.1f} '
+            f'A {radius:.1f} {radius:.1f} 0 {large_arc} 1 {x2:.1f} {y2:.1f} Z" '
+            f'fill="{fill}"/>')

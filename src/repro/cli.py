@@ -1,0 +1,200 @@
+"""Command-line interface of the Chronos reproduction.
+
+The original Chronos is operated through its web UI; this reproduction offers
+the same workflows from the command line::
+
+    python -m repro demo                 # run the paper's demo end-to-end
+    python -m repro demo --threads 1 2 4 --query-mix 95:5
+    python -m repro workloads            # YCSB A-F on both engines
+    python -m repro serve --port 8080    # serve the REST API over HTTP
+    python -m repro info                 # package / experiment overview
+
+Every command prints the tables/diagrams that the web UI of Fig. 3d would
+show, using the same analysis pipeline the tests exercise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.aggregate import ResultTable
+from repro.analysis.compare import compare_groups, speedup_table
+from repro.analysis.diagrams import build_diagram
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chronos (EDBT 2020) reproduction: Evaluation-as-a-Service toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the wiredTiger vs mmapv1 demo")
+    demo.add_argument("--threads", type=int, nargs="+", default=[1, 2, 4, 8, 16],
+                      help="client thread counts to sweep")
+    demo.add_argument("--records", type=int, default=200, help="records loaded per job")
+    demo.add_argument("--operations", type=int, default=400, help="operations per job")
+    demo.add_argument("--query-mix", default="50:50", help="read:update ratio")
+    demo.add_argument("--distribution", default="zipfian",
+                      choices=["uniform", "zipfian", "latest", "hotspot"])
+    demo.add_argument("--deployments", type=int, default=1,
+                      help="number of identical deployments to parallelise over")
+    demo.add_argument("--no-diagrams", action="store_true",
+                      help="skip the ASCII diagrams")
+    demo.add_argument("--report-dir", default=None,
+                      help="write a full evaluation report (markdown + SVG) here")
+
+    workloads = subparsers.add_parser("workloads", help="run YCSB A-F on both engines")
+    workloads.add_argument("--threads", type=int, default=8)
+    workloads.add_argument("--records", type=int, default=150)
+    workloads.add_argument("--operations", type=int, default=300)
+
+    serve = subparsers.add_parser("serve", help="serve the Chronos REST API over HTTP")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--data-directory", default=None,
+                       help="directory for the durable metadata store")
+
+    subparsers.add_parser("info", help="show package and experiment overview")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "demo":
+        return _command_demo(arguments)
+    if arguments.command == "workloads":
+        return _command_workloads(arguments)
+    if arguments.command == "serve":
+        return _command_serve(arguments)
+    return _command_info()
+
+
+# -- commands -----------------------------------------------------------------------
+
+
+def _command_demo(arguments) -> int:
+    from repro.demo import prepare_demo, run_demo
+
+    parameters = {
+        "storage_engine": ["wiredtiger", "mmapv1"],
+        "threads": list(arguments.threads),
+        "record_count": arguments.records,
+        "operation_count": arguments.operations,
+        "query_mix": arguments.query_mix,
+        "distribution": arguments.distribution,
+    }
+    setup = prepare_demo(parameters=parameters,
+                         deployments_per_engine_sweep=arguments.deployments)
+    jobs = setup.control.evaluations.jobs(setup.evaluation.id)
+    print(f"evaluation {setup.evaluation.id}: {len(jobs)} jobs "
+          f"on {len(setup.deployment_ids)} deployment(s)")
+    setup = run_demo(setup)
+    print(f"finished: {setup.report.jobs_finished}, failed: {setup.report.jobs_failed}")
+    print()
+
+    table = ResultTable.from_results(setup.results, [
+        "parameters.storage_engine", "parameters.threads",
+        "throughput_ops_per_sec", "latency_p95_ms", "storage_bytes",
+    ]).sort_by("parameters.threads")
+    print(table.to_markdown())
+    print()
+
+    comparison = compare_groups(setup.results, "parameters.storage_engine",
+                                "throughput_ops_per_sec")
+    print(f"winner: {comparison['winner']} "
+          f"({comparison['factor']:.2f}x over {comparison['runner_up']})")
+    for row in speedup_table(setup.results, "parameters.threads",
+                             "throughput_ops_per_sec", "parameters.storage_engine",
+                             baseline_group="mmapv1"):
+        print(f"  threads={row['parameters.threads']:>3}  "
+              f"wiredtiger/mmapv1 = {row.get('wiredtiger_speedup', 0.0):.2f}x")
+
+    if not arguments.no_diagrams:
+        print()
+        diagram = build_diagram("line", "Throughput vs threads",
+                                x_label="threads", y_label="ops/s")
+        from repro.analysis.aggregate import pivot
+
+        for name, points in pivot(setup.results, "parameters.threads",
+                                  "throughput_ops_per_sec",
+                                  "parameters.storage_engine").items():
+            diagram.add_series(str(name), points)
+        print(diagram.render_ascii())
+
+    if arguments.report_dir:
+        from repro.analysis.report import evaluation_report
+
+        report = evaluation_report(setup.control, setup.evaluation.id)
+        path = report.write(arguments.report_dir)
+        print(f"\nreport written to {path}")
+    return 0
+
+
+def _command_workloads(arguments) -> int:
+    from repro.docstore.server import DocumentServer
+    from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+    from repro.workloads.ycsb import CORE_WORKLOADS
+
+    print(f"| workload | wiredTiger (ops/s) | mmapv1 (ops/s) | ratio |")
+    print("| --- | --- | --- | --- |")
+    for name, workload in CORE_WORKLOADS.items():
+        throughputs = {}
+        for engine in ("wiredtiger", "mmapv1"):
+            spec = WorkloadSpec(record_count=arguments.records,
+                                operation_count=arguments.operations,
+                                threads=arguments.threads,
+                                mix=workload.mix, distribution=workload.distribution)
+            result = DocumentBenchmark(DocumentServer(engine), spec).execute_full()
+            throughputs[engine] = result.throughput_ops_per_sec
+        ratio = throughputs["wiredtiger"] / throughputs["mmapv1"]
+        print(f"| {name} | {throughputs['wiredtiger']:,.0f} "
+              f"| {throughputs['mmapv1']:,.0f} | {ratio:.2f}x |")
+    return 0
+
+
+def _command_serve(arguments) -> int:
+    from repro.agents.kvstore_agent import register_kvstore_system
+    from repro.agents.mongodb_agent import register_mongodb_system
+    from repro.core.control import ChronosControl
+    from repro.rest.wire import HttpServerAdapter
+
+    control = ChronosControl(data_directory=arguments.data_directory)
+    admin = control.users.get_by_username("admin")
+    if control.systems.get_by_name("mongodb") is None:
+        register_mongodb_system(control, owner_id=admin.id)
+    if control.systems.get_by_name("kvstore") is None:
+        register_kvstore_system(control, owner_id=admin.id)
+    adapter = HttpServerAdapter(control.api, port=arguments.port).start()
+    print(f"Chronos Control REST API listening on {adapter.base_url}/api/v1")
+    print("default credentials: admin / admin  (Ctrl+C to stop)")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        adapter.stop()
+    return 0
+
+
+def _command_info() -> int:
+    print(f"repro {__version__} -- reproduction of 'Chronos: The Swiss Army Knife for "
+          f"Database Evaluations' (EDBT 2020)")
+    print()
+    print("subsystems: core (Chronos Control), agent (Python agent library), docstore")
+    print("  (wiredTiger/mmapv1 SuE), kvstore (second SuE), storage (embedded RDBMS),")
+    print("  rest (versioned API), workloads (YCSB), analysis (metrics + diagrams)")
+    print()
+    print("experiments: E1-E8, see DESIGN.md and EXPERIMENTS.md; regenerate with")
+    print("  pytest benchmarks/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

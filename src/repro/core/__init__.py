@@ -1,0 +1,13 @@
+"""Chronos Control: the heart of the evaluation toolkit.
+
+Implements the data model of the paper (projects, experiments, evaluations,
+jobs, results, systems, deployments), the services around it (users and
+access control, parameter-space expansion, scheduling, failure handling,
+result archiving, the event timeline) and the versioned REST API through
+which Chronos Agents and other clients interact with it.
+"""
+
+from repro.core.control import ChronosControl
+from repro.core.enums import EvaluationStatus, JobStatus, Role
+
+__all__ = ["ChronosControl", "JobStatus", "EvaluationStatus", "Role"]

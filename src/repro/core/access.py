@@ -1,0 +1,61 @@
+"""Project-level access control.
+
+"Access permissions are handled at the level of projects so that every member
+of a project has access to all experiments, evaluations, and their results."
+(Section 2.1).  Administrators may access everything; read-only users may
+view but not modify.
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import Project, User
+from repro.core.enums import Role
+from repro.errors import PermissionDeniedError
+
+
+class AccessControl:
+    """Answers "may this user do that to this project?" questions."""
+
+    @staticmethod
+    def can_view(user: User, project: Project) -> bool:
+        """Members, owners and admins may view a project."""
+        if user.role is Role.ADMIN:
+            return True
+        return user.id == project.owner_id or user.id in project.members
+
+    @staticmethod
+    def can_modify(user: User, project: Project) -> bool:
+        """Owners, members (non read-only) and admins may modify a project."""
+        if user.role is Role.ADMIN:
+            return True
+        if user.role is Role.READONLY:
+            return False
+        return user.id == project.owner_id or user.id in project.members
+
+    @staticmethod
+    def can_administer(user: User, project: Project) -> bool:
+        """Only the owner and admins may manage members or archive the project."""
+        return user.role is Role.ADMIN or user.id == project.owner_id
+
+    # -- enforcement helpers ----------------------------------------------------
+
+    @classmethod
+    def require_view(cls, user: User, project: Project) -> None:
+        if not cls.can_view(user, project):
+            raise PermissionDeniedError(
+                f"user {user.username!r} may not view project {project.name!r}"
+            )
+
+    @classmethod
+    def require_modify(cls, user: User, project: Project) -> None:
+        if not cls.can_modify(user, project):
+            raise PermissionDeniedError(
+                f"user {user.username!r} may not modify project {project.name!r}"
+            )
+
+    @classmethod
+    def require_administer(cls, user: User, project: Project) -> None:
+        if not cls.can_administer(user, project):
+            raise PermissionDeniedError(
+                f"user {user.username!r} may not administer project {project.name!r}"
+            )

@@ -1,0 +1,12 @@
+"""Versioned REST API of Chronos Control.
+
+The API serves two kinds of clients (Section 2.2): Chronos Agents requesting
+job descriptions and submitting results, and external tools integrating
+Chronos into existing evaluation workflows (e.g. a build bot scheduling an
+evaluation after a successful build).  The API is versioned (``v1``, ``v2``)
+so that new clients can use new features while old clients keep working.
+"""
+
+from repro.core.api.app import build_application
+
+__all__ = ["build_application"]

@@ -1,0 +1,29 @@
+"""Assembles the REST application for a Chronos Control instance."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.api import v1, v2
+from repro.rest.application import RestApplication
+from repro.rest.auth import TokenAuthMiddleware
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.control import ChronosControl
+
+PUBLIC_PATHS = ("/login", "/info")
+
+
+def build_application(control: "ChronosControl") -> RestApplication:
+    """Build the versioned REST application for ``control``."""
+    application = RestApplication(base_path="/api")
+
+    def validate(token: str) -> dict:
+        user = control.users.validate_token(token)
+        return {"user": user}
+
+    application.add_middleware(TokenAuthMiddleware(validate, public_paths=PUBLIC_PATHS))
+
+    v1.register(application.version("v1"), control)
+    v2.register(application.version("v2"), control)
+    return application

@@ -1,0 +1,98 @@
+"""Archiving: persisting evaluation settings and results (requirement iv).
+
+Users can archive entire projects, i.e. make their evaluation settings and
+the results persistent (Section 2.1).  In addition to the ``archived`` flag on
+projects and experiments, this module exports a self-contained archive bundle
+(a zip file with every experiment, evaluation, job, parameter set, result and
+log of a project) so an archived evaluation can be reproduced or inspected
+without the live Chronos instance.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.evaluations import EvaluationService
+from repro.core.experiments import ExperimentService
+from repro.core.jobs import JobService
+from repro.core.logs import LogService
+from repro.core.projects import ProjectService
+from repro.core.results import ResultService
+
+
+class ArchiveService:
+    """Builds archive bundles for projects and experiments."""
+
+    def __init__(self, projects: ProjectService, experiments: ExperimentService,
+                 evaluations: EvaluationService, jobs: JobService,
+                 results: ResultService, logs: LogService):
+        self._projects = projects
+        self._experiments = experiments
+        self._evaluations = evaluations
+        self._jobs = jobs
+        self._results = results
+        self._logs = logs
+
+    # -- bundle construction -------------------------------------------------------------
+
+    def project_bundle(self, project_id: str) -> dict[str, Any]:
+        """A JSON-compatible bundle with everything belonging to the project."""
+        project = self._projects.get(project_id)
+        experiments = self._experiments.list(project_id=project_id)
+        bundle: dict[str, Any] = {
+            "project": project.to_row(),
+            "experiments": [],
+        }
+        for experiment in experiments:
+            bundle["experiments"].append(self.experiment_bundle(experiment.id))
+        return bundle
+
+    def experiment_bundle(self, experiment_id: str) -> dict[str, Any]:
+        """A JSON-compatible bundle for one experiment and all its evaluations."""
+        experiment = self._experiments.get(experiment_id)
+        evaluations = self._evaluations.list(experiment_id=experiment_id)
+        bundle: dict[str, Any] = {
+            "experiment": experiment.to_row(),
+            "evaluations": [],
+        }
+        for evaluation in evaluations:
+            jobs = self._evaluations.jobs(evaluation.id)
+            job_entries = []
+            for job in jobs:
+                result = self._results.for_job_or_none(job.id)
+                job_entries.append(
+                    {
+                        "job": job.to_row(),
+                        "result": result.to_row() if result is not None else None,
+                        "log": self._logs.full_text(job.id),
+                    }
+                )
+            bundle["evaluations"].append(
+                {"evaluation": evaluation.to_row(), "jobs": job_entries}
+            )
+        return bundle
+
+    # -- export ----------------------------------------------------------------------------
+
+    def archive_project(self, project_id: str, directory: str | Path) -> Path:
+        """Archive a project: flag it and write its bundle to ``directory``.
+
+        Returns the path of the written zip file.
+        """
+        bundle = self.project_bundle(project_id)
+        project = self._projects.archive(project_id)
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{project.id}-archive.zip"
+        with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr("project.json", json.dumps(bundle, sort_keys=True, indent=2))
+        return path
+
+    @staticmethod
+    def load_bundle(path: str | Path) -> dict[str, Any]:
+        """Read back a project archive bundle written by :meth:`archive_project`."""
+        with zipfile.ZipFile(Path(path), "r") as archive:
+            return json.loads(archive.read("project.json").decode("utf-8"))

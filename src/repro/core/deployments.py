@@ -1,0 +1,76 @@
+"""Deployments: instances of an SuE in specific environments.
+
+Deployments serve two purposes (Section 2.1): evaluating a system in
+different environments/versions simultaneously, and parallelising an
+evaluation over multiple identical deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.entities import Deployment
+from repro.core.repository import Repository
+from repro.storage.database import Database
+from repro.storage.query import and_, eq
+from repro.util.clock import Clock
+from repro.util.ids import IdGenerator
+from repro.util.validation import ensure_non_empty
+
+
+class DeploymentService:
+    """Registers and queries deployments of Systems under Evaluation."""
+
+    def __init__(self, database: Database, clock: Clock, ids: IdGenerator):
+        self._clock = clock
+        self._ids = ids
+        self._deployments = Repository(
+            database, "deployments", Deployment.from_row, lambda d: d.to_row(), "deployment"
+        )
+
+    def register(self, system_id: str, name: str, environment: dict[str, Any] | None = None,
+                 version: str = "") -> Deployment:
+        """Register a deployment of ``system_id`` called ``name``."""
+        ensure_non_empty(name, "deployment name")
+        deployment = Deployment(
+            id=self._ids.next("deployment"),
+            system_id=system_id,
+            name=name,
+            environment=dict(environment or {}),
+            version=version,
+            active=True,
+            created_at=self._clock.now(),
+        )
+        return self._deployments.add(deployment)
+
+    def get(self, deployment_id: str) -> Deployment:
+        return self._deployments.get(deployment_id)
+
+    def list(self, system_id: str | None = None, active_only: bool = False) -> list[Deployment]:
+        """Deployments, optionally filtered by system and active flag."""
+        if system_id is None:
+            deployments = self._deployments.find(None, order_by="created_at")
+        else:
+            deployments = self._deployments.find(eq("system_id", system_id),
+                                                 order_by="created_at")
+        if active_only:
+            deployments = [d for d in deployments if d.active]
+        return deployments
+
+    def active_for_system(self, system_id: str) -> list[Deployment]:
+        return self._deployments.find(
+            and_(eq("system_id", system_id), eq("active", True))
+        )
+
+    def deactivate(self, deployment_id: str) -> Deployment:
+        """Mark a deployment inactive: it no longer receives jobs."""
+        return self._deployments.update(deployment_id, {"active": False})
+
+    def activate(self, deployment_id: str) -> Deployment:
+        return self._deployments.update(deployment_id, {"active": True})
+
+    def update_environment(self, deployment_id: str, environment: dict[str, Any]) -> Deployment:
+        return self._deployments.update(deployment_id, {"environment": environment})
+
+    def delete(self, deployment_id: str) -> None:
+        self._deployments.delete(deployment_id)

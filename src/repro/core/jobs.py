@@ -1,0 +1,191 @@
+"""Job lifecycle: the state machine at the heart of Chronos Control.
+
+A job is the run of a benchmark for one specific parameter set.  The paper
+defines the states *scheduled*, *running*, *finished*, *aborted* and
+*failed*; scheduled or running jobs can be aborted and failed jobs can be
+re-scheduled (Section 2.1).  The job service enforces those transitions,
+tracks progress and heartbeats, and records every change on the job's event
+timeline (Fig. 3c).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.entities import Job
+from repro.core.enums import JOB_TRANSITIONS, EventType, JobStatus
+from repro.core.events import EventService
+from repro.core.repository import Repository
+from repro.errors import StateError
+from repro.storage.database import Database
+from repro.storage.query import and_, eq
+from repro.util.clock import Clock
+from repro.util.ids import IdGenerator
+
+
+class JobService:
+    """Creates jobs and drives their state machine."""
+
+    def __init__(self, database: Database, clock: Clock, ids: IdGenerator,
+                 events: EventService):
+        self._clock = clock
+        self._ids = ids
+        self._events = events
+        self._jobs = Repository(database, "jobs", Job.from_row, lambda j: j.to_row(), "job")
+
+    # -- creation --------------------------------------------------------------------
+
+    def create(self, evaluation_id: str, system_id: str, parameters: dict[str, Any],
+               max_attempts: int = 3) -> Job:
+        """Create a job in state *scheduled*."""
+        job = Job(
+            id=self._ids.next("job"),
+            evaluation_id=evaluation_id,
+            system_id=system_id,
+            parameters=dict(parameters),
+            status=JobStatus.SCHEDULED,
+            max_attempts=max_attempts,
+            created_at=self._clock.now(),
+        )
+        self._jobs.add(job)
+        self._events.record("job", job.id, EventType.SCHEDULED,
+                            f"job created with parameters {sorted(parameters)}")
+        return job
+
+    # -- retrieval ---------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        return self._jobs.get(job_id)
+
+    def list(self, evaluation_id: str | None = None,
+             status: JobStatus | None = None) -> list[Job]:
+        predicates = []
+        if evaluation_id is not None:
+            predicates.append(eq("evaluation_id", evaluation_id))
+        if status is not None:
+            predicates.append(eq("status", status.value))
+        if not predicates:
+            return self._jobs.find(None, order_by="created_at")
+        predicate = predicates[0] if len(predicates) == 1 else and_(*predicates)
+        return self._jobs.find(predicate, order_by="created_at")
+
+    def next_scheduled(self, system_id: str, deployment_id: str | None = None) -> Job | None:
+        """The oldest scheduled job for ``system_id`` (FIFO dispatch order)."""
+        jobs = self._jobs.find(
+            and_(eq("system_id", system_id), eq("status", JobStatus.SCHEDULED.value)),
+        )
+        # Ties on created_at are broken by the sequential job id so dispatch
+        # order is deterministic even within one clock tick.
+        jobs.sort(key=lambda job: (job.created_at, job.id))
+        if deployment_id is not None:
+            # Jobs pinned to another deployment are skipped.
+            jobs = [job for job in jobs
+                    if job.deployment_id in (None, deployment_id)]
+        return jobs[0] if jobs else None
+
+    def counts_by_status(self, evaluation_id: str) -> dict[str, int]:
+        """Number of jobs per status for one evaluation."""
+        counts = {status.value: 0 for status in JobStatus}
+        for job in self.list(evaluation_id=evaluation_id):
+            counts[job.status.value] += 1
+        return counts
+
+    # -- state transitions ------------------------------------------------------------------
+
+    def start(self, job_id: str, deployment_id: str) -> Job:
+        """Move a scheduled job to *running* on ``deployment_id``."""
+        job = self._transition(job_id, JobStatus.RUNNING)
+        now = self._clock.now()
+        job = self._jobs.update(job_id, {
+            "deployment_id": deployment_id,
+            "started_at": now,
+            "last_heartbeat": now,
+            "attempts": job.attempts + 1,
+            "progress": 0,
+            "error": None,
+        })
+        self._events.record("job", job_id, EventType.STARTED,
+                            f"job started on deployment {deployment_id}")
+        return job
+
+    def finish(self, job_id: str) -> Job:
+        """Mark a running job as successfully *finished*."""
+        job = self._transition(job_id, JobStatus.FINISHED)
+        job = self._jobs.update(job_id, {
+            "finished_at": self._clock.now(),
+            "progress": 100,
+        })
+        self._events.record("job", job_id, EventType.FINISHED, "job finished")
+        return job
+
+    def fail(self, job_id: str, error: str) -> Job:
+        """Mark a job as *failed* with an error message."""
+        job = self._transition(job_id, JobStatus.FAILED)
+        job = self._jobs.update(job_id, {
+            "finished_at": self._clock.now(),
+            "error": error,
+        })
+        self._events.record("job", job_id, EventType.FAILED, error)
+        return job
+
+    def abort(self, job_id: str) -> Job:
+        """Abort a scheduled or running job."""
+        job = self._transition(job_id, JobStatus.ABORTED)
+        job = self._jobs.update(job_id, {"finished_at": self._clock.now()})
+        self._events.record("job", job_id, EventType.ABORTED, "job aborted by user")
+        return job
+
+    def reschedule(self, job_id: str) -> Job:
+        """Re-schedule a failed job (Fig. 3c's reschedule action)."""
+        job = self._transition(job_id, JobStatus.SCHEDULED)
+        job = self._jobs.update(job_id, {
+            "deployment_id": None,
+            "progress": 0,
+            "error": None,
+            "started_at": None,
+            "finished_at": None,
+            "last_heartbeat": None,
+        })
+        self._events.record("job", job_id, EventType.RESCHEDULED, "job re-scheduled")
+        return job
+
+    # -- progress and heartbeats -------------------------------------------------------------
+
+    def update_progress(self, job_id: str, progress: int) -> Job:
+        """Record agent-reported progress (0-100) and refresh the heartbeat."""
+        progress = max(0, min(100, int(progress)))
+        job = self.get(job_id)
+        if job.status is not JobStatus.RUNNING:
+            raise StateError(f"cannot report progress on a {job.status.value} job")
+        job = self._jobs.update(job_id, {
+            "progress": progress,
+            "last_heartbeat": self._clock.now(),
+        })
+        self._events.record("job", job_id, EventType.PROGRESS, f"progress {progress}%")
+        return job
+
+    def heartbeat(self, job_id: str) -> Job:
+        """Refresh the job's heartbeat without changing progress."""
+        return self._jobs.update(job_id, {"last_heartbeat": self._clock.now()})
+
+    def running_jobs(self) -> list[Job]:
+        return self._jobs.find(eq("status", JobStatus.RUNNING.value))
+
+    def stalled_jobs(self, timeout: float) -> list[Job]:
+        """Running jobs whose last heartbeat is older than ``timeout`` seconds."""
+        now = self._clock.now()
+        return [
+            job for job in self.running_jobs()
+            if job.last_heartbeat is not None and now - job.last_heartbeat > timeout
+        ]
+
+    # -- internals -------------------------------------------------------------------------------
+
+    def _transition(self, job_id: str, target: JobStatus) -> Job:
+        job = self.get(job_id)
+        allowed = JOB_TRANSITIONS[job.status]
+        if target not in allowed:
+            raise StateError(
+                f"job {job_id} cannot move from {job.status.value!r} to {target.value!r}"
+            )
+        return self._jobs.update(job_id, {"status": target.value})

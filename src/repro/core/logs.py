@@ -1,0 +1,54 @@
+"""Job log storage.
+
+During its run, a Chronos Agent "periodically sends the output of the logger
+to Chronos Control" (Section 2.2); the log output is stored with the job and
+shown on the job page (Fig. 3c).
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import LogEntry
+from repro.core.repository import Repository
+from repro.storage.database import Database
+from repro.storage.query import eq
+from repro.util.clock import Clock
+from repro.util.ids import IdGenerator
+
+
+class LogService:
+    """Appends and retrieves the log output of jobs."""
+
+    def __init__(self, database: Database, clock: Clock, ids: IdGenerator):
+        self._clock = clock
+        self._ids = ids
+        self._logs = Repository(
+            database, "job_logs", LogEntry.from_row, lambda e: e.to_row(), "log entry"
+        )
+        self._sequences: dict[str, int] = {}
+
+    def append(self, job_id: str, content: str) -> LogEntry:
+        """Store one chunk of log output for ``job_id``."""
+        sequence = self._next_sequence(job_id)
+        entry = LogEntry(
+            id=self._ids.next("log"),
+            job_id=job_id,
+            sequence=sequence,
+            content=content,
+            timestamp=self._clock.now(),
+        )
+        return self._logs.add(entry)
+
+    def entries(self, job_id: str) -> list[LogEntry]:
+        """All log entries of a job in upload order."""
+        return sorted(self._logs.find_by("job_id", job_id), key=lambda e: e.sequence)
+
+    def full_text(self, job_id: str) -> str:
+        """The concatenated log output of a job."""
+        return "\n".join(entry.content for entry in self.entries(job_id))
+
+    def _next_sequence(self, job_id: str) -> int:
+        if job_id not in self._sequences:
+            existing = self._logs.find_by("job_id", job_id)
+            self._sequences[job_id] = max((e.sequence for e in existing), default=0)
+        self._sequences[job_id] += 1
+        return self._sequences[job_id]

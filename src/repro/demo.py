@@ -1,0 +1,117 @@
+"""End-to-end helpers that wire up the paper's demonstration scenario.
+
+These functions reproduce the two workflows of Section 3 programmatically:
+registering an SuE in Chronos Control and running a complete evaluation (the
+comparative analysis of the wiredTiger and mmapv1 storage engines).  They are
+shared by the examples, the integration tests and the benchmark harnesses so
+that every consumer runs exactly the same workflow the paper demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.agent.fleet import AgentFleet, FleetReport
+from repro.agents.mongodb_agent import MongoDbAgent, register_mongodb_system
+from repro.core.control import ChronosControl
+from repro.core.entities import Evaluation, Experiment, Project, System
+from repro.util.clock import SimulatedClock
+
+
+@dataclass
+class DemoSetup:
+    """Everything created for one demo evaluation."""
+
+    control: ChronosControl
+    system: System
+    project: Project
+    experiment: Experiment
+    evaluation: Evaluation
+    deployment_ids: list[str]
+    report: FleetReport | None = None
+    results: list[dict[str, Any]] = field(default_factory=list)
+
+
+DEFAULT_DEMO_PARAMETERS: dict[str, Any] = {
+    "storage_engine": ["wiredtiger", "mmapv1"],
+    "threads": {"start": 1, "stop": 16, "step": 2, "scale": "geometric"},
+    "record_count": 300,
+    "operation_count": 600,
+    "query_mix": "50:50",
+    "distribution": "zipfian",
+}
+
+
+def build_demo_control() -> ChronosControl:
+    """A Chronos Control instance on a simulated clock (fast and deterministic)."""
+    return ChronosControl(clock=SimulatedClock(), create_admin=True)
+
+
+def prepare_demo(
+    control: ChronosControl | None = None,
+    parameters: dict[str, Any] | None = None,
+    deployments_per_engine_sweep: int = 1,
+    project_name: str = "MongoDB storage engines",
+    experiment_name: str = "wiredTiger vs mmapv1",
+) -> DemoSetup:
+    """Create project, system, deployments, experiment and evaluation (Fig. 3a/3b)."""
+    control = control or build_demo_control()
+    admin = control.users.get_by_username("admin")
+
+    system = control.systems.get_by_name("mongodb") or register_mongodb_system(
+        control, owner_id=admin.id
+    )
+    deployment_ids = [
+        control.deployments.register(
+            system.id,
+            name=f"mongodb-deployment-{index + 1}",
+            environment={"host": f"node{index + 1}", "memory_gb": 16},
+            version="4.0-sim",
+        ).id
+        for index in range(max(1, deployments_per_engine_sweep))
+    ]
+    project = control.projects.create(project_name, admin,
+                                      description="Demonstration of Chronos at work")
+    experiment = control.experiments.create(
+        project_id=project.id,
+        system_id=system.id,
+        name=experiment_name,
+        parameters=parameters or dict(DEFAULT_DEMO_PARAMETERS),
+        description="Comparative performance analysis of two MongoDB storage engines",
+    )
+    evaluation, _jobs = control.evaluations.create(
+        experiment.id, name=f"{experiment_name} evaluation", deployment_ids=deployment_ids
+    )
+    return DemoSetup(
+        control=control,
+        system=system,
+        project=project,
+        experiment=experiment,
+        evaluation=evaluation,
+        deployment_ids=deployment_ids,
+    )
+
+
+def run_demo(setup: DemoSetup, parallel: bool = False) -> DemoSetup:
+    """Execute the demo evaluation with one MongoDB agent per deployment (Fig. 3c/3d)."""
+    fleet = AgentFleet(
+        control=setup.control,
+        system_id=setup.system.id,
+        deployment_ids=setup.deployment_ids,
+        agent_factory=MongoDbAgent,
+        clock=setup.control.clock,
+    )
+    setup.report = fleet.drive_evaluation(setup.evaluation.id, parallel=parallel)
+    jobs = setup.control.evaluations.jobs(setup.evaluation.id)
+    results = setup.control.results.for_jobs([job.id for job in jobs])
+    setup.results = [result.data for result in results]
+    return setup
+
+
+def run_full_demo(parameters: dict[str, Any] | None = None,
+                  deployments: int = 1, parallel: bool = False) -> DemoSetup:
+    """Convenience: prepare and run the complete demo in one call."""
+    setup = prepare_demo(parameters=parameters,
+                         deployments_per_engine_sweep=deployments)
+    return run_demo(setup, parallel=parallel)

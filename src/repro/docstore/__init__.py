@@ -1,0 +1,29 @@
+"""A MongoDB-like document database with pluggable storage engines.
+
+This package is the System under Evaluation (SuE) of the paper's
+demonstration: the comparative evaluation of MongoDB's ``wiredTiger`` and
+``mmapv1`` storage engines.  Since a real MongoDB server is not available in
+this environment, the package implements a document database that exposes the
+same externally visible behaviour the demo depends on:
+
+* databases and collections with CRUD, rich query operators, update
+  operators, secondary indexes and cursors
+  (:mod:`repro.docstore.collection`, :mod:`repro.docstore.matching`,
+  :mod:`repro.docstore.update_ops`),
+* two storage engines with the *mechanisms that make them differ* in the
+  demo: a B-tree based, block-compressed, document-level-locking engine
+  (:mod:`repro.docstore.wiredtiger`) and an extent-based, padded, in-place,
+  collection-level-locking engine (:mod:`repro.docstore.mmapv1`), and
+* a deterministic cost model (:mod:`repro.docstore.cost`) that converts those
+  mechanisms into simulated service times so that experiments finish in
+  seconds while preserving the comparative shape of the original results.
+"""
+
+from repro.docstore.client import DocumentClient
+from repro.docstore.server import DocumentServer
+
+__all__ = ["DocumentServer", "DocumentClient"]
+
+ENGINE_WIREDTIGER = "wiredtiger"
+ENGINE_MMAPV1 = "mmapv1"
+SUPPORTED_ENGINES = (ENGINE_WIREDTIGER, ENGINE_MMAPV1)

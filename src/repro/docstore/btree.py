@@ -1,0 +1,219 @@
+"""A B-tree keyed by record identifier, used by the wiredTiger-like engine.
+
+The tree stores ``key -> value`` pairs in order, splits nodes when they exceed
+the configured order and tracks the number of node accesses so the cost model
+can charge for tree depth.  It deliberately implements only what the engine
+needs: insert, point lookup, delete, in-order iteration and range scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.children: list["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """An order-``order`` B-tree (max ``order - 1`` keys per node)."""
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise ValueError("B-tree order must be at least 4")
+        self._order = order
+        self._root = _Node()
+        self._size = 0
+        self.node_accesses = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        root = self._root
+        if len(root.keys) >= self._order - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        replaced = self._insert_non_full(self._root, key, value)
+        if not replaced:
+            self._size += 1
+
+    def get(self, key: Any) -> tuple[bool, Any]:
+        """Return ``(found, value)`` and record the nodes touched."""
+        node = self._root
+        while True:
+            self.node_accesses += 1
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return True, node.values[index]
+            if node.is_leaf:
+                return False, None
+            node = node.children[index]
+
+    def delete(self, key: Any) -> bool:
+        """Delete ``key``; returns True when it existed.
+
+        Deletion uses a simple tombstone-free strategy: the key is removed
+        from its node; under-full nodes are tolerated (the tree never
+        rebalances on delete).  Lookup and iteration remain correct, which is
+        all the engine requires, while keeping the structure easy to verify.
+        """
+        removed = self._delete(self._root, key)
+        if removed:
+            self._size -= 1
+            self._collapse_root()
+        return removed
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """In-order iteration over ``(key, value)`` pairs."""
+        yield from self._iterate(self._root)
+
+    def range(self, low: Any, high: Any) -> Iterator[tuple[Any, Any]]:
+        """Yield pairs with ``low <= key <= high`` in order."""
+        for key, value in self.items():
+            if low is not None and key < low:
+                continue
+            if high is not None and key > high:
+                return
+            yield key, value
+
+    def depth(self) -> int:
+        """Height of the tree (1 for a lone root leaf)."""
+        depth = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            depth += 1
+        return depth
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if ordering or fan-out invariants are violated."""
+        self._check_node(self._root, lower=None, upper=None, is_root=True)
+
+    # -- internals ------------------------------------------------------------
+
+    def _insert_non_full(self, node: _Node, key: Any, value: Any) -> bool:
+        self.node_accesses += 1
+        index = bisect.bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            node.values[index] = value
+            return True
+        if node.is_leaf:
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            return False
+        child = node.children[index]
+        if len(child.keys) >= self._order - 1:
+            self._split_child(node, index)
+            if key > node.keys[index]:
+                index += 1
+            elif key == node.keys[index]:
+                node.values[index] = value
+                return True
+        return self._insert_non_full(node.children[index], key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        middle = len(child.keys) // 2
+        sibling = _Node()
+        sibling.keys = child.keys[middle + 1:]
+        sibling.values = child.values[middle + 1:]
+        if not child.is_leaf:
+            sibling.children = child.children[middle + 1:]
+            child.children = child.children[: middle + 1]
+        parent.keys.insert(index, child.keys[middle])
+        parent.values.insert(index, child.values[middle])
+        parent.children.insert(index + 1, sibling)
+        child.keys = child.keys[:middle]
+        child.values = child.values[:middle]
+
+    def _delete(self, node: _Node, key: Any) -> bool:
+        self.node_accesses += 1
+        index = bisect.bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.is_leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return True
+            return self._delete_internal(node, index)
+        if node.is_leaf:
+            return False
+        return self._delete(node.children[index], key)
+
+    def _delete_internal(self, node: _Node, index: int) -> bool:
+        """Delete ``node.keys[index]`` from an internal node.
+
+        The key is replaced by its in-order predecessor (or successor) which
+        is then removed from the corresponding subtree.  When both adjacent
+        subtrees hold no keys at all (possible because deletes never
+        rebalance), the key and one empty child are dropped instead.
+        """
+        left, right = node.children[index], node.children[index + 1]
+        predecessor = _last_entry(self._iterate(left))
+        if predecessor is not None:
+            node.keys[index], node.values[index] = predecessor
+            return self._delete(left, predecessor[0])
+        successor = _first_entry(self._iterate(right))
+        if successor is not None:
+            node.keys[index], node.values[index] = successor
+            return self._delete(right, successor[0])
+        node.keys.pop(index)
+        node.values.pop(index)
+        node.children.pop(index + 1)
+        return True
+
+    def _collapse_root(self) -> None:
+        while not self._root.keys and self._root.children:
+            self._root = self._root.children[0]
+
+    def _iterate(self, node: _Node) -> Iterator[tuple[Any, Any]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for position, key in enumerate(node.keys):
+            yield from self._iterate(node.children[position])
+            yield key, node.values[position]
+        yield from self._iterate(node.children[-1])
+
+    def _check_node(self, node: _Node, lower: Any, upper: Any, is_root: bool) -> None:
+        assert len(node.keys) == len(node.values)
+        assert len(node.keys) <= self._order - 1, "node exceeds maximum fan-out"
+        assert node.keys == sorted(node.keys), "keys within a node must be sorted"
+        for key in node.keys:
+            if lower is not None:
+                assert key > lower, "key violates lower bound from parent"
+            if upper is not None:
+                assert key < upper, "key violates upper bound from parent"
+        if not node.is_leaf:
+            assert len(node.children) == len(node.keys) + 1
+            bounds = [lower] + list(node.keys) + [upper]
+            for position, child in enumerate(node.children):
+                self._check_node(child, bounds[position], bounds[position + 1], False)
+
+
+def _first_entry(items: Iterator[tuple[Any, Any]]) -> tuple[Any, Any] | None:
+    for item in items:
+        return item
+    return None
+
+
+def _last_entry(items: Iterator[tuple[Any, Any]]) -> tuple[Any, Any] | None:
+    last = None
+    for item in items:
+        last = item
+    return last

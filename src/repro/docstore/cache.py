@@ -1,0 +1,82 @@
+"""Least-recently-used block cache used by the wiredTiger-like engine."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class LruCache:
+    """Byte-budgeted LRU cache mapping record ids to (size, payload)."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Any, tuple[int, Any]] = OrderedDict()
+        self._used = 0
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, key: Any) -> tuple[bool, Any]:
+        """Return ``(hit, payload)`` and update recency + statistics."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True, self._entries[key][1]
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, key: Any, size: int, payload: Any = None) -> None:
+        """Insert or refresh an entry, evicting LRU entries to fit the budget."""
+        if key in self._entries:
+            self._used -= self._entries[key][0]
+            del self._entries[key]
+        self._entries[key] = (size, payload)
+        self._used += size
+        while self._used > self.capacity_bytes and self._entries:
+            _, (evicted_size, _) = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self.stats.evictions += 1
+
+    def invalidate(self, key: Any) -> None:
+        """Drop ``key`` from the cache if present."""
+        if key in self._entries:
+            self._used -= self._entries[key][0]
+            del self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0

@@ -1,0 +1,116 @@
+"""A driver-style client for the document server.
+
+The evaluation clients (and the MongoDB Chronos agent) talk to the SuE
+through this client rather than holding the server object directly, mirroring
+how the original demo's evaluation client uses the MongoDB Java driver.  The
+client also aggregates per-operation latencies so callers can obtain a
+latency histogram without instrumenting every call site.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.docstore.collection import OperationResult
+from repro.docstore.server import DocumentServer
+
+
+class CollectionHandle:
+    """Client-side handle to a collection; records operation latencies."""
+
+    def __init__(self, client: "DocumentClient", database: str, collection: str):
+        self._client = client
+        self._database = database
+        self._collection = collection
+
+    @property
+    def _target(self):
+        return self._client.server.database(self._database).collection(self._collection)
+
+    def insert_one(self, document: dict[str, Any]) -> OperationResult:
+        return self._record("insert", self._target.insert_one(document))
+
+    def insert_many(self, documents: list[dict[str, Any]]) -> OperationResult:
+        return self._record("insert", self._target.insert_many(documents))
+
+    def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
+        result = self._target.find_with_cost(query or {})
+        self._record("read", result)
+        return result.documents[0] if result.documents else None
+
+    def find(self, query: dict[str, Any] | None = None) -> list[dict[str, Any]]:
+        result = self._target.find_with_cost(query or {})
+        self._record("scan" if not query else "read", result)
+        return result.documents
+
+    def find_with_cost(self, query: dict[str, Any] | None = None) -> OperationResult:
+        """Return matching documents together with the simulated cost."""
+        return self._record("read", self._target.find_with_cost(query or {}))
+
+    def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
+        return self._record("update", self._target.update_one(query, update))
+
+    def update_many(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
+        return self._record("update", self._target.update_many(query, update))
+
+    def delete_one(self, query: dict[str, Any]) -> OperationResult:
+        return self._record("delete", self._target.delete_one(query))
+
+    def delete_many(self, query: dict[str, Any]) -> OperationResult:
+        return self._record("delete", self._target.delete_many(query))
+
+    def count_documents(self, query: dict[str, Any] | None = None) -> int:
+        return self._target.count_documents(query)
+
+    def create_index(self, field_path: str, unique: bool = False) -> str:
+        return self._target.create_index(field_path, unique=unique)
+
+    def stats(self) -> dict[str, Any]:
+        return self._target.stats()
+
+    @property
+    def engine(self):
+        """The storage engine instance backing this collection."""
+        return self._target.engine
+
+    def _record(self, operation: str, result: OperationResult) -> OperationResult:
+        self._client.record_latency(operation, result.simulated_seconds)
+        return result
+
+
+class DocumentClient:
+    """Client connection to one :class:`DocumentServer`."""
+
+    def __init__(self, server: DocumentServer):
+        self.server = server
+        self._latencies: dict[str, list[float]] = {}
+
+    def collection(self, database: str, collection: str) -> CollectionHandle:
+        """Return a handle to ``database.collection``."""
+        return CollectionHandle(self, database, collection)
+
+    def drop_database(self, database: str) -> bool:
+        return self.server.drop_database(database)
+
+    def command(self, command: dict[str, Any]) -> dict[str, Any]:
+        return self.server.run_command(command)
+
+    # -- latency accounting -----------------------------------------------------
+
+    def record_latency(self, operation: str, seconds: float) -> None:
+        self._latencies.setdefault(operation, []).append(seconds)
+
+    def latencies(self, operation: str | None = None) -> list[float]:
+        """All recorded latencies, optionally filtered by operation type."""
+        if operation is not None:
+            return list(self._latencies.get(operation, []))
+        merged: list[float] = []
+        for values in self._latencies.values():
+            merged.extend(values)
+        return merged
+
+    def reset_latencies(self) -> None:
+        self._latencies.clear()
+
+    def operations_recorded(self) -> int:
+        return sum(len(values) for values in self._latencies.values())

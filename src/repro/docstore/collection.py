@@ -1,0 +1,263 @@
+"""Collections: the CRUD surface of the document store.
+
+A collection combines
+
+* a storage engine instance (wiredTiger or mmapv1) holding the documents,
+* an index catalog consulted for equality predicates and maintained on every
+  write, and
+* an ``_id`` primary index (a plain dictionary record-id map -- the engines
+  themselves key records by the ``_id`` value).
+
+Every operation returns an :class:`OperationResult` carrying the simulated
+cost so workload drivers can account latency without real sleeping.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.docstore.cursor import Cursor
+from repro.docstore.documents import validate_document, with_id
+from repro.docstore.engine_base import StorageEngine
+from repro.docstore.indexes import IndexCatalog
+from repro.docstore.matching import equality_value, matches, query_fields
+from repro.docstore.update_ops import apply_update
+from repro.errors import DocumentStoreError, DuplicateKeyError
+
+
+@dataclass
+class OperationResult:
+    """Outcome of a single collection operation.
+
+    Attributes:
+        acknowledged: True for every completed operation.
+        matched_count / modified_count / deleted_count / inserted_ids: the
+            usual driver-level counters.
+        simulated_seconds: total simulated service time charged by the engine.
+        documents: result documents for read operations.
+    """
+
+    acknowledged: bool = True
+    matched_count: int = 0
+    modified_count: int = 0
+    deleted_count: int = 0
+    inserted_ids: list[str] = field(default_factory=list)
+    simulated_seconds: float = 0.0
+    documents: list[dict[str, Any]] = field(default_factory=list)
+
+
+class Collection:
+    """A named set of documents stored in one engine."""
+
+    def __init__(self, name: str, engine: StorageEngine):
+        self.name = name
+        self.engine = engine
+        self.indexes = IndexCatalog()
+        self._ids: set[str] = set()
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert_one(self, document: dict[str, Any]) -> OperationResult:
+        """Insert a single document (an ``_id`` is generated when missing)."""
+        validate_document(document)
+        stored = with_id(document)
+        record_id = str(stored["_id"])
+        if record_id in self._ids:
+            raise DuplicateKeyError(
+                f"duplicate _id {record_id!r} in collection {self.name!r}"
+            )
+        self.indexes.add_document(record_id, stored)
+        with self.engine.locks.write(record_id):
+            cost = self.engine.insert(record_id, stored)
+            cost += self.engine.index_maintenance_cost(len(self.indexes))
+        self._ids.add(record_id)
+        return OperationResult(
+            inserted_ids=[record_id], modified_count=0, simulated_seconds=cost
+        )
+
+    def insert_many(self, documents: list[dict[str, Any]]) -> OperationResult:
+        """Insert several documents; cost is the sum of the individual inserts."""
+        combined = OperationResult()
+        for document in documents:
+            result = self.insert_one(document)
+            combined.inserted_ids.extend(result.inserted_ids)
+            combined.simulated_seconds += result.simulated_seconds
+        return combined
+
+    def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
+        """Apply ``update`` to the first document matching ``query``."""
+        record_id, document, find_cost = self._find_first(query)
+        if record_id is None:
+            return OperationResult(matched_count=0, simulated_seconds=find_cost)
+        new_document = apply_update(document, update)
+        validate_document(new_document)
+        self.indexes.remove_document(record_id, document)
+        self.indexes.add_document(record_id, new_document)
+        with self.engine.locks.write(record_id):
+            cost = self.engine.update(record_id, new_document)
+            cost += self.engine.index_maintenance_cost(len(self.indexes))
+        return OperationResult(
+            matched_count=1,
+            modified_count=0 if new_document == document else 1,
+            simulated_seconds=find_cost + cost,
+        )
+
+    def update_many(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
+        """Apply ``update`` to every matching document."""
+        matches_found = self._find_all(query)
+        total_cost = matches_found.simulated_seconds
+        modified = 0
+        for document in matches_found.documents:
+            record_id = str(document["_id"])
+            new_document = apply_update(document, update)
+            validate_document(new_document)
+            self.indexes.remove_document(record_id, document)
+            self.indexes.add_document(record_id, new_document)
+            with self.engine.locks.write(record_id):
+                total_cost += self.engine.update(record_id, new_document)
+                total_cost += self.engine.index_maintenance_cost(len(self.indexes))
+            if new_document != document:
+                modified += 1
+        return OperationResult(
+            matched_count=len(matches_found.documents),
+            modified_count=modified,
+            simulated_seconds=total_cost,
+        )
+
+    def replace_one(self, query: dict[str, Any], replacement: dict[str, Any]) -> OperationResult:
+        """Replace the first matching document wholesale."""
+        if any(key.startswith("$") for key in replacement):
+            raise DocumentStoreError("replacement documents may not contain operators")
+        return self.update_one(query, replacement)
+
+    def delete_one(self, query: dict[str, Any]) -> OperationResult:
+        """Delete the first document matching ``query``."""
+        record_id, document, find_cost = self._find_first(query)
+        if record_id is None:
+            return OperationResult(deleted_count=0, simulated_seconds=find_cost)
+        self.indexes.remove_document(record_id, document)
+        with self.engine.locks.write(record_id):
+            cost = self.engine.delete(record_id)
+        self._ids.discard(record_id)
+        return OperationResult(deleted_count=1, simulated_seconds=find_cost + cost)
+
+    def delete_many(self, query: dict[str, Any]) -> OperationResult:
+        """Delete every document matching ``query``."""
+        matches_found = self._find_all(query)
+        total_cost = matches_found.simulated_seconds
+        for document in matches_found.documents:
+            record_id = str(document["_id"])
+            self.indexes.remove_document(record_id, document)
+            with self.engine.locks.write(record_id):
+                total_cost += self.engine.delete(record_id)
+            self._ids.discard(record_id)
+        return OperationResult(
+            deleted_count=len(matches_found.documents), simulated_seconds=total_cost
+        )
+
+    # -- reads ---------------------------------------------------------------------
+
+    def find(self, query: dict[str, Any] | None = None,
+             projection: dict[str, int] | None = None) -> Cursor:
+        """Return a cursor over documents matching ``query`` (all when None)."""
+        query = query or {}
+        return Cursor(lambda: self._find_all(query).documents, projection)
+
+    def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
+        """Return the first matching document or ``None``."""
+        __, document, __cost = self._find_first(query or {})
+        return document
+
+    def find_with_cost(self, query: dict[str, Any] | None = None) -> OperationResult:
+        """Like :meth:`find` but returns documents *and* the simulated cost."""
+        return self._find_all(query or {})
+
+    def count_documents(self, query: dict[str, Any] | None = None) -> int:
+        """Number of documents matching ``query``."""
+        if not query:
+            return self.engine.count()
+        return len(self._find_all(query).documents)
+
+    # -- index management -------------------------------------------------------------
+
+    def create_index(self, field_path: str, unique: bool = False) -> str:
+        """Create a secondary index on ``field_path`` and backfill it."""
+        index = self.indexes.create(field_path, unique=unique)
+        for record_id, document, __ in self.engine.scan():
+            index.add(record_id, document)
+        return field_path
+
+    def drop_index(self, field_path: str) -> bool:
+        return self.indexes.drop(field_path)
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """A ``collStats``-style document including engine statistics."""
+        engine_stats = self.engine.statistics()
+        engine_stats["collection"] = self.name
+        engine_stats["indexes"] = self.indexes.names()
+        return engine_stats
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _find_all(self, query: dict[str, Any]) -> OperationResult:
+        candidates, lookup_cost = self._candidates(query)
+        documents: list[dict[str, Any]] = []
+        total_cost = lookup_cost
+        for record_id in candidates:
+            with self.engine.locks.read(record_id):
+                document, cost = self.engine.read(record_id)
+            total_cost += cost
+            if document is not None and matches(document, query):
+                documents.append(document)
+        return OperationResult(documents=documents, simulated_seconds=total_cost,
+                               matched_count=len(documents))
+
+    def _find_first(self, query: dict[str, Any]) -> tuple[str | None, dict[str, Any] | None, float]:
+        candidates, lookup_cost = self._candidates(query)
+        total_cost = lookup_cost
+        for record_id in candidates:
+            with self.engine.locks.read(record_id):
+                document, cost = self.engine.read(record_id)
+            total_cost += cost
+            if document is not None and matches(document, query):
+                return record_id, document, total_cost
+        return None, None, total_cost
+
+    def _candidates(self, query: dict[str, Any]) -> tuple[list[str], float]:
+        """Choose the candidate record ids for ``query`` using available indexes."""
+        # Point lookup by _id.
+        pinned, value = equality_value(query, "_id")
+        if pinned:
+            record_id = str(value)
+            return ([record_id] if record_id in self._ids else []), 0.0
+        # Equality over an indexed field.
+        for field_path in query_fields(query):
+            index = self.indexes.get(field_path)
+            if index is None:
+                continue
+            pinned, value = equality_value(query, field_path)
+            if pinned:
+                cost = len(self.indexes) * self.engine.parameters.node_access
+                return sorted(index.lookup(value)), cost
+        # Full scan: charge the engine's scan cost.
+        documents: list[str] = []
+        scan_cost = 0.0
+        for record_id, __, cost in self.engine.scan():
+            documents.append(record_id)
+            scan_cost += cost
+        return documents, scan_cost
+
+    def __len__(self) -> int:
+        return self.engine.count()
+
+    def __repr__(self) -> str:
+        return f"Collection({self.name!r}, engine={self.engine.name!r}, documents={len(self)})"
+
+
+def deep_copy_document(document: dict[str, Any]) -> dict[str, Any]:
+    """Deep copy helper exported for tests."""
+    return copy.deepcopy(document)

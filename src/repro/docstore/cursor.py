@@ -1,0 +1,108 @@
+"""Cursors: lazy result sets with sort, skip, limit and projection."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+
+class Cursor:
+    """Iterates over query results, applying sort / skip / limit / projection.
+
+    The cursor is lazy with respect to the caller but materialises the
+    matching documents on first use (sorting requires it anyway for the query
+    shapes the benchmarks issue).
+    """
+
+    def __init__(
+        self,
+        fetch: Callable[[], list[dict[str, Any]]],
+        projection: dict[str, int] | None = None,
+    ):
+        self._fetch = fetch
+        self._projection = projection
+        self._sort_spec: list[tuple[str, int]] = []
+        self._skip = 0
+        self._limit: int | None = None
+        self._materialised: list[dict[str, Any]] | None = None
+
+    # -- fluent modifiers ------------------------------------------------------
+
+    def sort(self, field: str, direction: int = 1) -> "Cursor":
+        """Sort by ``field`` ascending (1) or descending (-1)."""
+        self._assert_not_started()
+        self._sort_spec.append((field, direction))
+        return self
+
+    def skip(self, count: int) -> "Cursor":
+        """Skip the first ``count`` results."""
+        self._assert_not_started()
+        self._skip = max(0, count)
+        return self
+
+    def limit(self, count: int) -> "Cursor":
+        """Return at most ``count`` results."""
+        self._assert_not_started()
+        self._limit = max(0, count)
+        return self
+
+    # -- consumption --------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._results())
+
+    def __len__(self) -> int:
+        return len(self._results())
+
+    def to_list(self) -> list[dict[str, Any]]:
+        """Return all results as a list."""
+        return list(self._results())
+
+    def first(self) -> dict[str, Any] | None:
+        """Return the first result or ``None``."""
+        results = self._results()
+        return results[0] if results else None
+
+    # -- internals ------------------------------------------------------------------
+
+    def _results(self) -> list[dict[str, Any]]:
+        if self._materialised is None:
+            documents = self._fetch()
+            for field, direction in reversed(self._sort_spec):
+                documents.sort(
+                    key=lambda doc: _sort_key(doc.get(field)),
+                    reverse=direction < 0,
+                )
+            if self._skip:
+                documents = documents[self._skip:]
+            if self._limit is not None:
+                documents = documents[: self._limit]
+            if self._projection:
+                documents = [self._project(doc) for doc in documents]
+            self._materialised = documents
+        return self._materialised
+
+    def _project(self, document: dict[str, Any]) -> dict[str, Any]:
+        include = {field for field, flag in self._projection.items() if flag}
+        exclude = {field for field, flag in self._projection.items() if not flag}
+        if include:
+            projected = {field: document[field] for field in include if field in document}
+            if "_id" not in exclude and "_id" in document:
+                projected["_id"] = document["_id"]
+            return projected
+        return {key: value for key, value in document.items() if key not in exclude}
+
+    def _assert_not_started(self) -> None:
+        if self._materialised is not None:
+            raise RuntimeError("cursor has already been consumed")
+
+
+def _sort_key(value: Any) -> tuple:
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    return (4, str(value))

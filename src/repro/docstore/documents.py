@@ -1,0 +1,166 @@
+"""Document validation, identifier handling and size accounting.
+
+Documents are plain dictionaries restricted to JSON-compatible values (the
+subset of BSON the benchmarks use).  Every document carries an ``_id`` field
+which is generated when absent.  :func:`document_size` approximates the BSON
+wire size; both storage engines use it to drive their space and I/O cost
+accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any
+
+from repro.errors import DocumentStoreError
+
+_COUNTER = itertools.count(1)
+_COUNTER_LOCK = threading.Lock()
+
+
+def new_object_id() -> str:
+    """Return a new unique document identifier.
+
+    Identifiers are sequential (``oid-1``, ``oid-2`` ...) rather than random
+    so that test fixtures and workload traces are reproducible.
+    """
+    with _COUNTER_LOCK:
+        value = next(_COUNTER)
+    return f"oid-{value}"
+
+
+def validate_document(document: Any) -> dict[str, Any]:
+    """Validate a document: a dict with string keys and JSON-compatible values."""
+    if not isinstance(document, dict):
+        raise DocumentStoreError(
+            f"documents must be dictionaries, got {type(document).__name__}"
+        )
+    _validate_value(document, path="")
+    return document
+
+
+def _validate_value(value: Any, path: str) -> None:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, list):
+        for position, item in enumerate(value):
+            _validate_value(item, f"{path}[{position}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise DocumentStoreError(
+                    f"document keys must be strings (at {path or '<root>'}), got {key!r}"
+                )
+            if key.startswith("$"):
+                raise DocumentStoreError(
+                    f"field names may not start with '$' (at {path}.{key})"
+                )
+            _validate_value(item, f"{path}.{key}" if path else key)
+        return
+    raise DocumentStoreError(
+        f"unsupported value type {type(value).__name__} at {path or '<root>'}"
+    )
+
+
+def with_id(document: dict[str, Any]) -> dict[str, Any]:
+    """Return a shallow copy of ``document`` guaranteed to carry an ``_id``."""
+    if "_id" in document:
+        return dict(document)
+    copied = dict(document)
+    copied["_id"] = new_object_id()
+    return copied
+
+
+def document_size(document: Any) -> int:
+    """Approximate the serialised size of ``document`` in bytes."""
+    if document is None:
+        return 1
+    if isinstance(document, bool):
+        return 1
+    if isinstance(document, int):
+        return 8
+    if isinstance(document, float):
+        return 8
+    if isinstance(document, str):
+        return len(document.encode("utf-8")) + 5
+    if isinstance(document, list):
+        return 5 + sum(document_size(item) + 2 for item in document)
+    if isinstance(document, dict):
+        return 5 + sum(
+            len(key.encode("utf-8")) + 2 + document_size(value)
+            for key, value in document.items()
+        )
+    raise DocumentStoreError(f"cannot size value of type {type(document).__name__}")
+
+
+def get_path(document: dict[str, Any], path: str) -> tuple[bool, Any]:
+    """Resolve a dotted ``path`` in ``document``.
+
+    Returns ``(found, value)``; ``found`` is False when any intermediate
+    segment is missing or not a dictionary/list.
+    """
+    current: Any = document
+    for segment in path.split("."):
+        if isinstance(current, dict):
+            if segment not in current:
+                return False, None
+            current = current[segment]
+        elif isinstance(current, list):
+            if not segment.isdigit() or int(segment) >= len(current):
+                return False, None
+            current = current[int(segment)]
+        else:
+            return False, None
+    return True, current
+
+
+def set_path(document: dict[str, Any], path: str, value: Any) -> None:
+    """Set ``value`` at dotted ``path``, creating intermediate objects."""
+    segments = path.split(".")
+    current: Any = document
+    for segment in segments[:-1]:
+        if isinstance(current, list) and segment.isdigit():
+            index = int(segment)
+            while len(current) <= index:
+                current.append({})
+            current = current[index]
+            continue
+        if not isinstance(current, dict):
+            raise DocumentStoreError(f"cannot descend into {segment!r} on {path!r}")
+        if segment not in current:
+            current[segment] = {}
+        elif not isinstance(current[segment], (dict, list)):
+            raise DocumentStoreError(
+                f"cannot set {path!r}: {segment!r} is not a document or array"
+            )
+        current = current[segment]
+    last = segments[-1]
+    if isinstance(current, list) and last.isdigit():
+        index = int(last)
+        while len(current) <= index:
+            current.append(None)
+        current[index] = value
+    elif isinstance(current, dict):
+        current[last] = value
+    else:
+        raise DocumentStoreError(f"cannot set {path!r} on a scalar value")
+
+
+def unset_path(document: dict[str, Any], path: str) -> bool:
+    """Remove the value at dotted ``path``; returns True if something was removed."""
+    segments = path.split(".")
+    current: Any = document
+    for segment in segments[:-1]:
+        if isinstance(current, dict) and segment in current:
+            current = current[segment]
+        elif isinstance(current, list) and segment.isdigit() and int(segment) < len(current):
+            current = current[int(segment)]
+        else:
+            return False
+    last = segments[-1]
+    if isinstance(current, dict) and last in current:
+        del current[last]
+        return True
+    return False

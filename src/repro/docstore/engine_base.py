@@ -1,0 +1,85 @@
+"""Storage engine interface shared by the wiredTiger and mmapv1 simulations."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+from repro.docstore.cost import ConcurrencyProfile, CostAccumulator, CostParameters
+from repro.docstore.locks import LockGranularity, LockManager
+
+
+class StorageEngine(ABC):
+    """Stores document payloads keyed by record id and accounts for their cost.
+
+    A :class:`~repro.docstore.collection.Collection` owns exactly one engine
+    instance.  The engine is responsible for
+
+    * physically storing and retrieving documents,
+    * tracking the simulated on-disk footprint, and
+    * charging simulated service time for each operation via its
+      :class:`~repro.docstore.cost.CostAccumulator`.
+
+    The collection layer handles query matching, secondary indexes and id
+    assignment; engines only ever see opaque record identifiers.
+    """
+
+    name: str = "abstract"
+    lock_granularity: LockGranularity = LockGranularity.COLLECTION
+    concurrency = ConcurrencyProfile(
+        serial_write_fraction=1.0, serial_read_fraction=0.0, parallel_efficiency=0.8
+    )
+
+    def __init__(self, parameters: CostParameters | None = None):
+        self.parameters = parameters or CostParameters()
+        self.costs = CostAccumulator(self.parameters)
+        self.locks = LockManager(self.lock_granularity)
+
+    # -- storage operations --------------------------------------------------
+
+    @abstractmethod
+    def insert(self, record_id: str, document: dict[str, Any]) -> float:
+        """Store a new document; return the simulated cost in seconds."""
+
+    @abstractmethod
+    def read(self, record_id: str) -> tuple[dict[str, Any] | None, float]:
+        """Return ``(document, cost)``; document is None when missing."""
+
+    @abstractmethod
+    def update(self, record_id: str, document: dict[str, Any]) -> float:
+        """Replace the stored document; return the simulated cost."""
+
+    @abstractmethod
+    def delete(self, record_id: str) -> float:
+        """Remove the document; return the simulated cost."""
+
+    @abstractmethod
+    def scan(self) -> Iterator[tuple[str, dict[str, Any], float]]:
+        """Yield ``(record_id, document, cost)`` for every stored document."""
+
+    @abstractmethod
+    def count(self) -> int:
+        """Number of stored documents."""
+
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """Simulated on-disk footprint in bytes (including padding/compression)."""
+
+    # -- reporting --------------------------------------------------------------
+
+    def index_maintenance_cost(self, index_count: int) -> float:
+        """Cost of updating ``index_count`` secondary indexes for one write."""
+        cost = index_count * self.parameters.index_maintenance
+        return self.costs.charge("index_maintenance", cost) if cost else 0.0
+
+    def statistics(self) -> dict[str, Any]:
+        """A statistics document similar to MongoDB's ``collStats``."""
+        return {
+            "engine": self.name,
+            "documents": self.count(),
+            "storage_bytes": self.storage_bytes(),
+            "simulated_seconds": self.costs.total_seconds,
+            "operations": self.costs.snapshot(),
+            "locks": self.locks.stats.snapshot(),
+            "lock_granularity": self.lock_granularity.value,
+        }

@@ -1,0 +1,101 @@
+"""Secondary indexes over document fields.
+
+Indexes map a dotted field path's value to the set of record ids carrying
+that value.  The collection consults them for equality predicates and
+maintains them on every write; engines charge index-maintenance cost per
+affected index so the two storage engines stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.docstore.documents import get_path
+from repro.errors import DuplicateKeyError
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _hashable(item)) for key, item in value.items()))
+    return value
+
+
+@dataclass
+class SecondaryIndex:
+    """An equality index on one dotted field path."""
+
+    field_path: str
+    unique: bool = False
+    _entries: dict[Any, set[str]] = field(default_factory=dict, repr=False)
+
+    def add(self, record_id: str, document: dict[str, Any]) -> None:
+        found, value = get_path(document, self.field_path)
+        if not found:
+            return
+        key = _hashable(value)
+        bucket = self._entries.setdefault(key, set())
+        if self.unique and bucket and record_id not in bucket:
+            raise DuplicateKeyError(
+                f"duplicate value {value!r} for unique index on {self.field_path!r}"
+            )
+        bucket.add(record_id)
+
+    def remove(self, record_id: str, document: dict[str, Any]) -> None:
+        found, value = get_path(document, self.field_path)
+        if not found:
+            return
+        key = _hashable(value)
+        bucket = self._entries.get(key)
+        if bucket is None:
+            return
+        bucket.discard(record_id)
+        if not bucket:
+            del self._entries[key]
+
+    def lookup(self, value: Any) -> set[str]:
+        """Record ids whose indexed field equals ``value``."""
+        return set(self._entries.get(_hashable(value), set()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())
+
+
+class IndexCatalog:
+    """All secondary indexes of one collection."""
+
+    def __init__(self) -> None:
+        self._indexes: dict[str, SecondaryIndex] = {}
+
+    def create(self, field_path: str, unique: bool = False) -> SecondaryIndex:
+        """Create (or return the existing) index on ``field_path``."""
+        if field_path in self._indexes:
+            return self._indexes[field_path]
+        index = SecondaryIndex(field_path, unique=unique)
+        self._indexes[field_path] = index
+        return index
+
+    def drop(self, field_path: str) -> bool:
+        return self._indexes.pop(field_path, None) is not None
+
+    def get(self, field_path: str) -> SecondaryIndex | None:
+        return self._indexes.get(field_path)
+
+    def names(self) -> list[str]:
+        return sorted(self._indexes)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __iter__(self):
+        return iter(self._indexes.values())
+
+    def add_document(self, record_id: str, document: dict[str, Any]) -> None:
+        for index in self._indexes.values():
+            index.add(record_id, document)
+
+    def remove_document(self, record_id: str, document: dict[str, Any]) -> None:
+        for index in self._indexes.values():
+            index.remove(record_id, document)

@@ -1,0 +1,130 @@
+"""Lock manager modelling the concurrency-control difference between engines.
+
+The demo's central comparison hinges on lock granularity:
+
+* ``mmapv1`` takes a *collection-level* lock for writes -- concurrent writers
+  to the same collection serialise.
+* ``wiredTiger`` uses *document-level* concurrency -- writers only conflict
+  when they touch the same document.
+
+The :class:`LockManager` implements both granularities for functional
+correctness (used when agents drive the store from multiple threads), and
+additionally keeps contention counters that the cost model uses to translate
+blocking into simulated latency for the analytic concurrency model.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class LockGranularity(Enum):
+    """Granularity at which an engine serialises writers."""
+
+    COLLECTION = "collection"
+    DOCUMENT = "document"
+
+
+class LockMode(Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class LockStats:
+    """Counters describing how much contention the lock manager observed."""
+
+    acquisitions: int = 0
+    contentions: int = 0
+    exclusive_acquisitions: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "acquisitions": self.acquisitions,
+            "contentions": self.contentions,
+            "exclusive_acquisitions": self.exclusive_acquisitions,
+        }
+
+
+class _RWLock:
+    """A simple reader/writer lock (writer preference not required here)."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    def acquire(self, mode: LockMode) -> bool:
+        """Acquire the lock; returns True if it had to wait (contention)."""
+        contended = False
+        with self._condition:
+            if mode is LockMode.SHARED:
+                while self._writer:
+                    contended = True
+                    self._condition.wait()
+                self._readers += 1
+            else:
+                while self._writer or self._readers:
+                    contended = True
+                    self._condition.wait()
+                self._writer = True
+        return contended
+
+    def release(self, mode: LockMode) -> None:
+        with self._condition:
+            if mode is LockMode.SHARED:
+                self._readers -= 1
+            else:
+                self._writer = False
+            self._condition.notify_all()
+
+
+@dataclass
+class LockManager:
+    """Grants shared/exclusive locks at the engine's granularity."""
+
+    granularity: LockGranularity
+    stats: LockStats = field(default_factory=LockStats)
+
+    def __post_init__(self) -> None:
+        self._collection_lock = _RWLock()
+        self._document_locks: dict[str, _RWLock] = {}
+        self._registry_lock = threading.Lock()
+
+    @contextmanager
+    def read(self, document_id: str | None = None):
+        """Acquire a shared lock for a read."""
+        lock = self._select_lock(document_id)
+        contended = lock.acquire(LockMode.SHARED)
+        self._record(contended, exclusive=False)
+        try:
+            yield
+        finally:
+            lock.release(LockMode.SHARED)
+
+    @contextmanager
+    def write(self, document_id: str | None = None):
+        """Acquire an exclusive lock for a write at the engine's granularity."""
+        lock = self._select_lock(document_id)
+        contended = lock.acquire(LockMode.EXCLUSIVE)
+        self._record(contended, exclusive=True)
+        try:
+            yield
+        finally:
+            lock.release(LockMode.EXCLUSIVE)
+
+    def _select_lock(self, document_id: str | None) -> _RWLock:
+        if self.granularity is LockGranularity.COLLECTION or document_id is None:
+            return self._collection_lock
+        with self._registry_lock:
+            return self._document_locks.setdefault(document_id, _RWLock())
+
+    def _record(self, contended: bool, exclusive: bool) -> None:
+        self.stats.acquisitions += 1
+        if exclusive:
+            self.stats.exclusive_acquisitions += 1
+        if contended:
+            self.stats.contentions += 1

@@ -1,0 +1,172 @@
+"""Query matching: a MongoDB-style filter language.
+
+Supports the operator subset exercised by the YCSB-style benchmark client and
+the integration tests:
+
+* implicit equality (``{"a": 1}``), dotted paths (``{"a.b": 1}``),
+* comparison operators ``$eq``, ``$ne``, ``$gt``, ``$gte``, ``$lt``, ``$lte``,
+  ``$in``, ``$nin``, ``$exists``,
+* logical operators ``$and``, ``$or``, ``$not``, ``$nor``,
+* array matching: a filter value matches if the field equals it or (for
+  scalars) if any array element equals it, plus ``$size`` and ``$all``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.docstore.documents import get_path
+from repro.errors import DocumentStoreError
+
+_COMPARISON_OPERATORS = {
+    "$eq",
+    "$ne",
+    "$gt",
+    "$gte",
+    "$lt",
+    "$lte",
+    "$in",
+    "$nin",
+    "$exists",
+    "$size",
+    "$all",
+    "$not",
+}
+_LOGICAL_OPERATORS = {"$and", "$or", "$nor"}
+
+
+def matches(document: dict[str, Any], query: dict[str, Any]) -> bool:
+    """Return True when ``document`` satisfies ``query``."""
+    if not isinstance(query, dict):
+        raise DocumentStoreError("queries must be dictionaries")
+    for key, condition in query.items():
+        if key in _LOGICAL_OPERATORS:
+            if not _matches_logical(document, key, condition):
+                return False
+        elif key.startswith("$"):
+            raise DocumentStoreError(f"unknown top-level operator {key!r}")
+        else:
+            if not _matches_field(document, key, condition):
+                return False
+    return True
+
+
+def _matches_logical(document: dict[str, Any], operator: str, condition: Any) -> bool:
+    if not isinstance(condition, list) or not condition:
+        raise DocumentStoreError(f"{operator} expects a non-empty list of queries")
+    results = [matches(document, sub) for sub in condition]
+    if operator == "$and":
+        return all(results)
+    if operator == "$or":
+        return any(results)
+    return not any(results)  # $nor
+
+
+def _matches_field(document: dict[str, Any], path: str, condition: Any) -> bool:
+    found, value = get_path(document, path)
+    if _is_operator_expression(condition):
+        return _matches_operators(found, value, condition)
+    return _values_equal(found, value, condition)
+
+
+def _is_operator_expression(condition: Any) -> bool:
+    return isinstance(condition, dict) and any(
+        key.startswith("$") for key in condition
+    )
+
+
+def _matches_operators(found: bool, value: Any, condition: dict[str, Any]) -> bool:
+    for operator, operand in condition.items():
+        if operator not in _COMPARISON_OPERATORS:
+            raise DocumentStoreError(f"unknown query operator {operator!r}")
+        if not _matches_operator(found, value, operator, operand):
+            return False
+    return True
+
+
+def _matches_operator(found: bool, value: Any, operator: str, operand: Any) -> bool:
+    if operator == "$exists":
+        return found == bool(operand)
+    if operator == "$eq":
+        return _values_equal(found, value, operand)
+    if operator == "$ne":
+        return not _values_equal(found, value, operand)
+    if operator == "$in":
+        return any(_values_equal(found, value, candidate) for candidate in operand)
+    if operator == "$nin":
+        return not any(_values_equal(found, value, candidate) for candidate in operand)
+    if operator == "$not":
+        if not isinstance(operand, dict):
+            raise DocumentStoreError("$not expects an operator expression")
+        return not _matches_operators(found, value, operand)
+    if operator == "$size":
+        return isinstance(value, list) and len(value) == operand
+    if operator == "$all":
+        if not isinstance(value, list):
+            return False
+        return all(candidate in value for candidate in operand)
+    if not found or value is None:
+        return False
+    if not _comparable(value, operand):
+        return False
+    if operator == "$gt":
+        return value > operand
+    if operator == "$gte":
+        return value >= operand
+    if operator == "$lt":
+        return value < operand
+    if operator == "$lte":
+        return value <= operand
+    raise DocumentStoreError(f"unknown query operator {operator!r}")
+
+
+def _values_equal(found: bool, value: Any, expected: Any) -> bool:
+    if not found:
+        return expected is None
+    if _scalar_equal(value, expected):
+        return True
+    if isinstance(value, list) and not isinstance(expected, list):
+        return any(_scalar_equal(item, expected) for item in value)
+    return False
+
+
+def _scalar_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    return left == right
+
+
+def _comparable(left: Any, right: Any) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    return isinstance(left, str) and isinstance(right, str)
+
+
+def query_fields(query: dict[str, Any]) -> set[str]:
+    """Return the set of field paths a query constrains (used for index selection)."""
+    fields: set[str] = set()
+    for key, condition in query.items():
+        if key in _LOGICAL_OPERATORS:
+            for sub in condition:
+                fields.update(query_fields(sub))
+        elif not key.startswith("$"):
+            fields.add(key)
+    return fields
+
+
+def equality_value(query: dict[str, Any], field: str) -> tuple[bool, Any]:
+    """Return ``(True, value)`` if ``query`` pins ``field`` to a single value."""
+    if field not in query:
+        return False, None
+    condition = query[field]
+    if _is_operator_expression(condition):
+        if set(condition) == {"$eq"}:
+            return True, condition["$eq"]
+        if set(condition) == {"$in"} and len(condition["$in"]) == 1:
+            return True, condition["$in"][0]
+        return False, None
+    if isinstance(condition, dict):
+        return False, None
+    return True, condition

@@ -1,0 +1,178 @@
+"""The mmapv1-like storage engine.
+
+Mechanisms modelled:
+
+* documents are appended to extents (contiguous regions doubling in size),
+  each record is allocated with a *padding factor* so small growth can happen
+  in place,
+* no compression: the on-"disk" footprint is the padded document size, so the
+  same logical data occupies considerably more space than under wiredTiger,
+* reads rely on the OS page cache: while the padded data set fits in memory
+  they are very cheap, beyond that a fraction of reads pays for page faults,
+* updates that outgrow their padding move the document (extra cost), and
+* concurrency control is at *collection* granularity, so concurrent writers
+  serialise -- the main reason the engine stops scaling with client threads.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.docstore.cost import ConcurrencyProfile, CostParameters, kilobytes
+from repro.docstore.documents import document_size
+from repro.docstore.engine_base import StorageEngine
+from repro.docstore.locks import LockGranularity
+
+DEFAULT_PADDING_FACTOR = 1.5
+DEFAULT_MEMORY_BYTES = 256 * 1024 * 1024
+_INITIAL_EXTENT_BYTES = 64 * 1024
+_MAX_EXTENT_BYTES = 512 * 1024 * 1024
+
+
+@dataclass
+class _Record:
+    """One stored record: the document plus its padded allocation."""
+
+    document: dict[str, Any]
+    allocated_bytes: int
+    extent: int
+
+
+class MmapV1Engine(StorageEngine):
+    """Extent-based engine with padding, in-place updates and a collection lock."""
+
+    name = "mmapv1"
+    lock_granularity = LockGranularity.COLLECTION
+    concurrency = ConcurrencyProfile(
+        serial_write_fraction=0.95,
+        serial_read_fraction=0.05,
+        parallel_efficiency=0.85,
+    )
+
+    def __init__(
+        self,
+        parameters: CostParameters | None = None,
+        padding_factor: float = DEFAULT_PADDING_FACTOR,
+        memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    ):
+        super().__init__(parameters)
+        if padding_factor < 1.0:
+            raise ValueError("padding_factor must be >= 1.0")
+        self.padding_factor = padding_factor
+        self.memory_bytes = memory_bytes
+        self._records: dict[str, _Record] = {}
+        self._extents: list[int] = []  # bytes used per extent
+        self._extent_capacity: list[int] = []
+        self._document_moves = 0
+
+    # -- StorageEngine interface -------------------------------------------------
+
+    def insert(self, record_id: str, document: dict[str, Any]) -> float:
+        if record_id in self._records:
+            raise KeyError(f"record {record_id!r} already exists")
+        size = document_size(document)
+        allocated = int(size * self.padding_factor)
+        extent = self._allocate(allocated)
+        self._records[record_id] = _Record(copy.deepcopy(document), allocated, extent)
+        cost = (
+            self.parameters.base_operation
+            + self.parameters.node_access  # namespace/extent bookkeeping
+            + kilobytes(allocated) * self.parameters.disk_write_per_kb
+        )
+        return self.costs.charge("insert", cost)
+
+    def read(self, record_id: str) -> tuple[dict[str, Any] | None, float]:
+        record = self._records.get(record_id)
+        cost = self.parameters.base_operation + self.parameters.node_access
+        if record is None:
+            return None, self.costs.charge("read_miss", cost)
+        cost += self._page_fault_cost(record.allocated_bytes)
+        return copy.deepcopy(record.document), self.costs.charge("read", cost)
+
+    def update(self, record_id: str, document: dict[str, Any]) -> float:
+        record = self._records.get(record_id)
+        if record is None:
+            raise KeyError(record_id)
+        new_size = document_size(document)
+        cost = self.parameters.base_operation + self.parameters.node_access
+        if new_size <= record.allocated_bytes:
+            # In-place update: only the touched bytes are flushed.
+            record.document = copy.deepcopy(document)
+            cost += kilobytes(new_size) * self.parameters.disk_write_per_kb
+        else:
+            # Document outgrew its padding: move it to a fresh allocation.
+            allocated = int(new_size * self.padding_factor)
+            extent = self._allocate(allocated)
+            self._free(record.extent, record.allocated_bytes)
+            self._records[record_id] = _Record(copy.deepcopy(document), allocated, extent)
+            self._document_moves += 1
+            cost += (
+                self.parameters.document_move
+                + kilobytes(allocated) * self.parameters.disk_write_per_kb
+            )
+        cost += self._page_fault_cost(new_size)
+        return self.costs.charge("update", cost)
+
+    def delete(self, record_id: str) -> float:
+        record = self._records.pop(record_id, None)
+        if record is None:
+            raise KeyError(record_id)
+        self._free(record.extent, record.allocated_bytes)
+        cost = self.parameters.base_operation + self.parameters.node_access
+        return self.costs.charge("delete", cost)
+
+    def scan(self) -> Iterator[tuple[str, dict[str, Any], float]]:
+        per_document = self.parameters.node_access + self._page_fault_cost(1024) * 0.25
+        for record_id, record in list(self._records.items()):
+            cost = self.costs.charge("scan", per_document)
+            yield record_id, copy.deepcopy(record.document), cost
+
+    def count(self) -> int:
+        return len(self._records)
+
+    def storage_bytes(self) -> int:
+        return sum(self._extent_capacity)
+
+    # -- engine-specific reporting --------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        stats = super().statistics()
+        stats["padding_factor"] = self.padding_factor
+        stats["document_moves"] = self._document_moves
+        stats["extents"] = len(self._extent_capacity)
+        stats["allocated_bytes"] = sum(
+            record.allocated_bytes for record in self._records.values()
+        )
+        return stats
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _allocate(self, size: int) -> int:
+        """Place ``size`` bytes into an extent, growing the file if needed."""
+        for index, (used, capacity) in enumerate(
+            zip(self._extents, self._extent_capacity)
+        ):
+            if used + size <= capacity:
+                self._extents[index] = used + size
+                return index
+        next_capacity = (
+            self._extent_capacity[-1] * 2 if self._extent_capacity else _INITIAL_EXTENT_BYTES
+        )
+        next_capacity = min(max(next_capacity, size), max(_MAX_EXTENT_BYTES, size))
+        self._extent_capacity.append(next_capacity)
+        self._extents.append(size)
+        return len(self._extents) - 1
+
+    def _free(self, extent: int, size: int) -> None:
+        if 0 <= extent < len(self._extents):
+            self._extents[extent] = max(0, self._extents[extent] - size)
+
+    def _page_fault_cost(self, touched_bytes: int) -> float:
+        """Extra read cost once the padded data set exceeds available memory."""
+        resident_fraction = min(
+            1.0, self.memory_bytes / max(self.storage_bytes(), 1)
+        )
+        fault_probability = 1.0 - resident_fraction
+        return fault_probability * kilobytes(touched_bytes) * self.parameters.disk_read_per_kb

@@ -1,0 +1,155 @@
+"""The document database server: databases, collections and server commands.
+
+A :class:`DocumentServer` plays the role of one ``mongod`` instance
+configured with a specific storage engine.  Deployments in Chronos each wrap
+one server instance, which is how the demo compares ``wiredtiger`` and
+``mmapv1`` side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.docstore.collection import Collection
+from repro.docstore.cost import CostParameters
+from repro.docstore.engine_base import StorageEngine
+from repro.docstore.mmapv1 import MmapV1Engine
+from repro.docstore.wiredtiger import WiredTigerEngine
+from repro.errors import DocumentStoreError, NotFoundError
+
+_ENGINE_FACTORIES: dict[str, Callable[..., StorageEngine]] = {
+    "wiredtiger": WiredTigerEngine,
+    "mmapv1": MmapV1Engine,
+}
+
+
+class DatabaseNamespace:
+    """A named database inside one server (a namespace for collections)."""
+
+    def __init__(self, name: str, engine_factory: Callable[[], StorageEngine]):
+        self.name = name
+        self._engine_factory = engine_factory
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Return (creating on first use) the collection called ``name``."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name, self._engine_factory())
+        return self._collections[name]
+
+    def drop_collection(self, name: str) -> bool:
+        return self._collections.pop(name, None) is not None
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "db": self.name,
+            "collections": len(self._collections),
+            "documents": sum(len(coll) for coll in self._collections.values()),
+            "storage_bytes": sum(
+                coll.engine.storage_bytes() for coll in self._collections.values()
+            ),
+        }
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+
+class DocumentServer:
+    """One simulated document-database server process.
+
+    Args:
+        storage_engine: ``"wiredtiger"`` or ``"mmapv1"``.
+        cost_parameters: optional cost-model overrides.
+        engine_options: extra keyword arguments passed to the engine
+            constructor (e.g. ``cache_bytes`` for wiredTiger,
+            ``padding_factor`` for mmapv1).
+    """
+
+    def __init__(
+        self,
+        storage_engine: str = "wiredtiger",
+        cost_parameters: CostParameters | None = None,
+        **engine_options: Any,
+    ):
+        if storage_engine not in _ENGINE_FACTORIES:
+            raise DocumentStoreError(
+                f"unknown storage engine {storage_engine!r}; "
+                f"supported: {sorted(_ENGINE_FACTORIES)}"
+            )
+        self.storage_engine = storage_engine
+        self._cost_parameters = cost_parameters
+        self._engine_options = engine_options
+        self._databases: dict[str, DatabaseNamespace] = {}
+        self._commands_executed = 0
+
+    # -- namespace management ----------------------------------------------------
+
+    def database(self, name: str) -> DatabaseNamespace:
+        """Return (creating on first use) the database called ``name``."""
+        if name not in self._databases:
+            self._databases[name] = DatabaseNamespace(name, self._new_engine)
+        return self._databases[name]
+
+    def drop_database(self, name: str) -> bool:
+        return self._databases.pop(name, None) is not None
+
+    def database_names(self) -> list[str]:
+        return sorted(self._databases)
+
+    def __getitem__(self, name: str) -> DatabaseNamespace:
+        return self.database(name)
+
+    # -- server commands -----------------------------------------------------------
+
+    def run_command(self, command: dict[str, Any]) -> dict[str, Any]:
+        """Execute an administrative command (subset of the MongoDB commands).
+
+        Supported commands: ``ping``, ``serverStatus``, ``dbStats``,
+        ``collStats``, ``buildInfo``.
+        """
+        self._commands_executed += 1
+        if "ping" in command:
+            return {"ok": 1}
+        if "buildInfo" in command:
+            return {"ok": 1, "version": "4.0-sim", "storageEngines": sorted(_ENGINE_FACTORIES)}
+        if "serverStatus" in command:
+            return {"ok": 1, **self.server_status()}
+        if "dbStats" in command:
+            name = command["dbStats"]
+            if name not in self._databases:
+                raise NotFoundError(f"database {name!r} does not exist")
+            return {"ok": 1, **self._databases[name].stats()}
+        if "collStats" in command:
+            namespace = command["collStats"]
+            db_name, _, coll_name = namespace.partition(".")
+            if db_name not in self._databases:
+                raise NotFoundError(f"database {db_name!r} does not exist")
+            database = self._databases[db_name]
+            if coll_name not in database.collection_names():
+                raise NotFoundError(f"collection {namespace!r} does not exist")
+            return {"ok": 1, **database.collection(coll_name).stats()}
+        raise DocumentStoreError(f"unsupported command {sorted(command)!r}")
+
+    def server_status(self) -> dict[str, Any]:
+        """Server-wide statistics (engine, databases, totals)."""
+        return {
+            "storageEngine": {"name": self.storage_engine},
+            "databases": len(self._databases),
+            "commands": self._commands_executed,
+            "totalDocuments": sum(
+                len(database.collection(name))
+                for database in self._databases.values()
+                for name in database.collection_names()
+            ),
+        }
+
+    # -- internals --------------------------------------------------------------------
+
+    def _new_engine(self) -> StorageEngine:
+        factory = _ENGINE_FACTORIES[self.storage_engine]
+        if self._cost_parameters is not None:
+            return factory(parameters=self._cost_parameters, **self._engine_options)
+        return factory(**self._engine_options)

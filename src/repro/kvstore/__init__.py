@@ -1,0 +1,12 @@
+"""A second, simpler System under Evaluation: an embedded key-value store.
+
+The Chronos architecture (Fig. 1) supports many different SuEs at the same
+time.  To exercise that requirement, this package provides a second SuE
+independent of the document store: a key-value store with two interchangeable
+engines (hash table and log-structured with compaction), its own simulated
+cost model and statistics.
+"""
+
+from repro.kvstore.store import HashEngine, KeyValueStore, LogStructuredEngine
+
+__all__ = ["KeyValueStore", "HashEngine", "LogStructuredEngine"]

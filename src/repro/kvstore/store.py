@@ -1,0 +1,219 @@
+"""An embedded key-value store with two engines (the second demo SuE).
+
+* :class:`HashEngine` -- an in-memory hash table with write-through to a
+  simulated data file: constant-time reads, writes pay a random-write cost.
+* :class:`LogStructuredEngine` -- appends every write to a log and keeps an
+  index; reads may have to look at stale entries, and a compaction pass
+  reclaims space.  Writes are cheap (sequential), space amplification grows
+  until compaction.
+
+The store exposes ``get``/``put``/``delete``/``scan`` and per-operation
+simulated costs, mirroring the document store's accounting so the same
+Chronos analysis pipeline can compare runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import DocumentStoreError
+
+
+@dataclass(frozen=True)
+class KvCostParameters:
+    """Cost constants of the key-value engines (seconds)."""
+
+    base_operation: float = 5e-6
+    random_write_per_kb: float = 60e-6
+    sequential_write_per_kb: float = 20e-6
+    read_per_kb: float = 15e-6
+    compaction_per_entry: float = 2e-6
+
+
+def _size_kb(value: str) -> float:
+    return max(len(value.encode("utf-8")), 64) / 1024.0
+
+
+class KvEngine(ABC):
+    """Interface of a key-value storage engine."""
+
+    name = "abstract"
+
+    def __init__(self, parameters: KvCostParameters | None = None):
+        self.parameters = parameters or KvCostParameters()
+        self.simulated_seconds = 0.0
+        self.operations = 0
+
+    @abstractmethod
+    def put(self, key: str, value: str) -> float:
+        """Store ``value`` under ``key``; returns the simulated cost."""
+
+    @abstractmethod
+    def get(self, key: str) -> tuple[str | None, float]:
+        """Return ``(value, cost)``; value is None when the key is absent."""
+
+    @abstractmethod
+    def delete(self, key: str) -> float:
+        """Remove ``key``; returns the simulated cost."""
+
+    @abstractmethod
+    def scan(self) -> Iterator[tuple[str, str]]:
+        """Iterate over live key/value pairs."""
+
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """Simulated on-disk footprint."""
+
+    @abstractmethod
+    def count(self) -> int:
+        """Number of live keys."""
+
+    def _charge(self, cost: float) -> float:
+        self.simulated_seconds += cost
+        self.operations += 1
+        return cost
+
+    def statistics(self) -> dict[str, Any]:
+        return {
+            "engine": self.name,
+            "keys": self.count(),
+            "storage_bytes": self.storage_bytes(),
+            "operations": self.operations,
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+
+class HashEngine(KvEngine):
+    """Hash-table engine: constant-time lookups, random-write update cost."""
+
+    name = "hash"
+
+    def __init__(self, parameters: KvCostParameters | None = None):
+        super().__init__(parameters)
+        self._data: dict[str, str] = {}
+
+    def put(self, key: str, value: str) -> float:
+        self._data[key] = value
+        cost = self.parameters.base_operation + _size_kb(value) * self.parameters.random_write_per_kb
+        return self._charge(cost)
+
+    def get(self, key: str) -> tuple[str | None, float]:
+        value = self._data.get(key)
+        cost = self.parameters.base_operation
+        if value is not None:
+            cost += _size_kb(value) * self.parameters.read_per_kb
+        return value, self._charge(cost)
+
+    def delete(self, key: str) -> float:
+        self._data.pop(key, None)
+        return self._charge(self.parameters.base_operation)
+
+    def scan(self) -> Iterator[tuple[str, str]]:
+        yield from sorted(self._data.items())
+
+    def storage_bytes(self) -> int:
+        return sum(len(key) + len(value) for key, value in self._data.items())
+
+    def count(self) -> int:
+        return len(self._data)
+
+
+class LogStructuredEngine(KvEngine):
+    """Append-only engine with an in-memory index and periodic compaction."""
+
+    name = "log"
+
+    def __init__(self, parameters: KvCostParameters | None = None,
+                 compaction_threshold: float = 2.0):
+        super().__init__(parameters)
+        if compaction_threshold <= 1.0:
+            raise DocumentStoreError("compaction_threshold must be greater than 1")
+        self._log: list[tuple[str, str | None]] = []
+        self._index: dict[str, int] = {}
+        self._compaction_threshold = compaction_threshold
+        self.compactions = 0
+
+    def put(self, key: str, value: str) -> float:
+        self._log.append((key, value))
+        self._index[key] = len(self._log) - 1
+        cost = (self.parameters.base_operation
+                + _size_kb(value) * self.parameters.sequential_write_per_kb)
+        cost += self._maybe_compact()
+        return self._charge(cost)
+
+    def get(self, key: str) -> tuple[str | None, float]:
+        cost = self.parameters.base_operation
+        position = self._index.get(key)
+        if position is None:
+            return None, self._charge(cost)
+        value = self._log[position][1]
+        if value is not None:
+            cost += _size_kb(value) * self.parameters.read_per_kb
+        return value, self._charge(cost)
+
+    def delete(self, key: str) -> float:
+        if key in self._index:
+            self._log.append((key, None))
+            self._index[key] = len(self._log) - 1
+        cost = self.parameters.base_operation + self._maybe_compact()
+        return self._charge(cost)
+
+    def scan(self) -> Iterator[tuple[str, str]]:
+        for key in sorted(self._index):
+            value = self._log[self._index[key]][1]
+            if value is not None:
+                yield key, value
+
+    def storage_bytes(self) -> int:
+        return sum(len(key) + len(value or "") for key, value in self._log)
+
+    def count(self) -> int:
+        return sum(1 for key in self._index if self._log[self._index[key]][1] is not None)
+
+    def compact(self) -> float:
+        """Rewrite the log keeping only the latest live entry per key."""
+        entries = list(self.scan())
+        cost = len(self._log) * self.parameters.compaction_per_entry
+        self._log = [(key, value) for key, value in entries]
+        self._index = {key: position for position, (key, _) in enumerate(self._log)}
+        self.compactions += 1
+        return cost
+
+    def _maybe_compact(self) -> float:
+        live = max(1, self.count())
+        if len(self._log) / live >= self._compaction_threshold and len(self._log) > 16:
+            return self.compact()
+        return 0.0
+
+
+class KeyValueStore:
+    """The key-value SuE: one engine plus a tiny client API."""
+
+    def __init__(self, engine: str = "hash"):
+        if engine == "hash":
+            self.engine: KvEngine = HashEngine()
+        elif engine == "log":
+            self.engine = LogStructuredEngine()
+        else:
+            raise DocumentStoreError(f"unknown key-value engine {engine!r}")
+
+    def put(self, key: str, value: str) -> float:
+        return self.engine.put(key, value)
+
+    def get(self, key: str) -> str | None:
+        value, _ = self.engine.get(key)
+        return value
+
+    def get_with_cost(self, key: str) -> tuple[str | None, float]:
+        return self.engine.get(key)
+
+    def delete(self, key: str) -> float:
+        return self.engine.delete(key)
+
+    def scan(self) -> list[tuple[str, str]]:
+        return list(self.engine.scan())
+
+    def statistics(self) -> dict[str, Any]:
+        return self.engine.statistics()

@@ -1,0 +1,22 @@
+"""HTTP-style REST framework used by Chronos Control's API.
+
+The original Chronos Control exposes a versioned RESTful web service served
+by Apache + PHP.  This package provides the equivalent machinery in-process:
+
+* :mod:`repro.rest.http` -- request/response objects and status codes,
+* :mod:`repro.rest.router` -- path routing with parameters and API versioning,
+* :mod:`repro.rest.application` -- the application object combining routing,
+  JSON (de)serialisation, authentication middleware and error mapping,
+* :mod:`repro.rest.client` -- a convenience client that calls the application
+  the way an HTTP client would (used by the Chronos Agent library).
+
+Keeping the transport in-process preserves the full request/response
+contract (methods, paths, headers, bodies, status codes) while letting tests
+and benchmarks run without sockets.
+"""
+
+from repro.rest.application import RestApplication
+from repro.rest.client import RestClient
+from repro.rest.http import Request, Response
+
+__all__ = ["RestApplication", "RestClient", "Request", "Response"]

@@ -1,0 +1,46 @@
+"""Token-based authentication middleware for the REST application."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AuthenticationError
+from repro.rest.http import Request, Response
+from repro.rest.router import Handler
+
+TokenValidator = Callable[[str], dict]
+
+
+class TokenAuthMiddleware:
+    """Checks the ``Authorization: Bearer <token>`` header on protected paths.
+
+    The validator callback maps a token to an authentication context (e.g.
+    the user row and role); the context is stored in ``request.context`` under
+    ``"auth"`` so handlers can enforce project-level permissions.
+    Paths listed in ``public_paths`` (such as the login endpoint and the API
+    index) bypass authentication.
+    """
+
+    def __init__(self, validator: TokenValidator, public_paths: tuple[str, ...] = ()):
+        self._validator = validator
+        self._public_paths = tuple(public_paths)
+
+    def __call__(self, request: Request, handler: Handler) -> Response:
+        if self._is_public(request.path):
+            return handler(request)
+        token = self._extract_token(request)
+        request.context["auth"] = self._validator(token)
+        return handler(request)
+
+    def _is_public(self, path: str) -> bool:
+        return any(path.endswith(public) for public in self._public_paths)
+
+    @staticmethod
+    def _extract_token(request: Request) -> str:
+        header = request.header("Authorization")
+        if header and header.startswith("Bearer "):
+            return header[len("Bearer "):]
+        token = request.query.get("token")
+        if token:
+            return token
+        raise AuthenticationError("missing authentication token")

@@ -1,0 +1,73 @@
+"""A convenience client for calling a :class:`RestApplication`.
+
+The client mimics the surface of an HTTP client library (``get``, ``post``,
+...), handles the authentication header and raises
+:class:`~repro.errors.ApiError` for error responses when ``raise_for_status``
+is enabled.  Chronos Agents use exactly this interface, so swapping in a real
+network client would not change agent code.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ApiError
+from repro.rest.application import RestApplication
+from repro.rest.http import Response
+
+
+class RestClient:
+    """Calls a REST application in-process the way an HTTP client would."""
+
+    def __init__(
+        self,
+        application: RestApplication,
+        token: str | None = None,
+        raise_for_status: bool = True,
+    ):
+        self._application = application
+        self._token = token
+        self._raise_for_status = raise_for_status
+        self.requests_sent = 0
+
+    # -- authentication ----------------------------------------------------------
+
+    def set_token(self, token: str | None) -> None:
+        """Use ``token`` for subsequent requests."""
+        self._token = token
+
+    # -- HTTP verbs ------------------------------------------------------------------
+
+    def get(self, path: str, query: dict[str, str] | None = None) -> Response:
+        return self._send("GET", path, None, query)
+
+    def post(self, path: str, body: Any = None) -> Response:
+        return self._send("POST", path, body, None)
+
+    def put(self, path: str, body: Any = None) -> Response:
+        return self._send("PUT", path, body, None)
+
+    def patch(self, path: str, body: Any = None) -> Response:
+        return self._send("PATCH", path, body, None)
+
+    def delete(self, path: str) -> Response:
+        return self._send("DELETE", path, None, None)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _send(
+        self, method: str, path: str, body: Any, query: dict[str, str] | None
+    ) -> Response:
+        headers = {}
+        if self._token:
+            headers["Authorization"] = f"Bearer {self._token}"
+        self.requests_sent += 1
+        response = self._application.request(
+            method, path, body=body, query=query, headers=headers
+        )
+        if self._raise_for_status and not response.ok:
+            message = "request failed"
+            if isinstance(response.body, dict):
+                message = response.body.get("error", {}).get("message", message)
+            raise ApiError(f"{method} {path}: {message}", status=response.status)
+        return response

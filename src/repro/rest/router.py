@@ -1,0 +1,98 @@
+"""Path routing with parameters and API versioning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.rest.http import SUPPORTED_METHODS, Request, Response
+
+Handler = Callable[[Request], Response]
+
+
+def _split(path: str) -> list[str]:
+    return [part for part in path.split("/") if part]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered route: method + path template + handler."""
+
+    method: str
+    template: str
+    handler: Handler
+    segments: tuple[str, ...]
+
+    def match(self, method: str, path: str) -> dict[str, str] | None:
+        """Return path parameters when ``method``/``path`` match, else None."""
+        if method != self.method:
+            return None
+        return self.match_path(path)
+
+    def match_path(self, path: str) -> dict[str, str] | None:
+        """Match only the path portion (used for 405 detection)."""
+        parts = _split(path)
+        if len(parts) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for expected, actual in zip(self.segments, parts):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+
+class Router:
+    """Maps (method, path) pairs to handlers.
+
+    Routes are registered with templates such as ``/jobs/{job_id}/logs``.
+    The router distinguishes "no such path" (404) from "path exists but not
+    for this method" (405) the way a well-behaved HTTP API does.
+    """
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix.rstrip("/")
+        self._routes: list[Route] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` on ``template``."""
+        if method not in SUPPORTED_METHODS:
+            raise ValueError(f"unsupported HTTP method {method!r}")
+        full = self.prefix + "/" + template.strip("/")
+        self._routes.append(Route(method, full, handler, tuple(_split(full))))
+
+    def get(self, template: str, handler: Handler) -> None:
+        self.add("GET", template, handler)
+
+    def post(self, template: str, handler: Handler) -> None:
+        self.add("POST", template, handler)
+
+    def put(self, template: str, handler: Handler) -> None:
+        self.add("PUT", template, handler)
+
+    def patch(self, template: str, handler: Handler) -> None:
+        self.add("PATCH", template, handler)
+
+    def delete(self, template: str, handler: Handler) -> None:
+        self.add("DELETE", template, handler)
+
+    def resolve(self, method: str, path: str) -> tuple[Handler | None, dict[str, str], int]:
+        """Find the handler for ``method path``.
+
+        Returns ``(handler, path_params, status)`` where status is 200 when a
+        handler was found, 405 when the path exists under another method and
+        404 otherwise.
+        """
+        path_exists = False
+        for route in self._routes:
+            params = route.match(method, path)
+            if params is not None:
+                return route.handler, params, 200
+            if route.match_path(path) is not None:
+                path_exists = True
+        return None, {}, 405 if path_exists else 404
+
+    def routes(self) -> list[tuple[str, str]]:
+        """All registered (method, template) pairs (for documentation)."""
+        return sorted((route.method, route.template) for route in self._routes)

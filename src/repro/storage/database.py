@@ -1,0 +1,189 @@
+"""Database façade for the embedded relational store."""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.query import Predicate
+from repro.storage.schema import Column, ColumnType, TableSchema
+from repro.storage.table import Table
+from repro.storage.transaction import Transaction
+from repro.storage.wal import NullLog, WriteAheadLog
+
+
+class Database:
+    """A collection of tables with optional durability.
+
+    When constructed with ``directory=None`` the database lives purely in
+    memory (used by unit tests and simulations).  With a directory, every
+    committed mutation is appended to a write-ahead log and the whole state
+    can be checkpointed to a snapshot; :meth:`open` recovers state on restart.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self._tables: dict[str, Table] = {}
+        self._schemas: dict[str, TableSchema] = {}
+        self._lock = threading.RLock()
+        self._log = WriteAheadLog(directory) if directory is not None else NullLog()
+        self._directory = Path(directory) if directory is not None else None
+
+    # -- schema management --------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a new table from ``schema``."""
+        with self._lock:
+            if schema.name in self._tables:
+                raise StorageError(f"table {schema.name!r} already exists")
+            table = Table(schema)
+            self._tables[schema.name] = table
+            self._schemas[schema.name] = schema
+            return table
+
+    def ensure_table(self, schema: TableSchema) -> Table:
+        """Create ``schema`` if missing, otherwise return the existing table."""
+        with self._lock:
+            if schema.name in self._tables:
+                return self._tables[schema.name]
+            return self.create_table(schema)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and all of its rows."""
+        with self._lock:
+            if name not in self._tables:
+                raise StorageError(f"table {name!r} does not exist")
+            del self._tables[name]
+            del self._schemas[name]
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"table {name!r} does not exist") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- convenience single-statement operations -----------------------------
+
+    def insert(self, table: str, row: dict[str, Any]) -> dict[str, Any]:
+        """Insert one row and log it."""
+        with self._lock:
+            stored = self.table(table).insert(row)
+            self._log_commit([{"op": "insert", "table": table, "row": stored}])
+            return stored
+
+    def update(self, table: str, key: Any, changes: dict[str, Any]) -> dict[str, Any]:
+        """Update one row and log it."""
+        with self._lock:
+            updated = self.table(table).update(key, changes)
+            self._log_commit(
+                [{"op": "update", "table": table, "key": key, "changes": changes}]
+            )
+            return updated
+
+    def delete(self, table: str, key: Any) -> dict[str, Any]:
+        """Delete one row and log it."""
+        with self._lock:
+            removed = self.table(table).delete(key)
+            self._log_commit([{"op": "delete", "table": table, "key": key}])
+            return removed
+
+    def get(self, table: str, key: Any) -> dict[str, Any]:
+        return self.table(table).get(key)
+
+    def get_or_none(self, table: str, key: Any) -> dict[str, Any] | None:
+        return self.table(table).get_or_none(key)
+
+    def select(self, table: str, predicate: Predicate | None = None, **kwargs) -> list[dict[str, Any]]:
+        return self.table(table).select(predicate, **kwargs)
+
+    def count(self, table: str, predicate: Predicate | None = None) -> int:
+        return self.table(table).count(predicate)
+
+    def transaction(self) -> Transaction:
+        """Start a new transaction."""
+        return Transaction(self)
+
+    # -- durability -----------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write a snapshot of every table and truncate the WAL."""
+        with self._lock:
+            state = {
+                "tables": {
+                    name: list(table.all_rows()) for name, table in self._tables.items()
+                }
+            }
+            self._log.write_snapshot(state)
+
+    def recover(self) -> int:
+        """Reload state from the snapshot and WAL.
+
+        Tables must already have been (re-)created with their schemas before
+        calling this.  Returns the number of log records replayed.
+        """
+        with self._lock:
+            snapshot = self._log.read_snapshot()
+            if snapshot is not None:
+                for name, rows in snapshot.get("tables", {}).items():
+                    if name not in self._tables:
+                        continue
+                    for row in rows:
+                        self._tables[name].insert(row)
+            replayed = 0
+            for record in self._log.replay():
+                self._apply_logged(record)
+                replayed += 1
+            return replayed
+
+    def close(self) -> None:
+        self._log.close()
+
+    # -- internals --------------------------------------------------------------
+
+    def _log_commit(self, operations: list[dict[str, Any]]) -> None:
+        self._log.append({"commit": operations})
+
+    def _apply_logged(self, record: dict[str, Any]) -> None:
+        for operation in record.get("commit", []):
+            table = self._tables.get(operation["table"])
+            if table is None:
+                continue
+            op = operation["op"]
+            if op == "insert":
+                key = operation["row"][table.schema.primary_key]
+                if table.get_or_none(key) is None:
+                    table.insert(operation["row"])
+            elif op == "update":
+                if table.get_or_none(operation["key"]) is not None:
+                    table.update(operation["key"], operation["changes"])
+            elif op == "delete":
+                if table.get_or_none(operation["key"]) is not None:
+                    table.delete(operation["key"])
+
+
+def simple_schema(
+    name: str,
+    primary_key: str = "id",
+    string_columns: list[str] | None = None,
+    json_columns: list[str] | None = None,
+    indexes: list[str] | None = None,
+    unique: list[str] | None = None,
+) -> TableSchema:
+    """Build a common schema shape: string id, string + JSON payload columns."""
+    columns = [Column(primary_key, ColumnType.STRING, nullable=False)]
+    for column in string_columns or []:
+        columns.append(Column(column, ColumnType.STRING))
+    for column in json_columns or []:
+        columns.append(Column(column, ColumnType.JSON))
+    return TableSchema(
+        name=name,
+        columns=columns,
+        primary_key=primary_key,
+        indexes=indexes or [],
+        unique=unique or [],
+    )

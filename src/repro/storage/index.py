@@ -1,0 +1,107 @@
+"""Secondary index structures for the embedded relational store."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.errors import ConflictError
+
+
+class HashIndex:
+    """Equality index mapping a column value to the set of row keys."""
+
+    def __init__(self, column: str, unique: bool = False):
+        self.column = column
+        self.unique = unique
+        self._entries: dict[Any, set[Any]] = {}
+
+    def insert(self, value: Any, row_key: Any) -> None:
+        """Register ``row_key`` under ``value``.
+
+        Raises :class:`~repro.errors.ConflictError` when a unique constraint
+        would be violated.
+        """
+        bucket = self._entries.setdefault(_hashable(value), set())
+        if self.unique and value is not None and bucket and row_key not in bucket:
+            raise ConflictError(
+                f"duplicate value {value!r} for unique column {self.column!r}"
+            )
+        bucket.add(row_key)
+
+    def remove(self, value: Any, row_key: Any) -> None:
+        key = _hashable(value)
+        bucket = self._entries.get(key)
+        if not bucket:
+            return
+        bucket.discard(row_key)
+        if not bucket:
+            del self._entries[key]
+
+    def lookup(self, value: Any) -> set[Any]:
+        """Return the row keys stored under ``value`` (possibly empty)."""
+        return set(self._entries.get(_hashable(value), set()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())
+
+
+class OrderedIndex:
+    """Sorted index supporting range scans over one column.
+
+    Values are kept in a sorted list of ``(value, row_key)`` pairs; NULL
+    values are not indexed (consistent with the hash index semantics where a
+    NULL never matches a comparison).
+    """
+
+    def __init__(self, column: str):
+        self.column = column
+        self._pairs: list[tuple[Any, Any]] = []
+
+    def insert(self, value: Any, row_key: Any) -> None:
+        if value is None:
+            return
+        bisect.insort(self._pairs, (value, _order_key(row_key)))
+
+    def remove(self, value: Any, row_key: Any) -> None:
+        if value is None:
+            return
+        pair = (value, _order_key(row_key))
+        index = bisect.bisect_left(self._pairs, pair)
+        if index < len(self._pairs) and self._pairs[index] == pair:
+            del self._pairs[index]
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Any]:
+        """Yield row keys whose value lies in ``[low, high]`` (inclusive by default)."""
+        for value, order_key in self._pairs:
+            if low is not None:
+                if value < low or (value == low and not include_low):
+                    continue
+            if high is not None:
+                if value > high or (value == high and not include_high):
+                    break
+            # The order key is ``(type name, original row key)``.
+            yield order_key[1]
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+
+def _hashable(value: Any) -> Any:
+    """Convert un-hashable JSON values into a hashable surrogate."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _hashable(item)) for key, item in value.items()))
+    return value
+
+
+def _order_key(row_key: Any) -> Any:
+    """Make heterogeneous row keys comparable inside the sorted list."""
+    return (type(row_key).__name__, row_key)

@@ -1,0 +1,149 @@
+"""Table schema definitions for the embedded relational store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.errors import StorageError, ValidationError
+
+
+class ColumnType(Enum):
+    """Supported column types.
+
+    ``JSON`` columns accept any JSON-serialisable value and are used for the
+    parameter dictionaries and result documents Chronos stores verbatim.
+    """
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    JSON = "json"
+
+    def validate(self, value: Any) -> Any:
+        """Validate (and lightly coerce) ``value`` for this column type."""
+        if value is None:
+            return None
+        if self is ColumnType.STRING:
+            if not isinstance(value, str):
+                raise ValidationError(f"expected string, got {type(value).__name__}")
+            return value
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValidationError(f"expected integer, got {value!r}")
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValidationError(f"expected float, got {value!r}")
+            return float(value)
+        if self is ColumnType.BOOLEAN:
+            if not isinstance(value, bool):
+                raise ValidationError(f"expected boolean, got {value!r}")
+            return value
+        # JSON accepts anything composed of plain containers and scalars.
+        _validate_json(value)
+        return value
+
+
+def _validate_json(value: Any) -> None:
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return
+    if isinstance(value, list):
+        for item in value:
+            _validate_json(item)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValidationError(f"JSON object keys must be strings, got {key!r}")
+            _validate_json(item)
+        return
+    raise ValidationError(f"value {value!r} is not JSON-serialisable")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single typed column.
+
+    Attributes:
+        name: column name.
+        type: the :class:`ColumnType`.
+        nullable: whether NULL values are accepted.
+        default: value used when the column is omitted on insert.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    default: Any = None
+
+
+@dataclass
+class TableSchema:
+    """Schema of one table: columns, primary key and secondary indexes."""
+
+    name: str
+    columns: list[Column]
+    primary_key: str
+    unique: list[str] = field(default_factory=list)
+    indexes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise StorageError(f"table {self.name!r} has duplicate column names")
+        known = set(names)
+        if self.primary_key not in known:
+            raise StorageError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        for col in list(self.unique) + list(self.indexes):
+            if col not in known:
+                raise StorageError(
+                    f"indexed column {col!r} is not a column of {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise StorageError(f"table {self.name!r} has no column {name!r}")
+
+    def normalise_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Validate a row against the schema and fill in defaults.
+
+        Unknown columns are rejected; missing non-nullable columns without a
+        default raise :class:`~repro.errors.StorageError`.
+        """
+        known = set(self.column_names)
+        unknown = set(row) - known
+        if unknown:
+            raise StorageError(
+                f"unknown column(s) {sorted(unknown)!r} for table {self.name!r}"
+            )
+        normalised: dict[str, Any] = {}
+        for column in self.columns:
+            if column.name in row:
+                value = row[column.name]
+            else:
+                value = column.default
+            if value is None:
+                if not column.nullable and column.name != self.primary_key:
+                    raise StorageError(
+                        f"column {column.name!r} of {self.name!r} may not be NULL"
+                    )
+                normalised[column.name] = None
+                continue
+            try:
+                normalised[column.name] = column.type.validate(value)
+            except ValidationError as exc:
+                raise StorageError(
+                    f"invalid value for {self.name}.{column.name}: {exc}"
+                ) from exc
+        return normalised

@@ -1,0 +1,202 @@
+"""Heap table with primary key and secondary indexes."""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import ConflictError, NotFoundError, StorageError
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.query import Predicate, equality_columns
+from repro.storage.schema import TableSchema
+
+
+class Table:
+    """A single table: rows keyed by primary key, with index maintenance.
+
+    Rows are stored as plain dictionaries.  All returned rows are deep copies
+    so callers can never corrupt the store by mutating results in place.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: dict[Any, dict[str, Any]] = {}
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._ordered_indexes: dict[str, OrderedIndex] = {}
+        for column in schema.unique:
+            if column != schema.primary_key:
+                self._hash_indexes[column] = HashIndex(column, unique=True)
+        for column in schema.indexes:
+            if column not in self._hash_indexes and column != schema.primary_key:
+                self._hash_indexes[column] = HashIndex(column, unique=False)
+                self._ordered_indexes[column] = OrderedIndex(column)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._rows
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Insert a row; returns the stored (normalised) row."""
+        normalised = self.schema.normalise_row(row)
+        key = normalised.get(self.schema.primary_key)
+        if key is None:
+            raise StorageError(
+                f"insert into {self.name!r} is missing primary key "
+                f"{self.schema.primary_key!r}"
+            )
+        if key in self._rows:
+            raise ConflictError(f"duplicate primary key {key!r} in table {self.name!r}")
+        self._check_unique(normalised, exclude_key=None)
+        self._rows[key] = normalised
+        self._index_insert(normalised, key)
+        return copy.deepcopy(normalised)
+
+    def get(self, key: Any) -> dict[str, Any]:
+        """Return the row with primary key ``key`` or raise ``NotFoundError``."""
+        row = self._rows.get(key)
+        if row is None:
+            raise NotFoundError(f"no row with key {key!r} in table {self.name!r}")
+        return copy.deepcopy(row)
+
+    def get_or_none(self, key: Any) -> dict[str, Any] | None:
+        """Return the row with primary key ``key`` or ``None``."""
+        row = self._rows.get(key)
+        return copy.deepcopy(row) if row is not None else None
+
+    def update(self, key: Any, changes: dict[str, Any]) -> dict[str, Any]:
+        """Apply ``changes`` to the row with primary key ``key``."""
+        if key not in self._rows:
+            raise NotFoundError(f"no row with key {key!r} in table {self.name!r}")
+        current = self._rows[key]
+        if self.schema.primary_key in changes and changes[self.schema.primary_key] != key:
+            raise StorageError("primary key columns cannot be updated")
+        merged = dict(current)
+        merged.update(changes)
+        normalised = self.schema.normalise_row(merged)
+        self._check_unique(normalised, exclude_key=key)
+        self._index_remove(current, key)
+        self._rows[key] = normalised
+        self._index_insert(normalised, key)
+        return copy.deepcopy(normalised)
+
+    def delete(self, key: Any) -> dict[str, Any]:
+        """Remove and return the row with primary key ``key``."""
+        if key not in self._rows:
+            raise NotFoundError(f"no row with key {key!r} in table {self.name!r}")
+        row = self._rows.pop(key)
+        self._index_remove(row, key)
+        return copy.deepcopy(row)
+
+    # -- queries ----------------------------------------------------------
+
+    def select(
+        self,
+        predicate: Predicate | None = None,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Return rows matching ``predicate`` (all rows when ``None``)."""
+        rows = [copy.deepcopy(row) for row in self._candidate_rows(predicate)
+                if predicate is None or predicate.matches(row)]
+        if order_by is not None:
+            rows.sort(key=lambda row: _sort_key(row.get(order_by)), reverse=descending)
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    def select_one(self, predicate: Predicate) -> dict[str, Any] | None:
+        """Return the first matching row or ``None``."""
+        matches = self.select(predicate, limit=1)
+        return matches[0] if matches else None
+
+    def count(self, predicate: Predicate | None = None) -> int:
+        """Return the number of rows matching ``predicate``."""
+        if predicate is None:
+            return len(self._rows)
+        return sum(1 for row in self._candidate_rows(predicate) if predicate.matches(row))
+
+    def update_where(
+        self, predicate: Predicate, changes: dict[str, Any]
+    ) -> list[dict[str, Any]]:
+        """Apply ``changes`` to every matching row; return the updated rows."""
+        keys = [row[self.schema.primary_key]
+                for row in self._candidate_rows(predicate)
+                if predicate.matches(row)]
+        return [self.update(key, changes) for key in keys]
+
+    def delete_where(self, predicate: Predicate) -> int:
+        """Delete every matching row; return the number of rows removed."""
+        keys = [row[self.schema.primary_key]
+                for row in self._candidate_rows(predicate)
+                if predicate.matches(row)]
+        for key in keys:
+            self.delete(key)
+        return len(keys)
+
+    def all_rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over copies of every row (used by snapshots)."""
+        for row in self._rows.values():
+            yield copy.deepcopy(row)
+
+    # -- internals ---------------------------------------------------------
+
+    def _candidate_rows(self, predicate: Predicate | None) -> Iterable[dict[str, Any]]:
+        """Use indexes to narrow the rows that must be checked."""
+        equalities = equality_columns(predicate)
+        if self.schema.primary_key in equalities:
+            row = self._rows.get(equalities[self.schema.primary_key])
+            return [row] if row is not None else []
+        for column, value in equalities.items():
+            index = self._hash_indexes.get(column)
+            if index is not None:
+                keys = index.lookup(value)
+                return [self._rows[key] for key in keys if key in self._rows]
+        return list(self._rows.values())
+
+    def _check_unique(self, row: dict[str, Any], exclude_key: Any) -> None:
+        for column, index in self._hash_indexes.items():
+            if not index.unique:
+                continue
+            value = row.get(column)
+            if value is None:
+                continue
+            existing = index.lookup(value) - ({exclude_key} if exclude_key is not None else set())
+            if existing:
+                raise ConflictError(
+                    f"duplicate value {value!r} for unique column "
+                    f"{column!r} in table {self.name!r}"
+                )
+
+    def _index_insert(self, row: dict[str, Any], key: Any) -> None:
+        for column, index in self._hash_indexes.items():
+            index.insert(row.get(column), key)
+        for column, index in self._ordered_indexes.items():
+            index.insert(row.get(column), key)
+
+    def _index_remove(self, row: dict[str, Any], key: Any) -> None:
+        for column, index in self._hash_indexes.items():
+            index.remove(row.get(column), key)
+        for column, index in self._ordered_indexes.items():
+            index.remove(row.get(column), key)
+
+
+def _sort_key(value: Any) -> tuple:
+    """Total order over heterogeneous, possibly-NULL column values."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, str(value))

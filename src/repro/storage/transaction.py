@@ -1,0 +1,95 @@
+"""Transactions with rollback for the embedded relational store.
+
+The store supports single-writer transactions: a transaction buffers its
+writes as an undo journal so that any failure (including mid-transaction
+exceptions in Chronos Control's service layer) leaves the metadata store in
+its pre-transaction state.  Commit appends one WAL record covering every
+operation, making the transaction atomic on disk as well.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TransactionError
+
+
+class Transaction:
+    """A unit of work against a :class:`~repro.storage.database.Database`.
+
+    Instances are created via :meth:`Database.transaction` and used as context
+    managers::
+
+        with db.transaction() as txn:
+            txn.insert("jobs", {...})
+            txn.update("evaluations", "eval-1", {"status": "running"})
+    """
+
+    def __init__(self, database: "Database"):  # noqa: F821 - forward reference
+        self._database = database
+        self._undo: list[Callable[[], None]] = []
+        self._operations: list[dict[str, Any]] = []
+        self._finished = False
+
+    # -- operations ----------------------------------------------------------
+
+    def insert(self, table: str, row: dict[str, Any]) -> dict[str, Any]:
+        """Insert ``row`` into ``table`` within this transaction."""
+        self._ensure_active()
+        stored = self._database.table(table).insert(row)
+        key = stored[self._database.table(table).schema.primary_key]
+        self._undo.append(lambda: self._database.table(table).delete(key))
+        self._operations.append({"op": "insert", "table": table, "row": stored})
+        return stored
+
+    def update(self, table: str, key: Any, changes: dict[str, Any]) -> dict[str, Any]:
+        """Update the row with primary key ``key`` in ``table``."""
+        self._ensure_active()
+        before = self._database.table(table).get(key)
+        updated = self._database.table(table).update(key, changes)
+        self._undo.append(
+            lambda: self._database.table(table).update(key, before)
+        )
+        self._operations.append(
+            {"op": "update", "table": table, "key": key, "changes": changes}
+        )
+        return updated
+
+    def delete(self, table: str, key: Any) -> dict[str, Any]:
+        """Delete the row with primary key ``key`` from ``table``."""
+        self._ensure_active()
+        removed = self._database.table(table).delete(key)
+        self._undo.append(lambda: self._database.table(table).insert(removed))
+        self._operations.append({"op": "delete", "table": table, "key": key})
+        return removed
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make the transaction durable."""
+        self._ensure_active()
+        self._finished = True
+        if self._operations:
+            self._database._log_commit(self._operations)
+
+    def rollback(self) -> None:
+        """Undo every operation performed so far."""
+        if self._finished:
+            return
+        self._finished = True
+        for undo in reversed(self._undo):
+            undo()
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+    def _ensure_active(self) -> None:
+        if self._finished:
+            raise TransactionError("transaction is already committed or rolled back")

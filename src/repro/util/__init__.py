@@ -1,0 +1,22 @@
+"""Shared utilities: identifiers, clocks, validation and JSON helpers."""
+
+from repro.util.clock import Clock, SimulatedClock, SystemClock
+from repro.util.ids import new_id, new_token
+from repro.util.validation import (
+    ensure_in,
+    ensure_non_empty,
+    ensure_positive,
+    ensure_type,
+)
+
+__all__ = [
+    "Clock",
+    "SimulatedClock",
+    "SystemClock",
+    "new_id",
+    "new_token",
+    "ensure_in",
+    "ensure_non_empty",
+    "ensure_positive",
+    "ensure_type",
+]

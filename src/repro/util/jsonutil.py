@@ -1,0 +1,36 @@
+"""JSON helpers with stable formatting and safe round-tripping."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from typing import Any
+
+
+class ChronosJsonEncoder(json.JSONEncoder):
+    """Encoder that understands dataclasses, enums and sets."""
+
+    def default(self, o: Any) -> Any:  # noqa: D102 - documented by base class
+        if dataclasses.is_dataclass(o) and not isinstance(o, type):
+            return dataclasses.asdict(o)
+        if isinstance(o, Enum):
+            return o.value
+        if isinstance(o, (set, frozenset)):
+            return sorted(o)
+        return super().default(o)
+
+
+def dumps(value: Any, indent: int | None = None) -> str:
+    """Serialise ``value`` to JSON with deterministic key ordering."""
+    return json.dumps(value, cls=ChronosJsonEncoder, sort_keys=True, indent=indent)
+
+
+def loads(text: str) -> Any:
+    """Parse a JSON document."""
+    return json.loads(text)
+
+
+def deep_copy_json(value: Any) -> Any:
+    """Return a deep copy of a JSON-compatible value via round-tripping."""
+    return loads(dumps(value))

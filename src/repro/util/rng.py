@@ -1,0 +1,31 @@
+"""Deterministic random number helpers.
+
+All stochastic components (workload generators, simulated failures, cost
+jitter) derive their randomness from an explicit :class:`random.Random`
+instance seeded by the caller, never from the global RNG, so that every
+experiment is reproducible from its parameters alone -- one of the archiving
+guarantees Chronos makes (requirement iv in the paper).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | str | None) -> random.Random:
+    """Return a :class:`random.Random` seeded deterministically.
+
+    String seeds are hashed stably (``random.Random`` accepts them directly
+    and hashes them in a platform-independent way for str).
+    """
+    return random.Random(seed)
+
+
+def derive_rng(parent: random.Random, label: str) -> random.Random:
+    """Derive an independent child RNG from ``parent`` and a label.
+
+    Used to give each job / thread its own stream so that running jobs in a
+    different order does not change their individual results.
+    """
+    seed = parent.random()
+    return random.Random(f"{seed}:{label}")

@@ -1,0 +1,34 @@
+"""Workload generation and benchmark clients for the Systems under Evaluation.
+
+This package plays the role of the evaluation clients in the original demo:
+it generates synthetic records and request streams (YCSB-style key
+distributions and operation mixes) and drives the document store, measuring
+throughput and latency from the engines' simulated service times.
+"""
+
+from repro.workloads.distributions import (
+    HotspotGenerator,
+    KeyDistribution,
+    LatestGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    make_distribution,
+)
+from repro.workloads.generator import RecordGenerator
+from repro.workloads.runner import BenchmarkResult, DocumentBenchmark, WorkloadSpec
+from repro.workloads.ycsb import CORE_WORKLOADS, ycsb_workload
+
+__all__ = [
+    "KeyDistribution",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "LatestGenerator",
+    "HotspotGenerator",
+    "make_distribution",
+    "RecordGenerator",
+    "WorkloadSpec",
+    "DocumentBenchmark",
+    "BenchmarkResult",
+    "CORE_WORKLOADS",
+    "ycsb_workload",
+]

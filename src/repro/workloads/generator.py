@@ -1,0 +1,61 @@
+"""Synthetic record generation for the document-store benchmarks."""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Any
+
+from repro.errors import ValidationError
+
+_ALPHABET = string.ascii_lowercase + string.digits
+
+
+class RecordGenerator:
+    """Generates YCSB-style documents: ``user<N>`` keys with payload fields.
+
+    Each record has ``field_count`` string fields of ``field_length``
+    characters, plus a small set of typed attributes (numeric counter,
+    category, flag) so that query-based workloads have something meaningful
+    to filter and aggregate on.
+    """
+
+    def __init__(self, field_count: int = 10, field_length: int = 100,
+                 categories: int = 10):
+        if field_count <= 0 or field_length <= 0:
+            raise ValidationError("field_count and field_length must be positive")
+        self.field_count = field_count
+        self.field_length = field_length
+        self.categories = max(1, categories)
+
+    def key(self, index: int) -> str:
+        """The primary key of record ``index``."""
+        return f"user{index}"
+
+    def record(self, index: int, rng: random.Random) -> dict[str, Any]:
+        """Generate the document for record ``index``."""
+        document: dict[str, Any] = {"_id": self.key(index)}
+        for field_index in range(self.field_count):
+            document[f"field{field_index}"] = self._payload(rng)
+        document["counter"] = index
+        document["category"] = f"cat{index % self.categories}"
+        document["active"] = bool(index % 2)
+        return document
+
+    def update_fragment(self, rng: random.Random) -> dict[str, Any]:
+        """An update document replacing one random payload field."""
+        field_index = rng.randrange(self.field_count)
+        return {"$set": {f"field{field_index}": self._payload(rng)}}
+
+    def growing_update(self, rng: random.Random, growth_factor: int = 3) -> dict[str, Any]:
+        """An update that grows the document (stresses mmapv1 padding moves)."""
+        field_index = rng.randrange(self.field_count)
+        payload = "".join(rng.choices(_ALPHABET, k=self.field_length * growth_factor))
+        return {"$set": {f"field{field_index}": payload}}
+
+    def approximate_record_bytes(self) -> int:
+        """Rough serialised size of one generated record."""
+        return self.field_count * (self.field_length + 12) + 64
+
+    def _payload(self, rng: random.Random) -> str:
+        return "".join(rng.choices(_ALPHABET, k=self.field_length))

@@ -1,0 +1,236 @@
+"""The document-store benchmark client.
+
+This is the reproduction's equivalent of the MongoDB evaluation client of the
+original demo: it loads a collection with synthetic records, warms the
+engine's caches, runs a timed operation mix, and reports throughput and
+latency percentiles.
+
+Timing model: every collection operation returns the simulated service time
+charged by the storage engine.  Single-threaded latency is that service
+time; with ``threads`` concurrent clients the aggregate throughput is scaled
+by the engine's :class:`~repro.docstore.cost.ConcurrencyProfile` (an
+Amdahl-style model of its lock granularity), and per-operation latency gains
+a queueing component for the serialised fraction.  This keeps runs fast and
+deterministic while preserving the comparative shape between wiredTiger and
+mmapv1 that the demo shows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.docstore.client import CollectionHandle, DocumentClient
+from repro.docstore.server import DocumentServer
+from repro.errors import ValidationError
+from repro.workloads.distributions import KeyDistribution, make_distribution
+from repro.workloads.generator import RecordGenerator
+from repro.workloads.ycsb import OperationMix
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of one benchmark run (one Chronos job in the demo).
+
+    Attributes:
+        record_count: documents loaded before the measured phase.
+        operation_count: operations in the measured phase.
+        threads: number of concurrent client threads to model.
+        mix: operation mix (reads/updates/inserts/scans/RMW).
+        distribution: key distribution name (uniform/zipfian/latest/hotspot).
+        field_count / field_length: record shape.
+        warmup_operations: read operations issued before measuring.
+        scan_length: documents returned per scan operation.
+        seed: RNG seed making the run reproducible.
+    """
+
+    record_count: int = 1000
+    operation_count: int = 2000
+    threads: int = 1
+    mix: OperationMix = field(default_factory=lambda: OperationMix(read=0.95, update=0.05))
+    distribution: str = "zipfian"
+    field_count: int = 10
+    field_length: int = 100
+    warmup_operations: int = 100
+    scan_length: int = 10
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.record_count <= 0 or self.operation_count <= 0:
+            raise ValidationError("record_count and operation_count must be positive")
+        if self.threads <= 0:
+            raise ValidationError("threads must be positive")
+
+
+@dataclass
+class BenchmarkResult:
+    """Measurements of one benchmark run."""
+
+    engine: str
+    threads: int
+    operations: int
+    simulated_seconds: float
+    throughput_ops_per_sec: float
+    latency_avg_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    operation_counts: dict[str, int] = field(default_factory=dict)
+    engine_statistics: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (what the MongoDB agent uploads to Chronos)."""
+        return {
+            "engine": self.engine,
+            "threads": self.threads,
+            "operations": self.operations,
+            "simulated_seconds": self.simulated_seconds,
+            "throughput_ops_per_sec": self.throughput_ops_per_sec,
+            "latency_avg_ms": self.latency_avg_ms,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "operation_counts": dict(self.operation_counts),
+            "engine_statistics": dict(self.engine_statistics),
+        }
+
+
+class DocumentBenchmark:
+    """Loads, warms up and measures one document server with one workload."""
+
+    def __init__(self, server: DocumentServer, spec: WorkloadSpec,
+                 database: str = "benchmark", collection: str = "usertable"):
+        self.server = server
+        self.spec = spec
+        self.client = DocumentClient(server)
+        self.handle: CollectionHandle = self.client.collection(database, collection)
+        self.generator = RecordGenerator(spec.field_count, spec.field_length)
+        self._rng = random.Random(spec.seed)
+        self._distribution: KeyDistribution = make_distribution(
+            spec.distribution, spec.record_count
+        )
+        self._inserted = spec.record_count
+
+    # -- phases ------------------------------------------------------------------------
+
+    def load(self) -> float:
+        """Load phase: insert ``record_count`` documents.  Returns simulated seconds."""
+        total = 0.0
+        for index in range(self.spec.record_count):
+            record = self.generator.record(index, self._rng)
+            total += self.handle.insert_one(record).simulated_seconds
+        self.handle.create_index("category")
+        return total
+
+    def warm_up(self) -> float:
+        """Warm-up phase: touch hot keys so caches are populated."""
+        total = 0.0
+        for _ in range(self.spec.warmup_operations):
+            key = self.generator.key(self._distribution.next_key(self._rng))
+            self.handle.find_one({"_id": key})
+        for value in self.client.latencies("read"):
+            total += value
+        self.client.reset_latencies()
+        return total
+
+    def run(self) -> BenchmarkResult:
+        """Measured phase: execute the operation mix and compute the metrics."""
+        latencies: list[float] = []
+        counts = {"read": 0, "update": 0, "insert": 0, "scan": 0, "read_modify_write": 0}
+        for _ in range(self.spec.operation_count):
+            operation = self._choose_operation()
+            latencies.append(self._execute(operation))
+            counts[operation] += 1
+        return self._summarise(latencies, counts)
+
+    def execute_full(self) -> BenchmarkResult:
+        """Convenience: load, warm up and run."""
+        self.load()
+        self.warm_up()
+        return self.run()
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _choose_operation(self) -> str:
+        roll = self._rng.random()
+        mix = self.spec.mix
+        if roll < mix.read:
+            return "read"
+        roll -= mix.read
+        if roll < mix.update:
+            return "update"
+        roll -= mix.update
+        if roll < mix.insert:
+            return "insert"
+        roll -= mix.insert
+        if roll < mix.scan:
+            return "scan"
+        return "read_modify_write"
+
+    def _execute(self, operation: str) -> float:
+        key = self.generator.key(self._distribution.next_key(self._rng))
+        if operation == "read":
+            return self.handle.find_with_cost({"_id": key}).simulated_seconds
+        if operation == "update":
+            update = self.generator.update_fragment(self._rng)
+            return self.handle.update_one({"_id": key}, update).simulated_seconds
+        if operation == "insert":
+            record = self.generator.record(self._inserted, self._rng)
+            self._inserted += 1
+            self._distribution.grow(self._inserted)
+            return self.handle.insert_one(record).simulated_seconds
+        if operation == "scan":
+            start_index = self._distribution.next_key(self._rng)
+            cost = 0.0
+            for offset in range(self.spec.scan_length):
+                target = self.generator.key((start_index + offset) % max(self._inserted, 1))
+                cost += self.handle.find_with_cost({"_id": target}).simulated_seconds
+            return cost
+        # read-modify-write
+        read_cost = self.handle.find_with_cost({"_id": key}).simulated_seconds
+        update = self.generator.update_fragment(self._rng)
+        write_cost = self.handle.update_one({"_id": key}, update).simulated_seconds
+        return read_cost + write_cost
+
+    def _summarise(self, latencies: list[float], counts: dict[str, int]) -> BenchmarkResult:
+        engine = self.handle.engine
+        concurrency = engine.concurrency
+        threads = self.spec.threads
+        write_ratio = self.spec.mix.write_fraction
+        speedup = concurrency.speedup(threads, write_ratio)
+
+        total_service = sum(latencies)
+        wall_clock = total_service / speedup if speedup > 0 else total_service
+        throughput = len(latencies) / wall_clock if wall_clock > 0 else 0.0
+
+        # Per-operation latency grows with queueing on the serialised fraction.
+        contention_factor = threads / speedup if speedup > 0 else 1.0
+        adjusted = sorted(value * contention_factor for value in latencies)
+        return BenchmarkResult(
+            engine=engine.name,
+            threads=threads,
+            operations=len(latencies),
+            simulated_seconds=wall_clock,
+            throughput_ops_per_sec=throughput,
+            latency_avg_ms=_mean(adjusted) * 1000.0,
+            latency_p50_ms=_percentile(adjusted, 50) * 1000.0,
+            latency_p95_ms=_percentile(adjusted, 95) * 1000.0,
+            latency_p99_ms=_percentile(adjusted, 99) * 1000.0,
+            operation_counts=counts,
+            engine_statistics=self.handle.stats(),
+        )
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _percentile(sorted_values: list[float], percentile: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = (percentile / 100.0) * (len(sorted_values) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = rank - lower
+    return sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction

@@ -1,0 +1,108 @@
+"""The YCSB core workload definitions (A-F).
+
+The paper positions Chronos next to benchmark suites such as YCSB and
+OLTP-Bench; the YCSB core workloads are implemented here both to exercise
+the document store with realistic mixes and to drive experiment E7.
+
+Each workload is a named operation mix plus a key distribution:
+
+* A - update heavy: 50% reads, 50% updates, zipfian.
+* B - read mostly: 95% reads, 5% updates, zipfian.
+* C - read only: 100% reads, zipfian.
+* D - read latest: 95% reads, 5% inserts, latest distribution.
+* E - short ranges: 95% scans, 5% inserts, zipfian.
+* F - read-modify-write: 50% reads, 50% read-modify-writes, zipfian.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Fractions of each operation type; must sum to 1."""
+
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    read_modify_write: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.read_modify_write
+        if abs(total - 1.0) > 1e-9:
+            raise ValidationError(f"operation mix must sum to 1.0, got {total}")
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of operations that take a write lock."""
+        return self.update + self.insert + self.read_modify_write
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "read": self.read,
+            "update": self.update,
+            "insert": self.insert,
+            "scan": self.scan,
+            "read_modify_write": self.read_modify_write,
+        }
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """One named YCSB core workload."""
+
+    name: str
+    mix: OperationMix
+    distribution: str
+    description: str
+
+
+CORE_WORKLOADS: dict[str, YcsbWorkload] = {
+    "A": YcsbWorkload(
+        "A", OperationMix(read=0.5, update=0.5), "zipfian",
+        "Update heavy: session-store recording recent actions"),
+    "B": YcsbWorkload(
+        "B", OperationMix(read=0.95, update=0.05), "zipfian",
+        "Read mostly: photo tagging"),
+    "C": YcsbWorkload(
+        "C", OperationMix(read=1.0), "zipfian",
+        "Read only: user profile cache"),
+    "D": YcsbWorkload(
+        "D", OperationMix(read=0.95, insert=0.05), "latest",
+        "Read latest: user status updates"),
+    "E": YcsbWorkload(
+        "E", OperationMix(scan=0.95, insert=0.05), "zipfian",
+        "Short ranges: threaded conversations"),
+    "F": YcsbWorkload(
+        "F", OperationMix(read=0.5, read_modify_write=0.5), "zipfian",
+        "Read-modify-write: user database"),
+}
+
+
+def ycsb_workload(name: str) -> YcsbWorkload:
+    """Return the core workload called ``name`` (case-insensitive)."""
+    key = name.upper()
+    if key not in CORE_WORKLOADS:
+        raise ValidationError(
+            f"unknown YCSB workload {name!r}; available: {sorted(CORE_WORKLOADS)}"
+        )
+    return CORE_WORKLOADS[key]
+
+
+def mix_from_ratio(ratio: str) -> OperationMix:
+    """Build a read/update mix from a ratio string such as ``"95:5"``.
+
+    The first part is the read fraction, the second the update fraction --
+    the format the MongoDB demo experiment uses for its query mix parameter.
+    """
+    from repro.core.parameters import parse_ratio
+
+    fractions = parse_ratio(ratio)
+    if len(fractions) != 2:
+        raise ValidationError(f"read/write ratio must have two parts, got {ratio!r}")
+    read, update = fractions
+    return OperationMix(read=read, update=update)

@@ -1,0 +1,64 @@
+"""Tests for running fleets of agents over multiple deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.fleet import AgentFleet
+from repro.agents.testing import SleepAgent
+
+
+@pytest.fixture
+def evaluation_setup(control, admin, sleep_system):
+    project = control.projects.create("fleet tests", admin)
+    experiment = control.experiments.create(project.id, sleep_system.id, "exp",
+                                            parameters={"work_units": [1, 2, 3, 4, 5, 6]})
+    evaluation, jobs = control.evaluations.create(experiment.id)
+    deployments = [control.deployments.register(sleep_system.id, f"node-{i}").id
+                   for i in range(3)]
+    return control, sleep_system, evaluation, jobs, deployments
+
+
+class TestAgentFleet:
+    def test_round_robin_drives_evaluation_to_completion(self, evaluation_setup, clock):
+        control, system, evaluation, jobs, deployments = evaluation_setup
+        fleet = AgentFleet(control, system.id, deployments, SleepAgent, clock=clock)
+        report = fleet.drive_evaluation(evaluation.id)
+        assert report.jobs_finished == len(jobs)
+        assert control.evaluations.is_complete(evaluation.id)
+
+    def test_work_is_spread_over_deployments(self, evaluation_setup, clock):
+        control, system, evaluation, jobs, deployments = evaluation_setup
+        fleet = AgentFleet(control, system.id, deployments, SleepAgent, clock=clock)
+        report = fleet.drive_evaluation(evaluation.id)
+        assert len(report.per_deployment) == len(deployments)
+        assert sum(report.per_deployment.values()) == len(jobs)
+
+    def test_parallel_mode_completes_too(self, evaluation_setup, clock):
+        control, system, evaluation, jobs, deployments = evaluation_setup
+        fleet = AgentFleet(control, system.id, deployments, SleepAgent, clock=clock)
+        report = fleet.drive_evaluation(evaluation.id, parallel=True)
+        assert report.jobs_finished == len(jobs)
+
+    def test_drive_until_idle_handles_multiple_evaluations(self, evaluation_setup, clock,
+                                                           admin):
+        control, system, first_evaluation, _, deployments = evaluation_setup
+        experiment2 = control.experiments.create(
+            control.projects.list()[0].id, system.id, "second",
+            parameters={"work_units": [7, 8]})
+        second_evaluation, _ = control.evaluations.create(experiment2.id)
+        fleet = AgentFleet(control, system.id, deployments, SleepAgent, clock=clock)
+        fleet.drive_until_idle()
+        assert control.evaluations.is_complete(first_evaluation.id)
+        assert control.evaluations.is_complete(second_evaluation.id)
+
+    def test_single_deployment_serialises_jobs(self, control, admin, sleep_system, clock):
+        project = control.projects.create("serial", admin)
+        experiment = control.experiments.create(project.id, sleep_system.id, "exp",
+                                                parameters={"work_units": [1, 2, 3]})
+        evaluation, jobs = control.evaluations.create(experiment.id)
+        deployment = control.deployments.register(sleep_system.id, "only-node")
+        fleet = AgentFleet(control, sleep_system.id, [deployment.id], SleepAgent, clock=clock)
+        report = fleet.drive_evaluation(evaluation.id)
+        assert report.per_deployment == {deployment.id: 3}
+        assert report.rounds >= 3

@@ -1,0 +1,122 @@
+"""Tests for diagram rendering (ASCII + SVG) and result export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.aggregate import ResultTable
+from repro.analysis.diagrams import (
+    BarDiagram,
+    LineDiagram,
+    PieDiagram,
+    available_diagram_types,
+    build_diagram,
+    diagram_from_spec,
+    register_diagram_type,
+)
+from repro.analysis.export import results_to_csv, results_to_json, write_csv, write_diagram_svg
+from repro.errors import ValidationError
+
+RESULTS = [
+    {"parameters": {"engine": "wt", "threads": 1}, "throughput": 100.0},
+    {"parameters": {"engine": "wt", "threads": 4}, "throughput": 350.0},
+    {"parameters": {"engine": "mmap", "threads": 1}, "throughput": 110.0},
+    {"parameters": {"engine": "mmap", "threads": 4}, "throughput": 150.0},
+]
+
+
+class TestDiagramConstruction:
+    def test_build_diagram_by_kind(self):
+        assert isinstance(build_diagram("bar", "t"), BarDiagram)
+        assert isinstance(build_diagram("line", "t"), LineDiagram)
+        assert isinstance(build_diagram("pie", "t"), PieDiagram)
+        with pytest.raises(ValidationError):
+            build_diagram("scatter", "t")
+
+    def test_custom_diagram_type_registration(self):
+        class Dotted(LineDiagram):
+            pass
+
+        register_diagram_type("dotted", Dotted)
+        assert "dotted" in available_diagram_types()
+        assert isinstance(build_diagram("dotted", "t"), Dotted)
+
+    def test_add_series_and_points(self):
+        diagram = build_diagram("line", "t")
+        diagram.add_series("a", [(1, 1.0)])
+        diagram.add_point("a", 2, 2.0)
+        assert diagram.series["a"] == [(1, 1.0), (2, 2.0)]
+
+    def test_diagram_from_spec_groups_results(self):
+        spec = {"kind": "line", "title": "tp", "x_field": "parameters.threads",
+                "y_field": "throughput", "group_field": "parameters.engine"}
+        diagram = diagram_from_spec(spec, RESULTS)
+        assert set(diagram.series) == {"wt", "mmap"}
+
+
+class TestRendering:
+    def make_bar(self):
+        return build_diagram("bar", "Throughput").add_series(
+            "engines", [("wt", 350.0), ("mmap", 150.0)])
+
+    def test_bar_ascii_contains_labels_and_bars(self):
+        art = self.make_bar().render_ascii()
+        assert "Throughput" in art and "wt" in art and "#" in art
+
+    def test_bar_svg_is_wellformed(self):
+        svg = self.make_bar().render_svg()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "rect" in svg
+
+    def test_line_ascii_and_svg(self):
+        diagram = build_diagram("line", "Scaling", x_label="threads", y_label="ops/s")
+        diagram.add_series("wt", [(1, 100.0), (4, 350.0)])
+        diagram.add_series("mmap", [(1, 110.0), (4, 150.0)])
+        art = diagram.render_ascii()
+        assert "wt" in art and "*" in art
+        svg = diagram.render_svg()
+        assert "<line" in svg and "wt" in svg
+
+    def test_pie_ascii_shows_percentages(self):
+        diagram = build_diagram("pie", "Mix").add_series(
+            "ops", [("read", 95.0), ("update", 5.0)])
+        art = diagram.render_ascii()
+        assert "95.0%" in art and "5.0%" in art
+
+    def test_pie_svg_has_wedges(self):
+        diagram = build_diagram("pie", "Mix").add_series(
+            "ops", [("read", 75.0), ("update", 25.0)])
+        assert diagram.render_svg().count("<path") == 2
+
+    def test_empty_diagram_rejected(self):
+        with pytest.raises(ValidationError):
+            build_diagram("bar", "empty").render_ascii()
+
+    def test_svg_escapes_text(self):
+        diagram = build_diagram("bar", "a < b").add_series("s", [("x", 1.0)])
+        assert "a &lt; b" in diagram.render_svg()
+
+
+class TestExport:
+    def test_csv_round_trip(self):
+        table = ResultTable.from_results(RESULTS, ["parameters.engine", "throughput"])
+        text = results_to_csv(table)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 4
+        assert rows[0]["parameters.engine"] == "wt"
+
+    def test_json_export(self):
+        text = results_to_json(RESULTS)
+        assert json.loads(text)[0]["throughput"] == 100.0
+
+    def test_write_csv_and_svg_files(self, tmp_path):
+        table = ResultTable.from_results(RESULTS, ["throughput"])
+        csv_path = write_csv(table, tmp_path / "out" / "results.csv")
+        assert csv_path.exists() and csv_path.read_text().startswith("throughput")
+        diagram = build_diagram("bar", "t").add_series("s", [("x", 1.0)])
+        svg_path = write_diagram_svg(diagram, tmp_path / "out" / "diagram.svg")
+        assert svg_path.exists() and "<svg" in svg_path.read_text()

@@ -1,0 +1,136 @@
+"""Tests for the analysis metrics, aggregation and comparison helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.aggregate import ResultTable, aggregate_metric, group_results, pivot
+from repro.analysis.compare import compare_groups, crossover_points, speedup_table
+from repro.analysis.metrics import (
+    execution_time,
+    latency_percentiles,
+    percentile,
+    summarize,
+    throughput,
+)
+from repro.errors import ValidationError
+
+RESULTS = [
+    {"parameters": {"engine": "wt", "threads": 1}, "throughput": 100.0, "latency": 1.0},
+    {"parameters": {"engine": "wt", "threads": 4}, "throughput": 350.0, "latency": 1.2},
+    {"parameters": {"engine": "mmap", "threads": 1}, "throughput": 110.0, "latency": 1.1},
+    {"parameters": {"engine": "mmap", "threads": 4}, "throughput": 150.0, "latency": 2.5},
+]
+
+
+class TestMetrics:
+    def test_summarize_statistics(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1 and summary.maximum == 5
+        assert summary.p50 == 3.0
+        assert summary.stddev == pytest.approx(1.4142, rel=1e-3)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize([])
+
+    def test_percentile_interpolation(self):
+        data = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(data, 0) == 10.0
+        assert percentile(data, 100) == 40.0
+        assert percentile(data, 50) == 25.0
+        with pytest.raises(ValidationError):
+            percentile(data, 150)
+
+    def test_throughput(self):
+        assert throughput(1000, 2.0) == 500.0
+        assert throughput(1000, 0.0) == 0.0
+        with pytest.raises(ValidationError):
+            throughput(-1, 1.0)
+
+    def test_latency_percentiles_in_ms(self):
+        values = [0.001] * 90 + [0.1] * 10
+        result = latency_percentiles(values)
+        assert result["p50"] == pytest.approx(1.0, rel=0.01)
+        assert result["p99"] == pytest.approx(100.0, rel=0.01)
+        assert result["p95"] > result["p50"]
+        assert latency_percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_execution_time(self):
+        assert execution_time(10.0, 12.5) == 2.5
+        with pytest.raises(ValidationError):
+            execution_time(10.0, 5.0)
+
+
+class TestAggregation:
+    def test_result_table_projection_and_markdown(self):
+        table = ResultTable.from_results(RESULTS, ["parameters.engine", "throughput"])
+        assert len(table) == 4
+        assert table.column("throughput") == [100.0, 350.0, 110.0, 150.0]
+        markdown = table.to_markdown()
+        assert markdown.splitlines()[0].startswith("| parameters.engine")
+        assert "350.00" in markdown
+
+    def test_result_table_sort_and_filter(self):
+        table = ResultTable.from_results(RESULTS, ["parameters.threads", "throughput"])
+        ordered = table.sort_by("throughput")
+        assert ordered.column("throughput")[0] == 100.0
+        filtered = table.filter(lambda row: row["throughput"] > 120)
+        assert len(filtered) == 2
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable.from_results(RESULTS, ["throughput"])
+        with pytest.raises(ValidationError):
+            table.column("missing")
+
+    def test_group_results(self):
+        groups = group_results(RESULTS, "parameters.engine")
+        assert set(groups) == {"wt", "mmap"}
+        assert len(groups["wt"]) == 2
+
+    def test_aggregate_metric(self):
+        stats = aggregate_metric(RESULTS, "throughput")
+        assert stats["count"] == 4
+        assert stats["max"] == 350.0
+        with pytest.raises(ValidationError):
+            aggregate_metric(RESULTS, "parameters.engine")
+
+    def test_pivot_builds_sorted_series(self):
+        series = pivot(RESULTS, "parameters.threads", "throughput", "parameters.engine")
+        assert series["wt"] == [(1, 100.0), (4, 350.0)]
+        assert series["mmap"] == [(1, 110.0), (4, 150.0)]
+        single = pivot(RESULTS, "parameters.threads", "throughput")
+        assert set(single) == {"all"}
+
+
+class TestComparison:
+    def test_compare_groups_picks_winner(self):
+        comparison = compare_groups(RESULTS, "parameters.engine", "throughput")
+        assert comparison["winner"] == "wt"
+        assert comparison["runner_up"] == "mmap"
+        assert comparison["factor"] == pytest.approx((225.0) / (130.0))
+
+    def test_compare_lower_is_better(self):
+        comparison = compare_groups(RESULTS, "parameters.engine", "latency",
+                                    higher_is_better=False)
+        assert comparison["winner"] == "wt"
+
+    def test_compare_needs_two_groups(self):
+        with pytest.raises(ValidationError):
+            compare_groups(RESULTS[:2], "parameters.engine", "throughput")
+
+    def test_speedup_table_and_crossover(self):
+        table = speedup_table(RESULTS, "parameters.threads", "throughput",
+                              "parameters.engine", baseline_group="mmap")
+        assert table[0]["parameters.threads"] == 1
+        assert table[0]["wt_speedup"] == pytest.approx(100.0 / 110.0)
+        assert table[1]["wt_speedup"] == pytest.approx(350.0 / 150.0)
+        crossings = crossover_points(table, "wt_speedup")
+        assert len(crossings) == 1  # wt loses at 1 thread, wins at 4
+
+    def test_speedup_requires_known_baseline(self):
+        with pytest.raises(ValidationError):
+            speedup_table(RESULTS, "parameters.threads", "throughput",
+                          "parameters.engine", baseline_group="nope")

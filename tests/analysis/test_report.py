@@ -1,0 +1,66 @@
+"""Tests for the evaluation report generator (the Fig. 3d page as a document)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import evaluation_report
+from repro.demo import prepare_demo, run_demo
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def completed_demo():
+    setup = prepare_demo(parameters={
+        "storage_engine": ["wiredtiger", "mmapv1"],
+        "threads": [1, 4],
+        "record_count": 50,
+        "operation_count": 100,
+        "query_mix": "50:50",
+        "distribution": "zipfian",
+    })
+    return run_demo(setup)
+
+
+class TestEvaluationReport:
+    def test_report_contains_job_table_and_metrics(self, completed_demo):
+        report = evaluation_report(completed_demo.control, completed_demo.evaluation.id)
+        assert report.evaluation_id == completed_demo.evaluation.id
+        assert "## Job results" in report.markdown
+        assert "| parameters.storage_engine" in report.markdown
+        assert "throughput_ops_per_sec" in report.markdown
+        assert "## Metric summaries" in report.markdown
+
+    def test_report_includes_configured_diagrams(self, completed_demo):
+        report = evaluation_report(completed_demo.control, completed_demo.evaluation.id)
+        assert "Throughput vs threads" in report.diagrams
+        assert "## Throughput vs threads" in report.markdown
+
+    def test_report_names_the_winner(self, completed_demo):
+        report = evaluation_report(completed_demo.control, completed_demo.evaluation.id)
+        assert "## Comparison" in report.markdown
+        assert "**wiredtiger**" in report.markdown
+
+    def test_custom_columns(self, completed_demo):
+        report = evaluation_report(completed_demo.control, completed_demo.evaluation.id,
+                                   parameter_fields=["threads"],
+                                   metric_fields=["latency_p95_ms"])
+        assert "| parameters.threads | latency_p95_ms |" in report.markdown
+        assert "storage_bytes" not in report.markdown.split("## Job results")[1].split("##")[0]
+
+    def test_write_produces_markdown_and_svg_files(self, completed_demo, tmp_path):
+        report = evaluation_report(completed_demo.control, completed_demo.evaluation.id)
+        path = report.write(tmp_path)
+        assert path.exists()
+        content = path.read_text()
+        assert content.startswith("# Evaluation report")
+        svg_files = list(tmp_path.glob("*.svg"))
+        assert len(svg_files) == len(report.diagrams)
+        assert all(f"({svg.name})" in content for svg in svg_files)
+
+    def test_report_without_results_rejected(self, completed_demo):
+        control = completed_demo.control
+        experiment = completed_demo.experiment
+        empty_evaluation, _ = control.evaluations.create(experiment.id)
+        with pytest.raises(ValidationError):
+            evaluation_report(control, empty_evaluation.id)

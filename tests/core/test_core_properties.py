@@ -1,0 +1,96 @@
+"""Property-based tests of Chronos Control invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enums import JOB_TRANSITIONS, JobStatus
+from repro.core.parameters import (
+    checkbox,
+    evaluation_space_size,
+    expand_parameter_space,
+    parse_ratio,
+    resolve_assignments,
+    value,
+)
+
+sweep_lists = st.lists(st.integers(0, 50), min_size=1, max_size=6, unique=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sweep_lists, sweep_lists, sweep_lists)
+def test_expansion_cardinality_is_product_of_sweeps(first, second, third):
+    """|jobs| == product of the per-parameter value counts, no duplicates."""
+    definitions = [value("a"), value("b"), value("c")]
+    assignments = resolve_assignments(definitions, {"a": first, "b": second, "c": third})
+    space = expand_parameter_space(assignments)
+    assert len(space) == len(first) * len(second) * len(third)
+    assert len(space) == evaluation_space_size(assignments)
+    unique = {tuple(sorted(point.items())) for point in space}
+    assert len(unique) == len(space)
+    for point in space:
+        assert point["a"] in first and point["b"] in second and point["c"] in third
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=3, unique=True))
+def test_checkbox_expansion_matches_selection(selected):
+    definitions = [checkbox("option", ["x", "y", "z"])]
+    assignments = resolve_assignments(definitions, {"option": selected})
+    space = expand_parameter_space(assignments)
+    assert [point["option"] for point in space] == selected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 999), st.integers(1, 999))
+def test_ratio_normalisation_sums_to_one(left, right):
+    fractions = parse_ratio(f"{left}:{right}")
+    assert abs(sum(fractions) - 1.0) < 1e-9
+    assert fractions[0] > 0 and fractions[1] > 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(list(JobStatus)), min_size=1, max_size=8))
+def test_job_state_machine_never_leaves_terminal_states(path):
+    """Applying any transition sequence never escapes finished/aborted."""
+    current = JobStatus.SCHEDULED
+    for target in path:
+        if target in JOB_TRANSITIONS[current]:
+            current = target
+        # illegal transitions are rejected by the service; state unchanged
+    if current in (JobStatus.FINISHED, JobStatus.ABORTED):
+        assert JOB_TRANSITIONS[current] == ()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(1, 12), min_size=1, max_size=8, unique=True),
+       st.integers(1, 3))
+def test_every_expanded_job_is_created_and_eventually_finished(thread_sweep, deployments):
+    """For any sweep, the evaluation creates exactly one job per point and a
+    fleet of SleepAgents finishes all of them."""
+    from repro.agent.fleet import AgentFleet
+    from repro.agents.testing import SleepAgent, register_sleep_system
+    from repro.core.control import ChronosControl
+    from repro.util.clock import SimulatedClock
+
+    clock = SimulatedClock()
+    control = ChronosControl(clock=clock)
+    admin = control.users.get_by_username("admin")
+    system = register_sleep_system(control, owner_id=admin.id)
+    deployment_ids = [control.deployments.register(system.id, f"node-{i}").id
+                      for i in range(deployments)]
+    project = control.projects.create("property", admin)
+    experiment = control.experiments.create(project.id, system.id, "exp",
+                                            parameters={"work_units": thread_sweep})
+    evaluation, jobs = control.evaluations.create(experiment.id)
+    assert len(jobs) == len(thread_sweep)
+    fleet = AgentFleet(control, system.id, deployment_ids, SleepAgent, clock=clock)
+    report = fleet.drive_evaluation(evaluation.id)
+    assert report.jobs_finished == len(thread_sweep)
+    assert control.evaluations.get(evaluation.id).status.value == "finished"
+    finished_work = sorted(
+        control.results.for_job(job.id).data["work_done"]
+        for job in control.evaluations.jobs(evaluation.id)
+    )
+    assert finished_work == sorted(thread_sweep)

@@ -1,0 +1,91 @@
+"""Tests for entity dataclasses: row round-trips and enum handling."""
+
+from __future__ import annotations
+
+from repro.core.entities import (
+    Deployment,
+    Evaluation,
+    Event,
+    Experiment,
+    Job,
+    LogEntry,
+    Project,
+    Result,
+    System,
+    User,
+)
+from repro.core.enums import EvaluationStatus, EventType, JobStatus, Role
+
+
+class TestRowRoundTrips:
+    def test_user(self):
+        user = User(id="u1", username="alice", password_hash="x$y", role=Role.ADMIN,
+                    created_at=1.5)
+        row = user.to_row()
+        assert row["role"] == "admin"
+        assert User.from_row(row) == user
+
+    def test_project(self):
+        project = Project(id="p1", name="demo", owner_id="u1", members=["u1", "u2"],
+                          archived=True, created_at=2.0)
+        assert Project.from_row(project.to_row()) == project
+
+    def test_system(self):
+        system = System(id="s1", name="db", parameters=[{"name": "x", "kind": "value"}],
+                        result_config={"metrics": ["m"]})
+        assert System.from_row(system.to_row()) == system
+
+    def test_deployment(self):
+        deployment = Deployment(id="d1", system_id="s1", name="node",
+                                environment={"ram": 4}, version="2", active=False)
+        assert Deployment.from_row(deployment.to_row()) == deployment
+
+    def test_experiment(self):
+        experiment = Experiment(id="e1", project_id="p1", system_id="s1", name="exp",
+                                parameters={"threads": [1, 2]})
+        assert Experiment.from_row(experiment.to_row()) == experiment
+
+    def test_evaluation(self):
+        evaluation = Evaluation(id="ev1", experiment_id="e1", name="run",
+                                status=EvaluationStatus.RUNNING,
+                                deployment_ids=["d1"], finished_at=None)
+        restored = Evaluation.from_row(evaluation.to_row())
+        assert restored == evaluation
+        assert restored.status is EvaluationStatus.RUNNING
+
+    def test_job(self):
+        job = Job(id="j1", evaluation_id="ev1", system_id="s1",
+                  parameters={"threads": 2}, status=JobStatus.FAILED,
+                  deployment_id="d1", progress=40, attempts=2, max_attempts=3,
+                  error="boom", started_at=1.0, finished_at=2.0, last_heartbeat=1.5)
+        restored = Job.from_row(job.to_row())
+        assert restored == job
+        assert restored.status is JobStatus.FAILED
+
+    def test_result(self):
+        result = Result(id="r1", job_id="j1", data={"v": 1}, metrics={"m": 2.0},
+                        archive_path="/tmp/a.zip", uploaded_at=3.0)
+        assert Result.from_row(result.to_row()) == result
+
+    def test_event_and_log_entry(self):
+        event = Event(id="ev", entity_type="job", entity_id="j1",
+                      event_type=EventType.PROGRESS, message="50%", timestamp=1.0)
+        assert Event.from_row(event.to_row()) == event
+        entry = LogEntry(id="l1", job_id="j1", sequence=3, content="line", timestamp=1.0)
+        assert LogEntry.from_row(entry.to_row()) == entry
+
+
+class TestEnumBehaviour:
+    def test_job_status_terminal_and_active_flags(self):
+        assert JobStatus.FINISHED.is_terminal and JobStatus.ABORTED.is_terminal
+        assert not JobStatus.FAILED.is_terminal  # failed jobs can be re-scheduled
+        assert JobStatus.SCHEDULED.is_active and JobStatus.RUNNING.is_active
+        assert not JobStatus.FINISHED.is_active
+
+    def test_row_defaults_tolerate_missing_optionals(self):
+        row = Job(id="j", evaluation_id="e", system_id="s").to_row()
+        row["progress"] = None
+        row["attempts"] = None
+        row["max_attempts"] = None
+        restored = Job.from_row(row)
+        assert restored.progress == 0 and restored.max_attempts == 1

@@ -1,0 +1,147 @@
+"""Tests for the scheduler, failure policy and recovery passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enums import JobStatus
+from repro.errors import SchedulerError
+
+
+@pytest.fixture
+def setup(control, admin, sleep_system):
+    project = control.projects.create("proj", admin)
+    experiment = control.experiments.create(project.id, sleep_system.id, "exp",
+                                            parameters={"work_units": [1, 2, 3, 4]})
+    evaluation, jobs = control.evaluations.create(experiment.id, max_attempts=2)
+    deployments = [control.deployments.register(sleep_system.id, f"node-{i}").id
+                   for i in (1, 2)]
+    return control, sleep_system, evaluation, jobs, deployments
+
+
+class TestClaiming:
+    def test_claim_marks_running_and_assigns_deployment(self, setup):
+        control, system, evaluation, jobs, deployments = setup
+        job = control.scheduler.claim_next_job(system.id, deployments[0])
+        assert job.status is JobStatus.RUNNING
+        assert job.deployment_id == deployments[0]
+
+    def test_busy_deployment_gets_no_second_job(self, setup):
+        control, system, _, _, deployments = setup
+        first = control.scheduler.claim_next_job(system.id, deployments[0])
+        assert first is not None
+        assert control.scheduler.claim_next_job(system.id, deployments[0]) is None
+
+    def test_two_deployments_claim_different_jobs(self, setup):
+        control, system, _, _, deployments = setup
+        first = control.scheduler.claim_next_job(system.id, deployments[0])
+        second = control.scheduler.claim_next_job(system.id, deployments[1])
+        assert first.id != second.id
+
+    def test_claim_returns_none_when_queue_empty(self, setup):
+        control, system, _, jobs, deployments = setup
+        for job in jobs:
+            claimed = control.scheduler.claim_next_job(system.id, deployments[0])
+            control.scheduler.complete_job(claimed.id)
+        assert control.scheduler.claim_next_job(system.id, deployments[0]) is None
+
+    def test_unknown_deployment_rejected(self, setup):
+        control, system, *_ = setup
+        with pytest.raises(SchedulerError):
+            control.scheduler.claim_next_job(system.id, "deployment-bogus")
+
+    def test_inactive_deployment_rejected(self, setup):
+        control, system, _, _, deployments = setup
+        control.deployments.deactivate(deployments[0])
+        with pytest.raises(SchedulerError):
+            control.scheduler.claim_next_job(system.id, deployments[0])
+
+    def test_deployment_of_other_system_rejected(self, setup, control, admin):
+        _, system, _, _, _ = setup
+        from repro.agents.testing import register_sleep_system
+
+        other = register_sleep_system(control, name="other-system")
+        other_deployment = control.deployments.register(other.id, "other-node")
+        with pytest.raises(SchedulerError):
+            control.scheduler.claim_next_job(system.id, other_deployment.id)
+
+
+class TestCompletionAndRelease:
+    def test_complete_job_frees_deployment(self, setup):
+        control, system, _, _, deployments = setup
+        job = control.scheduler.claim_next_job(system.id, deployments[0])
+        control.scheduler.complete_job(job.id)
+        assert control.scheduler.claim_next_job(system.id, deployments[0]) is not None
+
+    def test_snapshot_counts(self, setup):
+        control, system, _, jobs, deployments = setup
+        control.scheduler.claim_next_job(system.id, deployments[0])
+        snapshot = control.scheduler.snapshot()
+        assert snapshot.running == 1
+        assert snapshot.scheduled == len(jobs) - 1
+        assert snapshot.busy_deployments == [deployments[0]]
+        assert snapshot.outstanding == len(jobs)
+
+    def test_idle_deployments(self, setup):
+        control, system, _, _, deployments = setup
+        assert {d.id for d in control.scheduler.idle_deployments(system.id)} == set(deployments)
+        control.scheduler.claim_next_job(system.id, deployments[0])
+        assert [d.id for d in control.scheduler.idle_deployments(system.id)] == [deployments[1]]
+
+
+class TestFailurePolicy:
+    def test_failure_with_attempts_left_reschedules(self, setup):
+        control, system, _, _, deployments = setup
+        job = control.scheduler.claim_next_job(system.id, deployments[0])
+        result = control.report_failure(job.id, "crash")
+        assert result.status is JobStatus.SCHEDULED  # automatically re-scheduled
+        assert control.scheduler.claim_next_job(system.id, deployments[0]) is not None
+
+    def test_failure_after_last_attempt_stays_failed(self, setup):
+        control, system, _, _, deployments = setup
+        job_id = None
+        for _ in range(2):  # max_attempts=2
+            job = control.scheduler.claim_next_job(system.id, deployments[0])
+            job_id = job.id if job_id is None else job_id
+            control.report_failure(job.id, "crash")
+        failed = control.jobs.get(job_id)
+        assert failed.status is JobStatus.FAILED
+        assert failed.attempts == 2
+
+    def test_stalled_job_recovered_by_heartbeat_timeout(self, setup, clock):
+        control, system, _, _, deployments = setup
+        job = control.scheduler.claim_next_job(system.id, deployments[0])
+        clock.advance(control.failures.heartbeat_timeout + 1)
+        report = control.recover_stalled_jobs()
+        assert job.id in report.stalled_jobs_recovered
+        assert control.jobs.get(job.id).status is JobStatus.SCHEDULED
+
+    def test_active_jobs_not_recovered_prematurely(self, setup, clock):
+        control, system, _, _, deployments = setup
+        job = control.scheduler.claim_next_job(system.id, deployments[0])
+        clock.advance(10)
+        report = control.recover_stalled_jobs()
+        assert report.total_recovered == 0
+        assert control.jobs.get(job.id).status is JobStatus.RUNNING
+
+    def test_recovery_report_lists_permanent_failures(self, setup, clock):
+        control, system, _, _, deployments = setup
+        # exhaust both attempts via stalls
+        for _ in range(2):
+            job = control.scheduler.claim_next_job(system.id, deployments[0])
+            clock.advance(control.failures.heartbeat_timeout + 1)
+            control.recover_stalled_jobs()
+            control.scheduler.release_deployment(deployments[0])
+        report = control.recover_stalled_jobs()
+        assert report.permanently_failed or control.jobs.list(status=JobStatus.FAILED)
+
+    def test_should_retry_respects_attempt_budget(self, setup):
+        control, *_ = setup
+        from repro.core.entities import Job
+        from repro.core.enums import JobStatus as JS
+
+        job = Job(id="j", evaluation_id="e", system_id="s", status=JS.FAILED,
+                  attempts=1, max_attempts=3)
+        assert control.failures.should_retry(job)
+        job.attempts = 3
+        assert not control.failures.should_retry(job)

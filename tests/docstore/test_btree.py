@@ -1,0 +1,107 @@
+"""Tests for the B-tree used by the wiredTiger-like engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.docstore.btree import BTree
+
+
+class TestBasicOperations:
+    def test_insert_and_get(self):
+        tree = BTree(order=4)
+        tree.insert("b", 2)
+        tree.insert("a", 1)
+        assert tree.get("a") == (True, 1)
+        assert tree.get("b") == (True, 2)
+        assert tree.get("c") == (False, None)
+
+    def test_overwrite_keeps_size(self):
+        tree = BTree(order=4)
+        tree.insert("a", 1)
+        tree.insert("a", 2)
+        assert len(tree) == 1
+        assert tree.get("a") == (True, 2)
+
+    def test_len_tracks_inserts(self):
+        tree = BTree(order=4)
+        for index in range(50):
+            tree.insert(index, index)
+        assert len(tree) == 50
+
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            BTree(order=3)
+
+
+class TestOrderingAndIteration:
+    def test_items_in_order_after_random_inserts(self):
+        tree = BTree(order=6)
+        keys = list(range(200))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert [key for key, _ in tree.items()] == sorted(range(200))
+
+    def test_range_scan(self):
+        tree = BTree(order=6)
+        for key in range(100):
+            tree.insert(key, key)
+        assert [key for key, _ in tree.range(10, 15)] == [10, 11, 12, 13, 14, 15]
+
+    def test_depth_grows_logarithmically(self):
+        tree = BTree(order=8)
+        for key in range(500):
+            tree.insert(key, key)
+        assert 2 <= tree.depth() <= 6
+
+    def test_node_accesses_counted(self):
+        tree = BTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        before = tree.node_accesses
+        tree.get(57)
+        assert tree.node_accesses > before
+
+
+class TestDeletion:
+    def test_delete_leaf_key(self):
+        tree = BTree(order=4)
+        for key in range(20):
+            tree.insert(key, key)
+        assert tree.delete(7) is True
+        assert tree.get(7) == (False, None)
+        assert len(tree) == 19
+
+    def test_delete_internal_key(self):
+        tree = BTree(order=4)
+        for key in range(50):
+            tree.insert(key, key)
+        # Delete every third key, including internal separators.
+        for key in range(0, 50, 3):
+            assert tree.delete(key) is True
+        remaining = [key for key, _ in tree.items()]
+        assert remaining == [key for key in range(50) if key % 3 != 0]
+
+    def test_delete_missing_returns_false(self):
+        tree = BTree(order=4)
+        tree.insert(1, 1)
+        assert tree.delete(99) is False
+        assert len(tree) == 1
+
+    def test_invariants_hold_after_mixed_operations(self):
+        tree = BTree(order=5)
+        rng = random.Random(7)
+        present = set()
+        for _ in range(500):
+            key = rng.randrange(200)
+            if key in present and rng.random() < 0.4:
+                tree.delete(key)
+                present.discard(key)
+            else:
+                tree.insert(key, key)
+                present.add(key)
+        tree.check_invariants()
+        assert sorted(present) == [key for key, _ in tree.items()]

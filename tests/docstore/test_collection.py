@@ -1,0 +1,197 @@
+"""Tests for collections: CRUD, cursors, indexes and cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.collection import Collection
+from repro.docstore.mmapv1 import MmapV1Engine
+from repro.docstore.wiredtiger import WiredTigerEngine
+from repro.errors import DocumentStoreError, DuplicateKeyError
+
+
+@pytest.fixture(params=[WiredTigerEngine, MmapV1Engine], ids=["wiredtiger", "mmapv1"])
+def collection(request) -> Collection:
+    return Collection("users", request.param())
+
+
+def load_users(collection: Collection, count: int = 10) -> None:
+    collection.insert_many([
+        {"_id": f"u{index}", "name": f"user{index}", "age": 20 + index,
+         "city": "basel" if index % 2 == 0 else "zurich"}
+        for index in range(count)
+    ])
+
+
+class TestInsert:
+    def test_insert_one_generates_id_when_missing(self, collection):
+        result = collection.insert_one({"name": "alice"})
+        assert result.inserted_ids and result.simulated_seconds > 0
+
+    def test_insert_preserves_explicit_id(self, collection):
+        collection.insert_one({"_id": "custom", "name": "alice"})
+        assert collection.find_one({"_id": "custom"})["name"] == "alice"
+
+    def test_duplicate_id_rejected(self, collection):
+        collection.insert_one({"_id": "a"})
+        with pytest.raises(DuplicateKeyError):
+            collection.insert_one({"_id": "a"})
+
+    def test_insert_many_counts_costs(self, collection):
+        result = collection.insert_many([{"n": index} for index in range(5)])
+        assert len(result.inserted_ids) == 5
+        assert result.simulated_seconds > 0
+
+    def test_invalid_document_rejected(self, collection):
+        with pytest.raises(DocumentStoreError):
+            collection.insert_one({"$bad": 1})
+
+
+class TestFind:
+    def test_find_all(self, collection):
+        load_users(collection)
+        assert len(collection.find().to_list()) == 10
+
+    def test_find_with_filter(self, collection):
+        load_users(collection)
+        basel = collection.find({"city": "basel"}).to_list()
+        assert len(basel) == 5
+        assert all(doc["city"] == "basel" for doc in basel)
+
+    def test_find_one_and_missing(self, collection):
+        load_users(collection)
+        assert collection.find_one({"_id": "u3"})["age"] == 23
+        assert collection.find_one({"_id": "nope"}) is None
+
+    def test_count_documents(self, collection):
+        load_users(collection)
+        assert collection.count_documents() == 10
+        assert collection.count_documents({"age": {"$gte": 25}}) == 5
+
+    def test_cursor_sort_skip_limit(self, collection):
+        load_users(collection)
+        ages = [doc["age"] for doc in collection.find().sort("age", -1).skip(2).limit(3)]
+        assert ages == [27, 26, 25]
+
+    def test_cursor_projection(self, collection):
+        load_users(collection)
+        doc = collection.find({"_id": "u1"}, projection={"name": 1}).first()
+        assert set(doc) == {"name", "_id"}
+        doc = collection.find({"_id": "u1"}, projection={"name": 0, "_id": 0}).first()
+        assert "name" not in doc and "_id" not in doc
+
+    def test_find_with_cost_reports_cost(self, collection):
+        load_users(collection)
+        result = collection.find_with_cost({"city": "basel"})
+        assert result.simulated_seconds > 0
+        assert result.matched_count == 5
+
+
+class TestUpdate:
+    def test_update_one_with_operators(self, collection):
+        load_users(collection)
+        result = collection.update_one({"_id": "u1"}, {"$set": {"age": 99}})
+        assert result.matched_count == 1 and result.modified_count == 1
+        assert collection.find_one({"_id": "u1"})["age"] == 99
+
+    def test_update_one_no_match(self, collection):
+        result = collection.update_one({"_id": "missing"}, {"$set": {"x": 1}})
+        assert result.matched_count == 0
+
+    def test_update_identical_document_not_counted_as_modified(self, collection):
+        collection.insert_one({"_id": "a", "v": 1})
+        result = collection.update_one({"_id": "a"}, {"$set": {"v": 1}})
+        assert result.matched_count == 1 and result.modified_count == 0
+
+    def test_update_many(self, collection):
+        load_users(collection)
+        result = collection.update_many({"city": "basel"}, {"$inc": {"age": 100}})
+        assert result.matched_count == 5 and result.modified_count == 5
+        assert collection.count_documents({"age": {"$gte": 120}}) == 5
+
+    def test_replace_one(self, collection):
+        load_users(collection)
+        collection.replace_one({"_id": "u1"}, {"fresh": True})
+        doc = collection.find_one({"_id": "u1"})
+        assert doc == {"_id": "u1", "fresh": True}
+
+    def test_replace_with_operators_rejected(self, collection):
+        load_users(collection)
+        with pytest.raises(DocumentStoreError):
+            collection.replace_one({"_id": "u1"}, {"$set": {"x": 1}})
+
+
+class TestDelete:
+    def test_delete_one(self, collection):
+        load_users(collection)
+        result = collection.delete_one({"_id": "u1"})
+        assert result.deleted_count == 1
+        assert collection.count_documents() == 9
+
+    def test_delete_one_no_match(self, collection):
+        assert collection.delete_one({"_id": "nope"}).deleted_count == 0
+
+    def test_delete_many(self, collection):
+        load_users(collection)
+        result = collection.delete_many({"city": "zurich"})
+        assert result.deleted_count == 5
+        assert collection.count_documents({"city": "zurich"}) == 0
+
+    def test_reinsert_after_delete_allowed(self, collection):
+        collection.insert_one({"_id": "a", "v": 1})
+        collection.delete_one({"_id": "a"})
+        collection.insert_one({"_id": "a", "v": 2})
+        assert collection.find_one({"_id": "a"})["v"] == 2
+
+
+class TestIndexes:
+    def test_index_used_for_equality_query(self, collection):
+        load_users(collection, 50)
+        collection.create_index("city")
+        indexed = collection.find_with_cost({"city": "basel"})
+        assert indexed.matched_count == 25
+
+    def test_index_backfilled_on_creation(self, collection):
+        load_users(collection, 10)
+        collection.create_index("name")
+        assert collection.indexes.get("name") is not None
+        assert len(collection.indexes.get("name")) == 10
+
+    def test_index_maintained_on_update_and_delete(self, collection):
+        load_users(collection)
+        collection.create_index("city")
+        collection.update_one({"_id": "u0"}, {"$set": {"city": "bern"}})
+        assert collection.find_with_cost({"city": "bern"}).matched_count == 1
+        collection.delete_one({"_id": "u0"})
+        assert collection.find_with_cost({"city": "bern"}).matched_count == 0
+
+    def test_unique_index_enforced(self, collection):
+        collection.create_index("email", unique=True)
+        collection.insert_one({"email": "a@example.org"})
+        with pytest.raises(DuplicateKeyError):
+            collection.insert_one({"email": "a@example.org"})
+
+    def test_drop_index(self, collection):
+        collection.create_index("city")
+        assert collection.drop_index("city") is True
+        assert collection.drop_index("city") is False
+
+    def test_index_query_cheaper_than_scan(self):
+        indexed = Collection("c", WiredTigerEngine())
+        unindexed = Collection("c", WiredTigerEngine())
+        for target in (indexed, unindexed):
+            load_users(target, 200)
+        indexed.create_index("city")
+        indexed_cost = indexed.find_with_cost({"city": "basel"}).simulated_seconds
+        scan_cost = unindexed.find_with_cost({"city": "basel"}).simulated_seconds
+        assert indexed_cost < scan_cost
+
+
+class TestStats:
+    def test_stats_include_engine_and_indexes(self, collection):
+        load_users(collection)
+        collection.create_index("city")
+        stats = collection.stats()
+        assert stats["collection"] == "users"
+        assert stats["documents"] == 10
+        assert "city" in stats["indexes"]

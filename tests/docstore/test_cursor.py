@@ -1,0 +1,90 @@
+"""Tests for cursor semantics (lazy evaluation, modifiers, projections)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.cursor import Cursor
+
+DOCUMENTS = [
+    {"_id": "a", "n": 3, "name": "carol"},
+    {"_id": "b", "n": 1, "name": "alice"},
+    {"_id": "c", "n": 2, "name": "bob"},
+    {"_id": "d", "n": None, "name": "dave"},
+]
+
+
+def make_cursor(projection=None, counter=None):
+    def fetch():
+        if counter is not None:
+            counter.append(1)
+        return [dict(doc) for doc in DOCUMENTS]
+
+    return Cursor(fetch, projection)
+
+
+class TestLaziness:
+    def test_fetch_not_called_until_consumed(self):
+        calls = []
+        cursor = make_cursor(counter=calls)
+        assert calls == []
+        cursor.to_list()
+        assert calls == [1]
+
+    def test_fetch_called_only_once(self):
+        calls = []
+        cursor = make_cursor(counter=calls)
+        cursor.to_list()
+        cursor.to_list()
+        len(cursor)
+        assert calls == [1]
+
+    def test_modifiers_after_consumption_rejected(self):
+        cursor = make_cursor()
+        cursor.to_list()
+        with pytest.raises(RuntimeError):
+            cursor.sort("n")
+
+
+class TestModifiers:
+    def test_sort_ascending_and_descending(self):
+        ascending = [doc["_id"] for doc in make_cursor().sort("n")]
+        assert ascending == ["d", "b", "c", "a"]  # None sorts first
+        descending = [doc["_id"] for doc in make_cursor().sort("n", -1)]
+        assert descending == ["a", "c", "b", "d"]
+
+    def test_multi_key_sort(self):
+        cursor = make_cursor().sort("name").sort("n")
+        # Last sort applied has the lowest precedence (first key wins).
+        names = [doc["name"] for doc in cursor]
+        assert names == sorted(names, key=lambda value: value)
+
+    def test_skip_and_limit(self):
+        cursor = make_cursor().sort("_id").skip(1).limit(2)
+        assert [doc["_id"] for doc in cursor] == ["b", "c"]
+
+    def test_skip_beyond_end(self):
+        assert make_cursor().skip(100).to_list() == []
+
+    def test_limit_zero(self):
+        assert make_cursor().limit(0).to_list() == []
+
+    def test_first_and_len(self):
+        assert make_cursor().sort("_id").first()["_id"] == "a"
+        assert len(make_cursor()) == 4
+        empty = Cursor(lambda: [])
+        assert empty.first() is None
+
+
+class TestProjection:
+    def test_inclusion_keeps_id(self):
+        documents = make_cursor(projection={"name": 1}).to_list()
+        assert all(set(doc) == {"name", "_id"} for doc in documents)
+
+    def test_exclusion(self):
+        documents = make_cursor(projection={"name": 0}).to_list()
+        assert all("name" not in doc and "_id" in doc for doc in documents)
+
+    def test_id_can_be_excluded(self):
+        documents = make_cursor(projection={"name": 1, "_id": 0}).to_list()
+        assert all(set(doc) == {"name"} for doc in documents)

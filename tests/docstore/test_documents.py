@@ -1,0 +1,94 @@
+"""Tests for document validation, path handling and size accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.documents import (
+    document_size,
+    get_path,
+    new_object_id,
+    set_path,
+    unset_path,
+    validate_document,
+    with_id,
+)
+from repro.errors import DocumentStoreError
+
+
+class TestValidation:
+    def test_accepts_json_like_documents(self):
+        doc = {"a": 1, "b": [1, "x", None], "c": {"nested": True}}
+        assert validate_document(doc) is doc
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(DocumentStoreError):
+            validate_document([1, 2])
+
+    def test_rejects_dollar_fields(self):
+        with pytest.raises(DocumentStoreError):
+            validate_document({"$set": 1})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(DocumentStoreError):
+            validate_document({"a": {1: "x"}})
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(DocumentStoreError):
+            validate_document({"a": object()})
+
+
+class TestIds:
+    def test_new_object_ids_unique(self):
+        assert new_object_id() != new_object_id()
+
+    def test_with_id_preserves_existing(self):
+        assert with_id({"_id": "custom", "a": 1})["_id"] == "custom"
+
+    def test_with_id_generates_when_missing(self):
+        doc = with_id({"a": 1})
+        assert doc["_id"].startswith("oid-")
+        assert "_id" not in {"a": 1}  # original untouched
+
+
+class TestDocumentSize:
+    def test_size_grows_with_content(self):
+        small = document_size({"a": "x"})
+        large = document_size({"a": "x" * 1000})
+        assert large > small + 900
+
+    def test_size_of_nested_structures(self):
+        assert document_size({"a": [1, 2, 3]}) > document_size({"a": []})
+
+    def test_size_rejects_unknown_types(self):
+        with pytest.raises(DocumentStoreError):
+            document_size({"a": object()})
+
+
+class TestPaths:
+    def test_get_path_simple_and_nested(self):
+        doc = {"a": {"b": {"c": 5}}, "arr": [10, 20]}
+        assert get_path(doc, "a.b.c") == (True, 5)
+        assert get_path(doc, "arr.1") == (True, 20)
+        assert get_path(doc, "a.missing") == (False, None)
+        assert get_path(doc, "a.b.c.d") == (False, None)
+
+    def test_set_path_creates_intermediates(self):
+        doc = {}
+        set_path(doc, "a.b.c", 1)
+        assert doc == {"a": {"b": {"c": 1}}}
+
+    def test_set_path_in_list(self):
+        doc = {"arr": [1]}
+        set_path(doc, "arr.2", 9)
+        assert doc["arr"] == [1, None, 9]
+
+    def test_set_path_on_scalar_raises(self):
+        with pytest.raises(DocumentStoreError):
+            set_path({"a": 5}, "a.b", 1)
+
+    def test_unset_path(self):
+        doc = {"a": {"b": 1, "c": 2}}
+        assert unset_path(doc, "a.b") is True
+        assert doc == {"a": {"c": 2}}
+        assert unset_path(doc, "a.missing") is False

@@ -1,0 +1,204 @@
+"""Tests for the two storage engines and their cost/concurrency models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.cost import ConcurrencyProfile, CostParameters
+from repro.docstore.mmapv1 import MmapV1Engine
+from repro.docstore.wiredtiger import WiredTigerEngine
+
+
+def small_doc(index: int = 0) -> dict:
+    return {"_id": f"d{index}", "value": "x" * 200, "n": index}
+
+
+@pytest.fixture(params=[WiredTigerEngine, MmapV1Engine], ids=["wiredtiger", "mmapv1"])
+def engine(request):
+    return request.param()
+
+
+class TestEngineContract:
+    """Behaviour both engines must share."""
+
+    def test_insert_read_roundtrip(self, engine):
+        engine.insert("a", small_doc())
+        document, cost = engine.read("a")
+        assert document["value"] == "x" * 200
+        assert cost > 0
+
+    def test_read_returns_copy(self, engine):
+        engine.insert("a", small_doc())
+        document, _ = engine.read("a")
+        document["value"] = "mutated"
+        assert engine.read("a")[0]["value"] == "x" * 200
+
+    def test_read_missing(self, engine):
+        document, cost = engine.read("missing")
+        assert document is None
+        assert cost > 0
+
+    def test_update_replaces_document(self, engine):
+        engine.insert("a", small_doc())
+        engine.update("a", {"_id": "a", "value": "new"})
+        assert engine.read("a")[0]["value"] == "new"
+
+    def test_update_missing_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.update("missing", small_doc())
+
+    def test_delete(self, engine):
+        engine.insert("a", small_doc())
+        engine.delete("a")
+        assert engine.read("a")[0] is None
+        assert engine.count() == 0
+
+    def test_delete_missing_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.delete("missing")
+
+    def test_scan_returns_all_documents(self, engine):
+        for index in range(10):
+            engine.insert(f"d{index}", small_doc(index))
+        scanned = {record_id for record_id, _, _ in engine.scan()}
+        assert scanned == {f"d{index}" for index in range(10)}
+
+    def test_costs_are_accumulated(self, engine):
+        engine.insert("a", small_doc())
+        engine.read("a")
+        assert engine.costs.total_seconds > 0
+        assert engine.costs.counts["insert"] == 1
+
+    def test_storage_bytes_grow_with_data(self, engine):
+        before = engine.storage_bytes()
+        for index in range(20):
+            engine.insert(f"d{index}", small_doc(index))
+        assert engine.storage_bytes() > before
+
+    def test_statistics_shape(self, engine):
+        engine.insert("a", small_doc())
+        stats = engine.statistics()
+        assert stats["documents"] == 1
+        assert stats["engine"] in ("wiredtiger", "mmapv1")
+        assert "locks" in stats and "operations" in stats
+
+    def test_index_maintenance_cost(self, engine):
+        assert engine.index_maintenance_cost(0) == 0.0
+        assert engine.index_maintenance_cost(3) > 0.0
+
+
+class TestWiredTigerSpecifics:
+    def test_compression_reduces_footprint_vs_mmapv1(self):
+        wired, mmap = WiredTigerEngine(), MmapV1Engine()
+        for index in range(50):
+            wired.insert(f"d{index}", small_doc(index))
+            mmap.insert(f"d{index}", small_doc(index))
+        assert wired.storage_bytes() < mmap.statistics()["allocated_bytes"]
+
+    def test_cache_hit_makes_second_read_cheaper(self):
+        engine = WiredTigerEngine(cache_bytes=1024 * 1024)
+        engine.insert("a", small_doc())
+        # Evict from cache by clearing it to force a disk read first.
+        engine._cache.clear()
+        _, cold = engine.read("a")
+        _, warm = engine.read("a")
+        assert warm < cold
+
+    def test_invalid_compression_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            WiredTigerEngine(compression_ratio=0.0)
+
+    def test_document_level_concurrency_profile(self):
+        profile = WiredTigerEngine.concurrency
+        assert profile.serial_write_fraction < 0.2
+        assert profile.speedup(8, write_ratio=0.5) > 4.0
+
+    def test_statistics_include_cache_and_depth(self):
+        engine = WiredTigerEngine()
+        engine.insert("a", small_doc())
+        stats = engine.statistics()
+        assert "cache" in stats and "btree_depth" in stats
+
+
+class TestMmapV1Specifics:
+    def test_padding_allows_in_place_growth(self):
+        engine = MmapV1Engine(padding_factor=2.0)
+        engine.insert("a", small_doc())
+        engine.update("a", {"_id": "a", "value": "x" * 250, "n": 0})
+        assert engine.statistics()["document_moves"] == 0
+
+    def test_outgrowing_padding_moves_document(self):
+        engine = MmapV1Engine(padding_factor=1.1)
+        engine.insert("a", small_doc())
+        engine.update("a", {"_id": "a", "value": "x" * 5000, "n": 0})
+        assert engine.statistics()["document_moves"] == 1
+
+    def test_document_move_costs_more_than_in_place(self):
+        generous = MmapV1Engine(padding_factor=3.0)
+        tight = MmapV1Engine(padding_factor=1.05)
+        for engine in (generous, tight):
+            engine.insert("a", small_doc())
+        in_place = generous.update("a", {"_id": "a", "value": "y" * 210, "n": 0})
+        moved = tight.update("a", {"_id": "a", "value": "y" * 2000, "n": 0})
+        assert moved > in_place
+
+    def test_collection_level_concurrency_profile(self):
+        profile = MmapV1Engine.concurrency
+        assert profile.serial_write_fraction > 0.8
+        assert profile.speedup(8, write_ratio=1.0) < 2.0
+
+    def test_extents_grow_geometrically(self):
+        engine = MmapV1Engine()
+        for index in range(200):
+            engine.insert(f"d{index}", small_doc(index))
+        stats = engine.statistics()
+        assert stats["extents"] >= 2
+        assert engine.storage_bytes() >= stats["allocated_bytes"]
+
+    def test_page_faults_appear_when_memory_exceeded(self):
+        small_memory = MmapV1Engine(memory_bytes=10_000)
+        large_memory = MmapV1Engine(memory_bytes=100_000_000)
+        for engine in (small_memory, large_memory):
+            for index in range(100):
+                engine.insert(f"d{index}", small_doc(index))
+        _, constrained = small_memory.read("d50")
+        _, unconstrained = large_memory.read("d50")
+        assert constrained > unconstrained
+
+    def test_invalid_padding_rejected(self):
+        with pytest.raises(ValueError):
+            MmapV1Engine(padding_factor=0.9)
+
+    def test_duplicate_insert_rejected(self):
+        engine = MmapV1Engine()
+        engine.insert("a", small_doc())
+        with pytest.raises(KeyError):
+            engine.insert("a", small_doc())
+
+
+class TestConcurrencyProfile:
+    def test_single_thread_is_never_scaled(self):
+        profile = ConcurrencyProfile(0.5, 0.1, 0.9)
+        assert profile.speedup(1, 0.5) == 1.0
+
+    def test_speedup_bounded_by_thread_count(self):
+        profile = ConcurrencyProfile(0.0, 0.0, 1.0)
+        assert profile.speedup(8, 0.0) <= 8.0
+
+    def test_fully_serial_workload_does_not_scale(self):
+        profile = ConcurrencyProfile(1.0, 1.0, 1.0)
+        assert profile.speedup(16, 1.0) == 1.0
+
+    def test_read_heavy_scales_better_than_write_heavy_for_mmap(self):
+        profile = MmapV1Engine.concurrency
+        assert profile.speedup(8, write_ratio=0.05) > profile.speedup(8, write_ratio=0.95)
+
+
+class TestCostParameters:
+    def test_parameters_can_be_overridden(self):
+        slow_disk = CostParameters(disk_write_per_kb=1e-3)
+        default = WiredTigerEngine()
+        slow = WiredTigerEngine(parameters=slow_disk)
+        default_cost = default.insert("a", small_doc())
+        slow_cost = slow.insert("a", small_doc())
+        assert slow_cost > default_cost

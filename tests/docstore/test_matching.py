@@ -1,0 +1,131 @@
+"""Tests for the query-matching language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.matching import equality_value, matches, query_fields
+from repro.errors import DocumentStoreError
+
+DOC = {
+    "_id": "u1",
+    "name": "alice",
+    "age": 30,
+    "score": 4.5,
+    "tags": ["admin", "dev"],
+    "address": {"city": "basel", "zip": "4051"},
+    "active": True,
+}
+
+
+class TestEquality:
+    def test_empty_query_matches_everything(self):
+        assert matches(DOC, {})
+
+    def test_simple_equality(self):
+        assert matches(DOC, {"name": "alice"})
+        assert not matches(DOC, {"name": "bob"})
+
+    def test_dotted_path_equality(self):
+        assert matches(DOC, {"address.city": "basel"})
+        assert not matches(DOC, {"address.city": "zurich"})
+
+    def test_array_contains_scalar(self):
+        assert matches(DOC, {"tags": "admin"})
+        assert not matches(DOC, {"tags": "guest"})
+
+    def test_array_exact_match(self):
+        assert matches(DOC, {"tags": ["admin", "dev"]})
+        assert not matches(DOC, {"tags": ["dev", "admin"]})
+
+    def test_missing_field_equals_none(self):
+        assert matches(DOC, {"nickname": None})
+        assert not matches(DOC, {"nickname": "x"})
+
+    def test_bool_not_equal_to_int(self):
+        assert not matches(DOC, {"active": 1})
+        assert matches(DOC, {"active": True})
+
+
+class TestComparisonOperators:
+    def test_gt_gte_lt_lte(self):
+        assert matches(DOC, {"age": {"$gt": 29}})
+        assert matches(DOC, {"age": {"$gte": 30}})
+        assert not matches(DOC, {"age": {"$lt": 30}})
+        assert matches(DOC, {"age": {"$lte": 30}})
+
+    def test_combined_range(self):
+        assert matches(DOC, {"age": {"$gte": 20, "$lt": 40}})
+        assert not matches(DOC, {"age": {"$gte": 20, "$lt": 30}})
+
+    def test_ne(self):
+        assert matches(DOC, {"name": {"$ne": "bob"}})
+        assert not matches(DOC, {"name": {"$ne": "alice"}})
+
+    def test_in_nin(self):
+        assert matches(DOC, {"name": {"$in": ["alice", "bob"]}})
+        assert not matches(DOC, {"name": {"$nin": ["alice"]}})
+
+    def test_exists(self):
+        assert matches(DOC, {"name": {"$exists": True}})
+        assert matches(DOC, {"nickname": {"$exists": False}})
+        assert not matches(DOC, {"nickname": {"$exists": True}})
+
+    def test_comparison_on_missing_field_fails(self):
+        assert not matches(DOC, {"missing": {"$gt": 1}})
+
+    def test_comparison_across_types_fails(self):
+        assert not matches(DOC, {"name": {"$gt": 5}})
+
+    def test_size_and_all(self):
+        assert matches(DOC, {"tags": {"$size": 2}})
+        assert not matches(DOC, {"tags": {"$size": 1}})
+        assert matches(DOC, {"tags": {"$all": ["dev"]}})
+        assert not matches(DOC, {"tags": {"$all": ["dev", "guest"]}})
+
+    def test_not(self):
+        assert matches(DOC, {"age": {"$not": {"$gt": 40}}})
+        assert not matches(DOC, {"age": {"$not": {"$gt": 20}}})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(DocumentStoreError):
+            matches(DOC, {"age": {"$regex": ".*"}})
+
+
+class TestLogicalOperators:
+    def test_and(self):
+        assert matches(DOC, {"$and": [{"name": "alice"}, {"age": {"$gt": 20}}]})
+        assert not matches(DOC, {"$and": [{"name": "alice"}, {"age": {"$gt": 40}}]})
+
+    def test_or(self):
+        assert matches(DOC, {"$or": [{"name": "bob"}, {"age": 30}]})
+        assert not matches(DOC, {"$or": [{"name": "bob"}, {"age": 31}]})
+
+    def test_nor(self):
+        assert matches(DOC, {"$nor": [{"name": "bob"}, {"age": 31}]})
+        assert not matches(DOC, {"$nor": [{"name": "alice"}]})
+
+    def test_implicit_and_of_multiple_fields(self):
+        assert matches(DOC, {"name": "alice", "age": 30})
+        assert not matches(DOC, {"name": "alice", "age": 31})
+
+    def test_logical_operator_requires_list(self):
+        with pytest.raises(DocumentStoreError):
+            matches(DOC, {"$and": {"name": "alice"}})
+
+    def test_unknown_top_level_operator(self):
+        with pytest.raises(DocumentStoreError):
+            matches(DOC, {"$unknown": []})
+
+
+class TestQueryIntrospection:
+    def test_query_fields_collects_paths(self):
+        query = {"a": 1, "$or": [{"b": 2}, {"c.d": {"$gt": 3}}]}
+        assert query_fields(query) == {"a", "b", "c.d"}
+
+    def test_equality_value_detection(self):
+        assert equality_value({"a": 5}, "a") == (True, 5)
+        assert equality_value({"a": {"$eq": 5}}, "a") == (True, 5)
+        assert equality_value({"a": {"$in": [5]}}, "a") == (True, 5)
+        assert equality_value({"a": {"$gt": 5}}, "a") == (False, None)
+        assert equality_value({"b": 5}, "a") == (False, None)

@@ -1,0 +1,120 @@
+"""Tests for the document server (commands) and the driver-style client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.client import DocumentClient
+from repro.docstore.server import DocumentServer
+from repro.errors import DocumentStoreError, NotFoundError
+
+
+class TestDocumentServer:
+    def test_engine_selection(self):
+        assert DocumentServer("wiredtiger").storage_engine == "wiredtiger"
+        assert DocumentServer("mmapv1").storage_engine == "mmapv1"
+        with pytest.raises(DocumentStoreError):
+            DocumentServer("rocksdb")
+
+    def test_databases_and_collections_created_on_demand(self):
+        server = DocumentServer()
+        server.database("app").collection("users").insert_one({"a": 1})
+        assert server.database_names() == ["app"]
+        assert server.database("app").collection_names() == ["users"]
+
+    def test_collections_use_configured_engine(self):
+        server = DocumentServer("mmapv1")
+        collection = server["app"]["users"]
+        assert collection.engine.name == "mmapv1"
+
+    def test_engine_options_forwarded(self):
+        server = DocumentServer("mmapv1", padding_factor=2.5)
+        assert server["db"]["c"].engine.padding_factor == 2.5
+
+    def test_drop_database_and_collection(self):
+        server = DocumentServer()
+        server["app"]["users"].insert_one({"a": 1})
+        assert server.database("app").drop_collection("users") is True
+        assert server.drop_database("app") is True
+        assert server.drop_database("app") is False
+
+    def test_ping_and_build_info(self):
+        server = DocumentServer()
+        assert server.run_command({"ping": 1}) == {"ok": 1}
+        info = server.run_command({"buildInfo": 1})
+        assert "wiredtiger" in info["storageEngines"]
+
+    def test_server_status(self):
+        server = DocumentServer()
+        server["app"]["users"].insert_one({"a": 1})
+        status = server.run_command({"serverStatus": 1})
+        assert status["storageEngine"]["name"] == "wiredtiger"
+        assert status["totalDocuments"] == 1
+
+    def test_db_and_coll_stats(self):
+        server = DocumentServer()
+        server["app"]["users"].insert_one({"a": 1})
+        db_stats = server.run_command({"dbStats": "app"})
+        assert db_stats["documents"] == 1
+        coll_stats = server.run_command({"collStats": "app.users"})
+        assert coll_stats["documents"] == 1
+
+    def test_stats_for_missing_namespace(self):
+        server = DocumentServer()
+        with pytest.raises(NotFoundError):
+            server.run_command({"dbStats": "nope"})
+        with pytest.raises(NotFoundError):
+            server.run_command({"collStats": "nope.missing"})
+
+    def test_unsupported_command(self):
+        with pytest.raises(DocumentStoreError):
+            DocumentServer().run_command({"shardCollection": "x"})
+
+
+class TestDocumentClient:
+    def test_crud_through_client(self):
+        client = DocumentClient(DocumentServer())
+        users = client.collection("app", "users")
+        users.insert_many([{"_id": f"u{i}", "n": i} for i in range(5)])
+        assert users.count_documents() == 5
+        users.update_one({"_id": "u0"}, {"$set": {"n": 99}})
+        assert users.find_one({"_id": "u0"})["n"] == 99
+        users.delete_many({"n": {"$lt": 3}})
+        assert users.count_documents() == 3
+
+    def test_latencies_recorded_per_operation(self):
+        client = DocumentClient(DocumentServer())
+        users = client.collection("app", "users")
+        users.insert_one({"a": 1})
+        users.find_one({"a": 1})
+        users.update_one({"a": 1}, {"$set": {"a": 2}})
+        assert len(client.latencies("insert")) == 1
+        assert len(client.latencies("read")) == 1
+        assert len(client.latencies("update")) == 1
+        assert client.operations_recorded() == 3
+        client.reset_latencies()
+        assert client.operations_recorded() == 0
+
+    def test_find_returns_documents_and_records_latency(self):
+        client = DocumentClient(DocumentServer())
+        users = client.collection("app", "users")
+        users.insert_many([{"n": i} for i in range(3)])
+        assert len(users.find()) == 3
+        assert client.latencies()  # something was recorded
+
+    def test_command_passthrough_and_drop(self):
+        client = DocumentClient(DocumentServer())
+        client.collection("app", "users").insert_one({"a": 1})
+        assert client.command({"ping": 1}) == {"ok": 1}
+        assert client.drop_database("app") is True
+
+    def test_engine_property_exposed(self):
+        client = DocumentClient(DocumentServer("mmapv1"))
+        assert client.collection("app", "users").engine.name == "mmapv1"
+
+    def test_stats_and_index_passthrough(self):
+        client = DocumentClient(DocumentServer())
+        users = client.collection("app", "users")
+        users.insert_one({"city": "basel"})
+        users.create_index("city")
+        assert "city" in users.stats()["indexes"]

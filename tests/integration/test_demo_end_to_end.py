@@ -1,0 +1,95 @@
+"""End-to-end integration test of the paper's demonstration workflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import compare_groups
+from repro.core.enums import EvaluationStatus, JobStatus
+from repro.demo import prepare_demo, run_demo
+
+
+@pytest.fixture(scope="module")
+def completed_demo():
+    """Run the complete demo once (shared by the assertions below)."""
+    setup = prepare_demo(parameters={
+        "storage_engine": ["wiredtiger", "mmapv1"],
+        "threads": {"start": 1, "stop": 8, "step": 2, "scale": "geometric"},
+        "record_count": 80,
+        "operation_count": 160,
+        "query_mix": "50:50",
+        "distribution": "zipfian",
+    }, deployments_per_engine_sweep=2)
+    return run_demo(setup)
+
+
+class TestDemoWorkflow:
+    def test_evaluation_space_is_engines_times_threads(self, completed_demo):
+        control = completed_demo.control
+        assert control.experiments.space_size(completed_demo.experiment.id) == 8
+
+    def test_every_job_finished(self, completed_demo):
+        control = completed_demo.control
+        jobs = control.evaluations.jobs(completed_demo.evaluation.id)
+        assert len(jobs) == 8
+        assert all(job.status is JobStatus.FINISHED for job in jobs)
+        assert completed_demo.report.jobs_failed == 0
+
+    def test_evaluation_marked_finished(self, completed_demo):
+        control = completed_demo.control
+        evaluation = control.evaluations.get(completed_demo.evaluation.id)
+        assert evaluation.status is EvaluationStatus.FINISHED
+
+    def test_every_job_has_result_with_metrics(self, completed_demo):
+        control = completed_demo.control
+        for job in control.evaluations.jobs(completed_demo.evaluation.id):
+            result = control.results.for_job(job.id)
+            assert result.data["throughput_ops_per_sec"] > 0
+            assert result.data["parameters"]["storage_engine"] in ("wiredtiger", "mmapv1")
+            assert "execution_seconds" in result.metrics
+
+    def test_jobs_have_logs_and_timelines(self, completed_demo):
+        control = completed_demo.control
+        job = control.evaluations.jobs(completed_demo.evaluation.id)[0]
+        log = control.logs.full_text(job.id)
+        assert "started" in log and "finished" in log
+        kinds = [e.event_type.value for e in control.events.timeline("job", job.id)]
+        assert kinds[0] == "scheduled" and kinds[-1] == "finished"
+        assert "result_uploaded" in kinds
+
+    def test_work_parallelised_over_both_deployments(self, completed_demo):
+        assert len(completed_demo.report.per_deployment) == 2
+        assert all(count > 0 for count in completed_demo.report.per_deployment.values())
+
+    def test_comparative_shape_wiredtiger_wins_overall(self, completed_demo):
+        comparison = compare_groups(completed_demo.results,
+                                    "parameters.storage_engine",
+                                    "throughput_ops_per_sec")
+        assert comparison["winner"] == "wiredtiger"
+        assert comparison["factor"] > 1.0
+
+    def test_wiredtiger_scales_with_threads_mmapv1_plateaus(self, completed_demo):
+        from repro.analysis.aggregate import pivot
+
+        series = pivot(completed_demo.results, "parameters.threads",
+                       "throughput_ops_per_sec", "parameters.storage_engine")
+        wired = dict(series["wiredtiger"])
+        mmap = dict(series["mmapv1"])
+        assert wired[8] > wired[1] * 3          # near-linear scaling
+        assert mmap[8] < mmap[1] * 2.5          # collection lock plateaus
+        assert wired[8] > mmap[8] * 2           # the gap at high concurrency
+
+    def test_storage_footprint_smaller_under_compression(self, completed_demo):
+        wired_bytes = [r["storage_bytes"] for r in completed_demo.results
+                       if r["parameters"]["storage_engine"] == "wiredtiger"]
+        mmap_bytes = [r["storage_bytes"] for r in completed_demo.results
+                      if r["parameters"]["storage_engine"] == "mmapv1"]
+        assert max(wired_bytes) < min(mmap_bytes)
+
+    def test_project_archive_bundle_contains_all_results(self, completed_demo, tmp_path):
+        control = completed_demo.control
+        path = control.archive.archive_project(completed_demo.project.id, tmp_path)
+        bundle = control.archive.load_bundle(path)
+        jobs_in_bundle = bundle["experiments"][0]["evaluations"][0]["jobs"]
+        assert len(jobs_in_bundle) == 8
+        assert all(entry["result"] is not None for entry in jobs_in_bundle)

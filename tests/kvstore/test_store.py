@@ -1,0 +1,89 @@
+"""Tests for the key-value store SuE (second system)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DocumentStoreError
+from repro.kvstore.store import HashEngine, KeyValueStore, LogStructuredEngine
+
+
+@pytest.fixture(params=["hash", "log"])
+def store(request) -> KeyValueStore:
+    return KeyValueStore(engine=request.param)
+
+
+class TestKeyValueStoreContract:
+    def test_put_get_delete(self, store):
+        store.put("a", "1")
+        assert store.get("a") == "1"
+        store.put("a", "2")
+        assert store.get("a") == "2"
+        store.delete("a")
+        assert store.get("a") is None
+
+    def test_scan_returns_live_entries_sorted(self, store):
+        for key in ("b", "a", "c"):
+            store.put(key, key.upper())
+        store.delete("b")
+        assert store.scan() == [("a", "A"), ("c", "C")]
+
+    def test_costs_accumulate(self, store):
+        store.put("a", "x" * 500)
+        store.get("a")
+        stats = store.statistics()
+        assert stats["simulated_seconds"] > 0
+        assert stats["operations"] >= 2
+        assert stats["keys"] == 1
+
+    def test_get_with_cost(self, store):
+        store.put("a", "1")
+        value, cost = store.get_with_cost("a")
+        assert value == "1" and cost > 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(DocumentStoreError):
+            KeyValueStore(engine="btree")
+
+
+class TestEngineDifferences:
+    def test_log_engine_writes_cheaper_than_hash(self):
+        hash_engine, log_engine = HashEngine(), LogStructuredEngine()
+        payload = "x" * 2000
+        hash_cost = sum(hash_engine.put(f"k{i}", payload) for i in range(50))
+        log_cost = sum(log_engine.put(f"k{i}", payload) for i in range(50))
+        assert log_cost < hash_cost
+
+    def test_log_engine_space_amplification_until_compaction(self):
+        engine = LogStructuredEngine(compaction_threshold=10.0)
+        for _ in range(5):
+            engine.put("same-key", "v" * 100)
+        assert engine.storage_bytes() > 5 * 100 * 0.9
+        engine.compact()
+        assert engine.count() == 1
+        assert engine.storage_bytes() < 200
+
+    def test_automatic_compaction_triggers(self):
+        engine = LogStructuredEngine(compaction_threshold=2.0)
+        for round_number in range(10):
+            for _ in range(10):
+                engine.put(f"key-{round_number % 3}", "v" * 50)
+        assert engine.compactions > 0
+
+    def test_compaction_threshold_validated(self):
+        with pytest.raises(DocumentStoreError):
+            LogStructuredEngine(compaction_threshold=1.0)
+
+    def test_delete_in_log_engine_appends_tombstone(self):
+        engine = LogStructuredEngine(compaction_threshold=100.0)
+        engine.put("a", "1")
+        engine.delete("a")
+        assert engine.get("a") == (None, pytest.approx(engine.parameters.base_operation))
+        assert engine.count() == 0
+
+    def test_statistics_shape(self):
+        for engine in (HashEngine(), LogStructuredEngine()):
+            engine.put("a", "1")
+            stats = engine.statistics()
+            assert {"engine", "keys", "storage_bytes", "operations",
+                    "simulated_seconds"} <= set(stats)

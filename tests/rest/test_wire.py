@@ -1,0 +1,67 @@
+"""Tests for serving the REST API over real HTTP sockets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ApiError
+from repro.rest.wire import HttpRestClient, HttpServerAdapter
+
+
+@pytest.fixture
+def http_server(control):
+    with HttpServerAdapter(control.api, port=0) as adapter:
+        yield adapter
+
+
+class TestHttpTransport:
+    def test_info_endpoint_over_http(self, http_server):
+        client = HttpRestClient(http_server.base_url)
+        response = client.get("/api/v1/info")
+        assert response.ok
+        assert response.json()["name"] == "Chronos Control"
+
+    def test_login_and_authenticated_request(self, http_server):
+        client = HttpRestClient(http_server.base_url)
+        token = client.post("/api/v1/login",
+                            {"username": "admin", "password": "admin"}).json()["token"]
+        client.set_token(token)
+        projects = client.get("/api/v1/projects").json()["projects"]
+        assert projects == []
+
+    def test_error_statuses_propagate(self, http_server):
+        client = HttpRestClient(http_server.base_url, raise_for_status=False)
+        assert client.get("/api/v1/projects").status == 401
+        assert client.get("/api/v1/bogus").status == 404
+
+    def test_raise_for_status(self, http_server):
+        client = HttpRestClient(http_server.base_url)
+        with pytest.raises(ApiError):
+            client.get("/api/v1/projects")
+
+    def test_full_agent_cycle_over_http(self, control, http_server, sleep_system, admin):
+        project = control.projects.create("wire", admin)
+        deployment = control.deployments.register(sleep_system.id, "node-1")
+        experiment = control.experiments.create(project.id, sleep_system.id, "exp",
+                                                parameters={"work_units": [3]})
+        control.evaluations.create(experiment.id)
+
+        client = HttpRestClient(http_server.base_url)
+        token = client.post("/api/v1/login",
+                            {"username": "admin", "password": "admin"}).json()["token"]
+        client.set_token(token)
+        job = client.post("/api/v1/agents/next-job", {
+            "system_id": sleep_system.id, "deployment_id": deployment.id}).json()["job"]
+        client.patch(f"/api/v1/jobs/{job['id']}/progress", {"progress": 60})
+        client.post(f"/api/v1/jobs/{job['id']}/result", {"data": {"work_done": 3}})
+        assert control.jobs.get(job["id"]).status.value == "finished"
+
+    def test_query_parameters_over_http(self, control, http_server, sleep_system):
+        control.deployments.register(sleep_system.id, "node-1")
+        client = HttpRestClient(http_server.base_url)
+        token = client.post("/api/v1/login",
+                            {"username": "admin", "password": "admin"}).json()["token"]
+        client.set_token(token)
+        listed = client.get("/api/v1/deployments",
+                            query={"system_id": sleep_system.id}).json()["deployments"]
+        assert len(listed) == 1

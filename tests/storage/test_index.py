@@ -1,0 +1,82 @@
+"""Tests for the hash and ordered secondary index structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConflictError
+from repro.storage.index import HashIndex, OrderedIndex
+
+
+class TestHashIndex:
+    def test_insert_and_lookup(self):
+        index = HashIndex("status")
+        index.insert("scheduled", "a")
+        index.insert("scheduled", "b")
+        assert index.lookup("scheduled") == {"a", "b"}
+        assert index.lookup("running") == set()
+
+    def test_remove(self):
+        index = HashIndex("status")
+        index.insert("x", "a")
+        index.remove("x", "a")
+        assert index.lookup("x") == set()
+        index.remove("x", "a")  # removing twice is a no-op
+
+    def test_unique_violation(self):
+        index = HashIndex("username", unique=True)
+        index.insert("alice", "u1")
+        with pytest.raises(ConflictError):
+            index.insert("alice", "u2")
+
+    def test_unique_same_row_reinsert_allowed(self):
+        index = HashIndex("username", unique=True)
+        index.insert("alice", "u1")
+        index.insert("alice", "u1")
+        assert index.lookup("alice") == {"u1"}
+
+    def test_unhashable_values_are_normalised(self):
+        index = HashIndex("payload")
+        index.insert({"a": [1, 2]}, "r1")
+        assert index.lookup({"a": [1, 2]}) == {"r1"}
+
+    def test_len_counts_entries(self):
+        index = HashIndex("x")
+        index.insert(1, "a")
+        index.insert(1, "b")
+        index.insert(2, "c")
+        assert len(index) == 3
+
+
+class TestOrderedIndex:
+    def test_range_scan_inclusive(self):
+        index = OrderedIndex("priority")
+        for value in [5, 1, 3, 2, 4]:
+            index.insert(value, f"row-{value}")
+        assert list(index.range(2, 4)) == ["row-2", "row-3", "row-4"]
+
+    def test_range_open_ended(self):
+        index = OrderedIndex("priority")
+        for value in range(5):
+            index.insert(value, f"row-{value}")
+        assert list(index.range(low=3)) == ["row-3", "row-4"]
+        assert list(index.range(high=1)) == ["row-0", "row-1"]
+
+    def test_exclusive_bounds(self):
+        index = OrderedIndex("priority")
+        for value in range(5):
+            index.insert(value, f"row-{value}")
+        assert list(index.range(1, 3, include_low=False, include_high=False)) == ["row-2"]
+
+    def test_remove(self):
+        index = OrderedIndex("priority")
+        index.insert(1, "a")
+        index.insert(2, "b")
+        index.remove(1, "a")
+        assert list(index.range()) == ["b"]
+        assert len(index) == 1
+
+    def test_null_values_not_indexed(self):
+        index = OrderedIndex("priority")
+        index.insert(None, "a")
+        assert len(index) == 0

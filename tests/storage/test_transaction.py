@@ -1,0 +1,81 @@
+"""Tests for transactions: commit, rollback and error behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotFoundError, TransactionError
+from repro.storage.database import Database, simple_schema
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    db.create_table(simple_schema("items", string_columns=["name"], json_columns=["data"]))
+    return db
+
+
+class TestCommit:
+    def test_committed_changes_visible(self, database):
+        with database.transaction() as txn:
+            txn.insert("items", {"id": "a", "name": "first"})
+            txn.update("items", "a", {"name": "renamed"})
+        assert database.get("items", "a")["name"] == "renamed"
+
+    def test_commit_without_operations_is_fine(self, database):
+        with database.transaction():
+            pass
+        assert database.count("items") == 0
+
+    def test_explicit_commit(self, database):
+        txn = database.transaction()
+        txn.insert("items", {"id": "a", "name": "x"})
+        txn.commit()
+        assert database.count("items") == 1
+
+
+class TestRollback:
+    def test_exception_rolls_back_all_operations(self, database):
+        database.insert("items", {"id": "existing", "name": "before"})
+        with pytest.raises(RuntimeError):
+            with database.transaction() as txn:
+                txn.insert("items", {"id": "a", "name": "x"})
+                txn.update("items", "existing", {"name": "after"})
+                txn.delete("items", "existing")
+                raise RuntimeError("boom")
+        assert database.get_or_none("items", "a") is None
+        assert database.get("items", "existing")["name"] == "before"
+
+    def test_explicit_rollback(self, database):
+        txn = database.transaction()
+        txn.insert("items", {"id": "a", "name": "x"})
+        txn.rollback()
+        assert database.count("items") == 0
+
+    def test_rollback_restores_deleted_rows(self, database):
+        database.insert("items", {"id": "a", "name": "keep", "data": {"k": 1}})
+        txn = database.transaction()
+        txn.delete("items", "a")
+        txn.rollback()
+        assert database.get("items", "a")["data"] == {"k": 1}
+
+    def test_rollback_after_commit_is_noop(self, database):
+        txn = database.transaction()
+        txn.insert("items", {"id": "a", "name": "x"})
+        txn.commit()
+        txn.rollback()
+        assert database.count("items") == 1
+
+
+class TestUsageErrors:
+    def test_operations_after_commit_rejected(self, database):
+        txn = database.transaction()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.insert("items", {"id": "a", "name": "x"})
+
+    def test_update_of_missing_row_raises_inside_transaction(self, database):
+        with pytest.raises(NotFoundError):
+            with database.transaction() as txn:
+                txn.update("items", "missing", {"name": "x"})
+        assert database.count("items") == 0

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        arguments = build_parser().parse_args(["demo"])
+        assert arguments.threads == [1, 2, 4, 8, 16]
+        assert arguments.query_mix == "50:50"
+
+    def test_demo_custom_arguments(self):
+        arguments = build_parser().parse_args([
+            "demo", "--threads", "1", "4", "--records", "50",
+            "--query-mix", "95:5", "--distribution", "uniform", "--deployments", "2"])
+        assert arguments.threads == [1, 4]
+        assert arguments.deployments == 2
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--distribution", "gaussian"])
+
+
+class TestCommands:
+    def test_info_command(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "Chronos" in output and "E1-E8" in output
+
+    def test_demo_command_prints_table_and_winner(self, capsys):
+        exit_code = main(["demo", "--threads", "1", "4", "--records", "60",
+                          "--operations", "120", "--no-diagrams"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "finished: 4, failed: 0" in output
+        assert "winner: wiredtiger" in output
+        assert "| wiredtiger | 4 |" in output or "| wiredtiger | 1 |" in output
+
+    def test_demo_command_with_diagrams(self, capsys):
+        exit_code = main(["demo", "--threads", "1", "--records", "40",
+                          "--operations", "80"])
+        assert exit_code == 0
+        assert "Throughput vs threads" in capsys.readouterr().out
+
+    def test_demo_command_writes_report(self, capsys, tmp_path):
+        exit_code = main(["demo", "--threads", "1", "--records", "40",
+                          "--operations", "80", "--no-diagrams",
+                          "--report-dir", str(tmp_path)])
+        assert exit_code == 0
+        assert "report written to" in capsys.readouterr().out
+        assert list(tmp_path.glob("*-report.md"))
+
+    def test_workloads_command(self, capsys):
+        exit_code = main(["workloads", "--records", "40", "--operations", "80",
+                          "--threads", "4"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for workload in ("A", "B", "C", "D", "E", "F"):
+            assert f"| {workload} |" in output

@@ -1,0 +1,129 @@
+"""Tests for the key-access distributions and the record generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.distributions import (
+    HotspotGenerator,
+    LatestGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    chi_square_uniformity,
+    make_distribution,
+)
+from repro.workloads.generator import RecordGenerator
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("uniform", UniformGenerator), ("zipfian", ZipfianGenerator),
+        ("latest", LatestGenerator), ("hotspot", HotspotGenerator),
+    ])
+    def test_make_distribution(self, name, cls):
+        assert isinstance(make_distribution(name, 100), cls)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_distribution("gaussian", 100)
+
+    def test_item_count_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            UniformGenerator(0)
+
+
+class TestDistributionBehaviour:
+    def draw(self, distribution, count=3000, seed=11):
+        rng = random.Random(seed)
+        return [distribution.next_key(rng) for _ in range(count)]
+
+    def test_all_keys_within_bounds(self):
+        for name in ("uniform", "zipfian", "latest", "hotspot"):
+            samples = self.draw(make_distribution(name, 50))
+            assert all(0 <= key < 50 for key in samples)
+
+    def test_uniform_covers_key_space_evenly(self):
+        samples = self.draw(UniformGenerator(20))
+        statistic = chi_square_uniformity(samples, 20)
+        assert statistic < 60  # well below a heavily skewed distribution
+
+    def test_zipfian_is_much_more_skewed_than_uniform(self):
+        uniform = chi_square_uniformity(self.draw(UniformGenerator(100)), 20)
+        zipfian = chi_square_uniformity(self.draw(ZipfianGenerator(100)), 20)
+        assert zipfian > uniform * 3
+
+    def test_zipfian_hot_key_dominates(self):
+        samples = self.draw(ZipfianGenerator(1000), count=5000)
+        counts = {}
+        for key in samples:
+            counts[key] = counts.get(key, 0) + 1
+        top_share = max(counts.values()) / len(samples)
+        assert top_share > 0.05  # a single key takes a visible share
+
+    def test_latest_prefers_recent_keys(self):
+        distribution = LatestGenerator(1000)
+        samples = self.draw(distribution, count=4000)
+        recent = sum(1 for key in samples if key >= 900)
+        assert recent / len(samples) > 0.3
+
+    def test_hotspot_fraction_respected(self):
+        distribution = HotspotGenerator(1000, hot_fraction=0.1, hot_operation_fraction=0.9)
+        samples = self.draw(distribution, count=4000)
+        hot = sum(1 for key in samples if key < 100)
+        assert 0.8 < hot / len(samples) < 0.99
+
+    def test_hotspot_invalid_fractions(self):
+        with pytest.raises(ValidationError):
+            HotspotGenerator(100, hot_fraction=0.0)
+
+    def test_grow_extends_key_space(self):
+        distribution = ZipfianGenerator(10)
+        distribution.grow(100)
+        assert distribution.item_count == 100
+        samples = self.draw(distribution, count=500)
+        assert all(key < 100 for key in samples)
+        # growing never shrinks
+        distribution.grow(50)
+        assert distribution.item_count == 100
+
+    def test_same_seed_reproducible(self):
+        distribution = ZipfianGenerator(100)
+        assert self.draw(distribution, seed=3) == self.draw(distribution, seed=3)
+
+
+class TestRecordGenerator:
+    def test_record_shape(self):
+        generator = RecordGenerator(field_count=3, field_length=10)
+        record = generator.record(7, random.Random(1))
+        assert record["_id"] == "user7"
+        assert {"field0", "field1", "field2", "counter", "category", "active"} <= set(record)
+        assert len(record["field0"]) == 10
+
+    def test_keys_are_stable(self):
+        generator = RecordGenerator()
+        assert generator.key(3) == "user3"
+
+    def test_update_fragment_targets_existing_field(self):
+        generator = RecordGenerator(field_count=2, field_length=5)
+        fragment = generator.update_fragment(random.Random(1))
+        field = next(iter(fragment["$set"]))
+        assert field in ("field0", "field1")
+
+    def test_growing_update_is_larger(self):
+        generator = RecordGenerator(field_count=2, field_length=10)
+        rng = random.Random(1)
+        normal = generator.update_fragment(rng)
+        grown = generator.growing_update(rng, growth_factor=5)
+        assert len(next(iter(grown["$set"].values()))) > len(next(iter(normal["$set"].values())))
+
+    def test_approximate_record_bytes_scales(self):
+        small = RecordGenerator(field_count=2, field_length=10).approximate_record_bytes()
+        large = RecordGenerator(field_count=10, field_length=100).approximate_record_bytes()
+        assert large > small
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValidationError):
+            RecordGenerator(field_count=0)

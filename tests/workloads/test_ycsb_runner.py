@@ -1,0 +1,135 @@
+"""Tests for the YCSB workloads and the document benchmark client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.server import DocumentServer
+from repro.errors import ValidationError
+from repro.workloads.runner import BenchmarkResult, DocumentBenchmark, WorkloadSpec
+from repro.workloads.ycsb import CORE_WORKLOADS, OperationMix, mix_from_ratio, ycsb_workload
+
+
+class TestOperationMix:
+    def test_must_sum_to_one(self):
+        OperationMix(read=0.5, update=0.5)
+        with pytest.raises(ValidationError):
+            OperationMix(read=0.5, update=0.4)
+
+    def test_write_fraction(self):
+        mix = OperationMix(read=0.5, update=0.3, insert=0.1, read_modify_write=0.1)
+        assert mix.write_fraction == pytest.approx(0.5)
+
+    def test_as_dict(self):
+        assert OperationMix(read=1.0).as_dict()["read"] == 1.0
+
+
+class TestYcsbWorkloads:
+    def test_all_six_core_workloads_defined(self):
+        assert set(CORE_WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert ycsb_workload("a").name == "A"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValidationError):
+            ycsb_workload("Z")
+
+    def test_workload_characteristics(self):
+        assert CORE_WORKLOADS["A"].mix.update == pytest.approx(0.5)
+        assert CORE_WORKLOADS["C"].mix.read == pytest.approx(1.0)
+        assert CORE_WORKLOADS["D"].distribution == "latest"
+        assert CORE_WORKLOADS["E"].mix.scan == pytest.approx(0.95)
+
+    def test_mix_from_ratio(self):
+        mix = mix_from_ratio("95:5")
+        assert mix.read == pytest.approx(0.95)
+        assert mix.update == pytest.approx(0.05)
+        with pytest.raises(ValidationError):
+            mix_from_ratio("50:30:20")
+
+
+class TestWorkloadSpec:
+    def test_defaults_are_valid(self):
+        spec = WorkloadSpec()
+        assert spec.record_count > 0 and spec.threads == 1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(record_count=0)
+        with pytest.raises(ValidationError):
+            WorkloadSpec(threads=0)
+
+
+class TestDocumentBenchmark:
+    def make_benchmark(self, engine="wiredtiger", **overrides) -> DocumentBenchmark:
+        spec = WorkloadSpec(record_count=80, operation_count=150,
+                            warmup_operations=20, seed=3, **overrides)
+        return DocumentBenchmark(DocumentServer(engine), spec)
+
+    def test_load_inserts_records(self):
+        benchmark = self.make_benchmark()
+        cost = benchmark.load()
+        assert cost > 0
+        assert benchmark.handle.count_documents() == 80
+
+    def test_full_run_produces_result(self):
+        result = self.make_benchmark().execute_full()
+        assert isinstance(result, BenchmarkResult)
+        assert result.operations == 150
+        assert result.throughput_ops_per_sec > 0
+        assert result.latency_p99_ms >= result.latency_p50_ms
+        assert sum(result.operation_counts.values()) == 150
+
+    def test_result_as_dict_is_json_compatible(self):
+        import json
+
+        result = self.make_benchmark().execute_full()
+        assert json.loads(json.dumps(result.as_dict()))["engine"] == "wiredtiger"
+
+    def test_operation_mix_respected(self):
+        benchmark = self.make_benchmark(mix=OperationMix(read=1.0))
+        result = benchmark.execute_full()
+        assert result.operation_counts["read"] == 150
+        assert result.operation_counts["update"] == 0
+
+    def test_inserts_grow_the_collection(self):
+        benchmark = self.make_benchmark(mix=OperationMix(insert=1.0))
+        benchmark.load()
+        benchmark.run()
+        assert benchmark.handle.count_documents() == 80 + 150
+
+    def test_scan_and_rmw_operations_run(self):
+        benchmark = self.make_benchmark(
+            mix=OperationMix(scan=0.5, read_modify_write=0.5), scan_length=5)
+        result = benchmark.execute_full()
+        assert result.operation_counts["scan"] > 0
+        assert result.operation_counts["read_modify_write"] > 0
+
+    def test_deterministic_given_seed(self):
+        first = self.make_benchmark().execute_full()
+        second = self.make_benchmark().execute_full()
+        assert first.throughput_ops_per_sec == pytest.approx(second.throughput_ops_per_sec)
+
+    def test_threads_increase_wiredtiger_throughput(self):
+        single = self.make_benchmark(threads=1).execute_full()
+        many = self.make_benchmark(threads=8).execute_full()
+        assert many.throughput_ops_per_sec > single.throughput_ops_per_sec * 2
+
+    def test_mmapv1_write_throughput_plateaus(self):
+        single = self.make_benchmark(engine="mmapv1", threads=1,
+                                     mix=OperationMix(update=1.0)).execute_full()
+        many = self.make_benchmark(engine="mmapv1", threads=8,
+                                   mix=OperationMix(update=1.0)).execute_full()
+        assert many.throughput_ops_per_sec < single.throughput_ops_per_sec * 2
+
+    def test_wiredtiger_beats_mmapv1_on_write_heavy_multithreaded(self):
+        spec = dict(threads=8, mix=OperationMix(read=0.5, update=0.5))
+        wired = self.make_benchmark(engine="wiredtiger", **spec).execute_full()
+        mmap = self.make_benchmark(engine="mmapv1", **spec).execute_full()
+        assert wired.throughput_ops_per_sec > mmap.throughput_ops_per_sec
+
+    def test_engine_statistics_included(self):
+        result = self.make_benchmark().execute_full()
+        assert result.engine_statistics["engine"] == "wiredtiger"
+        assert result.engine_statistics["documents"] >= 80
