@@ -2,6 +2,9 @@
 
 * :class:`~repro.agents.mongodb_agent.MongoDbAgent` -- the paper's demo: the
   comparative evaluation of the wiredTiger and mmapv1 storage engines.
+* :class:`~repro.agents.sharded_agent.ShardedMongoAgent` -- the scale-out
+  scenario: YCSB workloads against a sharded cluster behind a query router,
+  sweeping shard count and placement strategy.
 * :class:`~repro.agents.kvstore_agent.KeyValueStoreAgent` -- a second SuE
   demonstrating that multiple systems can be evaluated through the same
   Chronos Control instance.
@@ -11,11 +14,17 @@
 
 from repro.agents.kvstore_agent import KeyValueStoreAgent, register_kvstore_system
 from repro.agents.mongodb_agent import MongoDbAgent, register_mongodb_system
+from repro.agents.sharded_agent import (
+    ShardedMongoAgent,
+    register_sharded_mongodb_system,
+)
 from repro.agents.testing import FlakyAgent, SleepAgent, register_sleep_system
 
 __all__ = [
     "MongoDbAgent",
     "register_mongodb_system",
+    "ShardedMongoAgent",
+    "register_sharded_mongodb_system",
     "KeyValueStoreAgent",
     "register_kvstore_system",
     "SleepAgent",

@@ -1,0 +1,165 @@
+"""The sharded-deployment Chronos Agent: scale-out evaluation scenario.
+
+Where :class:`~repro.agents.mongodb_agent.MongoDbAgent` compares storage
+engines on one server, this agent evaluates a *sharded* document-store
+deployment: for every job it starts a
+:class:`~repro.docstore.sharding.cluster.ShardedCluster` with the requested
+shard count, key strategy and storage engine, loads and balances the
+benchmark collection, runs the operation mix through the query router, and
+reports the usual throughput/latency metrics plus the cluster's chunk and
+migration statistics.
+
+The registered system sweeps a new evaluation axis the single-server demo
+cannot express: shard count x placement strategy x engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.agent.base import ChronosAgent, JobContext
+from repro.core.enums import DiagramKind
+from repro.core.parameters import checkbox, interval, ratio, value
+from repro.core.systems import diagram_spec, result_config
+from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+from repro.workloads.ycsb import mix_from_ratio, ycsb_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.control import ChronosControl
+    from repro.core.entities import System
+
+SHARDED_MONGODB_SYSTEM_NAME = "mongodb-sharded"
+
+
+def register_sharded_mongodb_system(control: "ChronosControl",
+                                    owner_id: str = "") -> "System":
+    """Register the sharded document-store SuE with its evaluation axes."""
+    parameters = [
+        checkbox("storage_engine", ["wiredtiger", "mmapv1"],
+                 "storage engine every shard runs"),
+        interval("shards", "number of shards in the cluster"),
+        checkbox("shard_strategy", ["hash", "range"],
+                 "chunk placement strategy of the shard key"),
+        interval("threads", "number of concurrent client threads"),
+        value("record_count", "documents loaded before the measurement", default=500),
+        value("operation_count", "operations in the measured phase", default=1000),
+        ratio("query_mix", "read:update ratio of the benchmark"),
+        checkbox("distribution", ["uniform", "zipfian", "latest", "hotspot"],
+                 "key access distribution"),
+        value("ycsb_workload", "optional YCSB core workload overriding the mix",
+              default="", required=False),
+        value("shard_key", "field the collection is sharded on",
+              default="_id", required=False),
+        value("seed", "random seed for reproducible runs", default=42, required=False),
+    ]
+    configuration = result_config(
+        metrics=["throughput_ops_per_sec", "latency_avg_ms", "latency_p95_ms",
+                 "latency_p99_ms", "storage_bytes", "chunks", "migrations"],
+        diagrams=[
+            diagram_spec(DiagramKind.LINE, "Throughput vs shards",
+                         x_field="shards", y_field="throughput_ops_per_sec",
+                         group_field="storage_engine"),
+            diagram_spec(DiagramKind.LINE, "p95 latency vs shards",
+                         x_field="shards", y_field="latency_p95_ms",
+                         group_field="storage_engine"),
+            diagram_spec(DiagramKind.BAR, "Chunk migrations",
+                         x_field="shards", y_field="migrations"),
+        ],
+    )
+    return control.systems.register(
+        name=SHARDED_MONGODB_SYSTEM_NAME,
+        parameters=parameters,
+        result_configuration=configuration,
+        description="Sharded document database behind a mongos-style query "
+                    "router (scale-out scenario)",
+        owner_id=owner_id,
+    )
+
+
+class ShardedMongoAgent(ChronosAgent):
+    """Chronos Agent driving YCSB workloads against a sharded cluster."""
+
+    system_name = SHARDED_MONGODB_SYSTEM_NAME
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def set_up(self, context: JobContext) -> None:
+        parameters = context.parameters
+        engine = parameters.get("storage_engine", "wiredtiger")
+        spec = self._workload_spec(parameters)
+        benchmark = DocumentBenchmark.for_spec(spec, storage_engine=engine)
+        context.state["benchmark"] = benchmark
+        context.log(
+            f"starting {engine} cluster with {spec.shards} shard(s) "
+            f"({spec.shard_strategy} strategy), loading {spec.record_count} records"
+        )
+        load_seconds = benchmark.load()
+        context.metrics.set("load_simulated_seconds", load_seconds)
+        context.metrics.set("records_loaded", spec.record_count)
+
+    def warm_up(self, context: JobContext) -> None:
+        benchmark: DocumentBenchmark = context.state["benchmark"]
+        warm_seconds = benchmark.warm_up()
+        context.metrics.set("warmup_simulated_seconds", warm_seconds)
+        context.log("warm-up finished")
+
+    def execute(self, context: JobContext) -> dict[str, Any]:
+        benchmark: DocumentBenchmark = context.state["benchmark"]
+        context.log(
+            f"running {benchmark.spec.operation_count} operations with "
+            f"{benchmark.spec.threads} threads on {benchmark.spec.shards} shard(s)"
+        )
+        result = benchmark.run()
+        context.metrics.set("operations", result.operations)
+        context.metrics.set("throughput_ops_per_sec", result.throughput_ops_per_sec)
+        return result.as_dict()
+
+    def analyze(self, context: JobContext, raw: dict[str, Any]) -> dict[str, Any]:
+        """Attach parameters plus cluster-level chunk/balancer statistics."""
+        analysed = dict(raw)
+        statistics = raw.get("engine_statistics", {})
+        analysed["parameters"] = dict(context.parameters)
+        analysed["storage_bytes"] = statistics.get("storage_bytes", 0)
+        analysed["chunks"] = statistics.get("chunks", 1)
+        analysed["migrations"] = statistics.get("migrations", 0)
+        analysed["chunk_distribution"] = statistics.get("chunk_distribution", {})
+        return analysed
+
+    def clean_up(self, context: JobContext) -> None:
+        context.state.pop("benchmark", None)
+
+    def extra_result_files(self, context: JobContext,
+                           result: dict[str, Any]) -> dict[str, str] | None:
+        """Archive the cluster's chunk table next to the result JSON."""
+        statistics = result.get("engine_statistics", {})
+        lines = [f"shard_key: {statistics.get('shard_key', '_id')}",
+                 f"strategy: {statistics.get('strategy', 'hash')}",
+                 f"chunks: {statistics.get('chunks', 1)}",
+                 f"splits: {statistics.get('splits', 0)}",
+                 f"migrations: {statistics.get('migrations', 0)}",
+                 f"chunk_distribution: {statistics.get('chunk_distribution', {})}"]
+        return {"cluster_statistics.txt": "\n".join(lines)}
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    @staticmethod
+    def _workload_spec(parameters: dict[str, Any]) -> WorkloadSpec:
+        workload_name = parameters.get("ycsb_workload") or ""
+        if workload_name:
+            workload = ycsb_workload(workload_name)
+            mix = workload.mix
+            distribution = workload.distribution
+        else:
+            mix = mix_from_ratio(parameters.get("query_mix", "95:5"))
+            distribution = parameters.get("distribution", "zipfian")
+        return WorkloadSpec(
+            record_count=int(parameters.get("record_count", 500)),
+            operation_count=int(parameters.get("operation_count", 1000)),
+            threads=int(parameters.get("threads", 1)),
+            mix=mix,
+            distribution=distribution,
+            seed=int(parameters.get("seed", 42)),
+            shards=int(parameters.get("shards", 2)),
+            shard_key=parameters.get("shard_key", "_id") or "_id",
+            shard_strategy=parameters.get("shard_strategy", "hash"),
+        )

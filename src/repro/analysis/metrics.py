@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import ValidationError
+from repro.util.stats import percentile
 
 
 @dataclass(frozen=True)
@@ -53,19 +54,6 @@ def summarize(values: Iterable[float]) -> MetricSummary:
         p95=percentile(data, 95),
         p99=percentile(data, 99),
     )
-
-
-def percentile(sorted_values: list[float], rank: float) -> float:
-    """Linear-interpolated percentile of an already-sorted series."""
-    if not sorted_values:
-        raise ValidationError("cannot compute a percentile of an empty series")
-    if not 0 <= rank <= 100:
-        raise ValidationError("percentile rank must lie in [0, 100]")
-    position = (rank / 100.0) * (len(sorted_values) - 1)
-    lower = int(position)
-    upper = min(lower + 1, len(sorted_values) - 1)
-    fraction = position - lower
-    return sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction
 
 
 def throughput(operation_count: int, elapsed_seconds: float) -> float:

@@ -6,6 +6,7 @@ the same workflows from the command line::
     python -m repro demo                 # run the paper's demo end-to-end
     python -m repro demo --threads 1 2 4 --query-mix 95:5
     python -m repro workloads            # YCSB A-F on both engines
+    python -m repro sharded --shards 1 2 4   # scale-out: YCSB on sharded clusters
     python -m repro serve --port 8080    # serve the REST API over HTTP
     python -m repro info                 # package / experiment overview
 
@@ -54,6 +55,20 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.add_argument("--records", type=int, default=150)
     workloads.add_argument("--operations", type=int, default=300)
 
+    sharded = subparsers.add_parser(
+        "sharded", help="run a YCSB workload against sharded clusters")
+    sharded.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4],
+                         help="shard counts to sweep (1 = single server)")
+    sharded.add_argument("--engine", default="wiredtiger",
+                         choices=["wiredtiger", "mmapv1"])
+    sharded.add_argument("--workload", default="B",
+                         help="YCSB core workload (A-F)")
+    sharded.add_argument("--strategy", default="hash", choices=["hash", "range"],
+                         help="chunk placement strategy")
+    sharded.add_argument("--records", type=int, default=200)
+    sharded.add_argument("--operations", type=int, default=400)
+    sharded.add_argument("--threads", type=int, default=8)
+
     serve = subparsers.add_parser("serve", help="serve the Chronos REST API over HTTP")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--data-directory", default=None,
@@ -70,6 +85,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_demo(arguments)
     if arguments.command == "workloads":
         return _command_workloads(arguments)
+    if arguments.command == "sharded":
+        return _command_sharded(arguments)
     if arguments.command == "serve":
         return _command_serve(arguments)
     return _command_info()
@@ -158,9 +175,34 @@ def _command_workloads(arguments) -> int:
     return 0
 
 
+def _command_sharded(arguments) -> int:
+    from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+    from repro.workloads.ycsb import ycsb_workload
+
+    workload = ycsb_workload(arguments.workload)
+    print(f"YCSB workload {workload.name} ({workload.description}) on "
+          f"{arguments.engine}, {arguments.threads} threads, "
+          f"{arguments.strategy} placement")
+    print("| shards | throughput (ops/s) | p95 (ms) | chunks | migrations |")
+    print("| --- | --- | --- | --- | --- |")
+    for shards in arguments.shards:
+        spec = WorkloadSpec(record_count=arguments.records,
+                            operation_count=arguments.operations,
+                            threads=arguments.threads,
+                            mix=workload.mix, distribution=workload.distribution,
+                            shards=shards, shard_strategy=arguments.strategy)
+        result = DocumentBenchmark.for_spec(spec, arguments.engine).execute_full()
+        statistics = result.engine_statistics
+        print(f"| {shards} | {result.throughput_ops_per_sec:,.0f} "
+              f"| {result.latency_p95_ms:.3f} | {statistics.get('chunks', 1)} "
+              f"| {statistics.get('migrations', 0)} |")
+    return 0
+
+
 def _command_serve(arguments) -> int:
     from repro.agents.kvstore_agent import register_kvstore_system
     from repro.agents.mongodb_agent import register_mongodb_system
+    from repro.agents.sharded_agent import register_sharded_mongodb_system
     from repro.core.control import ChronosControl
     from repro.rest.wire import HttpServerAdapter
 
@@ -168,6 +210,8 @@ def _command_serve(arguments) -> int:
     admin = control.users.get_by_username("admin")
     if control.systems.get_by_name("mongodb") is None:
         register_mongodb_system(control, owner_id=admin.id)
+    if control.systems.get_by_name("mongodb-sharded") is None:
+        register_sharded_mongodb_system(control, owner_id=admin.id)
     if control.systems.get_by_name("kvstore") is None:
         register_kvstore_system(control, owner_id=admin.id)
     adapter = HttpServerAdapter(control.api, port=arguments.port).start()
@@ -188,10 +232,11 @@ def _command_info() -> int:
           f"Database Evaluations' (EDBT 2020)")
     print()
     print("subsystems: core (Chronos Control), agent (Python agent library), docstore")
-    print("  (wiredTiger/mmapv1 SuE), kvstore (second SuE), storage (embedded RDBMS),")
-    print("  rest (versioned API), workloads (YCSB), analysis (metrics + diagrams)")
+    print("  (wiredTiger/mmapv1 SuE), docstore.sharding (sharded cluster + query")
+    print("  router), kvstore (second SuE), storage (embedded RDBMS), rest")
+    print("  (versioned API), workloads (YCSB), analysis (metrics + diagrams)")
     print()
-    print("experiments: E1-E8, see DESIGN.md and EXPERIMENTS.md; regenerate with")
+    print("experiments: E1-E9, see DESIGN.md and EXPERIMENTS.md; regenerate with")
     print("  pytest benchmarks/")
     return 0
 

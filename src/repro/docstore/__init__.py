@@ -16,13 +16,18 @@ same externally visible behaviour the demo depends on:
   collection-level-locking engine (:mod:`repro.docstore.mmapv1`), and
 * a deterministic cost model (:mod:`repro.docstore.cost`) that converts those
   mechanisms into simulated service times so that experiments finish in
-  seconds while preserving the comparative shape of the original results.
+  seconds while preserving the comparative shape of the original results, and
+* a sharded cluster (:mod:`repro.docstore.sharding`): N servers behind a
+  ``mongos``-style query router with hash/range chunk placement, chunk
+  splitting and a balancer, reachable through the same
+  :class:`~repro.docstore.client.DocumentClient` as a single server.
 """
 
 from repro.docstore.client import DocumentClient
 from repro.docstore.server import DocumentServer
+from repro.docstore.sharding.cluster import ShardedCluster
 
-__all__ = ["DocumentServer", "DocumentClient"]
+__all__ = ["DocumentServer", "DocumentClient", "ShardedCluster"]
 
 ENGINE_WIREDTIGER = "wiredtiger"
 ENGINE_MMAPV1 = "mmapv1"

@@ -9,10 +9,19 @@ latency histogram without instrumenting every call site.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.docstore.collection import OperationResult
 from repro.docstore.server import DocumentServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.docstore.sharding.cluster import ShardedCluster
+
+
+def _read_label(query: dict[str, Any] | None) -> str:
+    """Latency label of a read: an empty query is a full ``scan``, everything
+    else a ``read`` -- applied uniformly to ``find``/``find_one``/``find_with_cost``."""
+    return "scan" if not query else "read"
 
 
 class CollectionHandle:
@@ -35,17 +44,17 @@ class CollectionHandle:
 
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
         result = self._target.find_with_cost(query or {})
-        self._record("read", result)
+        self._record(_read_label(query), result)
         return result.documents[0] if result.documents else None
 
     def find(self, query: dict[str, Any] | None = None) -> list[dict[str, Any]]:
         result = self._target.find_with_cost(query or {})
-        self._record("scan" if not query else "read", result)
+        self._record(_read_label(query), result)
         return result.documents
 
     def find_with_cost(self, query: dict[str, Any] | None = None) -> OperationResult:
         """Return matching documents together with the simulated cost."""
-        return self._record("read", self._target.find_with_cost(query or {}))
+        return self._record(_read_label(query), self._target.find_with_cost(query or {}))
 
     def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
         return self._record("update", self._target.update_one(query, update))
@@ -79,9 +88,16 @@ class CollectionHandle:
 
 
 class DocumentClient:
-    """Client connection to one :class:`DocumentServer`."""
+    """Client connection to one :class:`DocumentServer` or sharded cluster.
 
-    def __init__(self, server: DocumentServer):
+    Any deployment exposing the server surface (``database()`` /
+    ``run_command()`` / ``drop_database()``) works, in particular
+    :class:`~repro.docstore.sharding.cluster.ShardedCluster` -- the cluster's
+    routed collections speak the same operation protocol, so the handles
+    returned by :meth:`collection` are oblivious to sharding.
+    """
+
+    def __init__(self, server: "DocumentServer | ShardedCluster"):
         self.server = server
         self._latencies: dict[str, list[float]] = {}
 

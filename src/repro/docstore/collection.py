@@ -37,6 +37,9 @@ class OperationResult:
             usual driver-level counters.
         simulated_seconds: total simulated service time charged by the engine.
         documents: result documents for read operations.
+        shard_costs: per-shard cost breakdown, filled in by the sharding
+            router when the operation ran against a cluster (empty for
+            single-server operations).
     """
 
     acknowledged: bool = True
@@ -46,6 +49,7 @@ class OperationResult:
     inserted_ids: list[str] = field(default_factory=list)
     simulated_seconds: float = 0.0
     documents: list[dict[str, Any]] = field(default_factory=list)
+    shard_costs: dict[str, float] = field(default_factory=dict)
 
 
 class Collection:

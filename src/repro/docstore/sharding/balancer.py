@@ -1,0 +1,128 @@
+"""The chunk balancer: evens out chunk ownership across shards.
+
+MongoDB's balancer moves chunks between shards until every shard owns
+roughly the same number of chunks; this reproduction implements the same
+policy.  A migration physically moves the chunk's documents -- each document
+is inserted on the recipient and then deleted from the donor, so no document
+is ever lost or duplicated mid-migration (the recipient holds a copy before
+the donor forgets it).
+
+Balancing operates on the physical per-shard :class:`~repro.docstore.collection.Collection`
+objects of one namespace plus its :class:`~repro.docstore.sharding.chunks.ChunkManager`;
+it is invoked by :meth:`ShardedCluster.balance` and by the router's
+auto-maintenance hook after bursts of inserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.docstore.collection import Collection
+from repro.docstore.documents import get_path
+from repro.docstore.sharding.chunks import Chunk, ChunkManager
+
+
+@dataclass
+class Migration:
+    """Record of one chunk migration (for stats, tests and the demo output)."""
+
+    namespace: str
+    lower: Any
+    upper: Any
+    source_shard: int
+    target_shard: int
+    documents_moved: int
+    simulated_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "namespace": self.namespace,
+            "lower": self.lower,
+            "upper": self.upper,
+            "from_shard": self.source_shard,
+            "to_shard": self.target_shard,
+            "documents_moved": self.documents_moved,
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+
+@dataclass
+class Balancer:
+    """Chunk-count balancing policy.
+
+    Attributes:
+        imbalance_threshold: migrations run while the difference between the
+            most and least loaded shard exceeds this many chunks (1 mirrors
+            MongoDB's steady-state goal).
+        migrations: every migration performed, in order.
+    """
+
+    imbalance_threshold: int = 1
+    migrations: list[Migration] = field(default_factory=list)
+
+    def balance(self, namespace: str, shard_key: str, manager: ChunkManager,
+                collections: list[Collection]) -> list[Migration]:
+        """Migrate chunks until shard chunk counts are within the threshold.
+
+        ``collections[i]`` must be the physical collection of shard ``i``
+        for ``namespace``.  Returns the migrations performed this round.
+        """
+        performed: list[Migration] = []
+        while True:
+            counts = manager.chunk_counts()
+            donor = max(counts, key=lambda shard: (counts[shard], shard))
+            recipient = min(counts, key=lambda shard: (counts[shard], shard))
+            if counts[donor] - counts[recipient] <= self.imbalance_threshold:
+                break
+            # One donor scan yields every chunk's documents; the chunk with
+            # the fewest documents is the cheapest to move.
+            documents_by_chunk = _documents_by_chunk(
+                collections[donor], shard_key, manager, manager.chunks_on(donor))
+            chunk = min(documents_by_chunk,
+                        key=lambda c: (len(documents_by_chunk[c]), str(c.lower)))
+            migration = self.migrate_chunk(namespace, manager, chunk, recipient,
+                                           collections, documents_by_chunk[chunk])
+            performed.append(migration)
+        return performed
+
+    def migrate_chunk(self, namespace: str, manager: ChunkManager, chunk: Chunk,
+                      target_shard: int, collections: list[Collection],
+                      documents: list[dict[str, Any]]) -> Migration:
+        """Move one chunk (its ``documents`` snapshot) to ``target_shard``."""
+        source = collections[chunk.shard_id]
+        target = collections[target_shard]
+        cost = 0.0
+        for document in documents:
+            insert_result = target.insert_one(document)
+            delete_result = source.delete_one({"_id": document["_id"]})
+            cost += insert_result.simulated_seconds + delete_result.simulated_seconds
+        migration = Migration(
+            namespace=namespace,
+            lower=chunk.lower,
+            upper=chunk.upper,
+            source_shard=chunk.shard_id,
+            target_shard=target_shard,
+            documents_moved=len(documents),
+            simulated_seconds=cost,
+        )
+        manager.assign(chunk, target_shard)
+        self.migrations.append(migration)
+        return migration
+
+
+def _documents_by_chunk(collection: Collection, shard_key: str,
+                        manager: ChunkManager,
+                        chunks: list[Chunk]) -> dict[Chunk, list[dict[str, Any]]]:
+    """Partition a shard's documents over ``chunks`` in a single scan."""
+    documents: dict[Chunk, list[dict[str, Any]]] = {chunk: [] for chunk in chunks}
+    for __, document, __cost in collection.engine.scan():
+        found, value = get_path(document, shard_key)
+        if not found:
+            continue
+        point = manager.routing_point(value)
+        for chunk in chunks:
+            if chunk.covers(point):
+                documents[chunk].append(document)
+                break
+    return documents

@@ -1,0 +1,476 @@
+"""The sharded document-store cluster.
+
+A :class:`ShardedCluster` owns N :class:`~repro.docstore.server.DocumentServer`
+shards plus, per sharded namespace, a chunk map
+(:class:`~repro.docstore.sharding.chunks.ChunkManager`) and a
+:class:`~repro.docstore.sharding.balancer.Balancer`.  All data access flows
+through the cluster's :class:`~repro.docstore.sharding.router.QueryRouter`.
+
+The cluster deliberately mirrors the :class:`DocumentServer` surface
+(``database()`` / ``run_command()`` / ``drop_database()`` /
+``server_status()``) so a :class:`~repro.docstore.client.DocumentClient` can
+be handed a cluster wherever it previously took a server -- evaluation
+clients, benchmarks and agents gain sharding without code changes.
+
+Concurrency model: each shard has independent locks, so client threads
+spread across shards contend far less than on one server.  The cluster's
+:meth:`speedup` distributes the thread count over the shards and applies the
+storage engine's Amdahl-style :class:`~repro.docstore.cost.ConcurrencyProfile`
+per shard, capping the total at the thread count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any
+
+from repro.docstore.collection import Collection, OperationResult
+from repro.docstore.cost import CostParameters
+from repro.docstore.documents import get_path
+from repro.docstore.server import _ENGINE_FACTORIES, DocumentServer
+from repro.docstore.sharding.balancer import Balancer, Migration
+from repro.docstore.sharding.chunks import STRATEGIES, STRATEGY_HASH, ChunkManager
+from repro.docstore.sharding.router import QueryRouter
+from repro.errors import DocumentStoreError, NotFoundError
+
+
+@dataclass
+class ShardingState:
+    """Routing metadata of one sharded namespace."""
+
+    key: str
+    manager: ChunkManager
+    balancer: Balancer = dataclass_field(default_factory=Balancer)
+    inserts_since_maintenance: int = 0
+    documents_routed: int = 0
+
+    def note_insert(self) -> None:
+        self.inserts_since_maintenance += 1
+        self.documents_routed += 1
+
+
+class RoutedCollection:
+    """The router-backed stand-in for a :class:`Collection`.
+
+    Exposes the operation surface :class:`~repro.docstore.client.CollectionHandle`
+    expects from its target, delegating every call to the cluster's router.
+    """
+
+    def __init__(self, cluster: "ShardedCluster", database: str, collection: str):
+        self.cluster = cluster
+        self.database = database
+        self.name = collection
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert_one(self, document: dict[str, Any]) -> OperationResult:
+        return self._router.insert_one(self.database, self.name, document)
+
+    def insert_many(self, documents: list[dict[str, Any]]) -> OperationResult:
+        return self._router.insert_many(self.database, self.name, documents)
+
+    def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
+        return self._router.update_one(self.database, self.name, query, update)
+
+    def update_many(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
+        return self._router.update_many(self.database, self.name, query, update)
+
+    def delete_one(self, query: dict[str, Any]) -> OperationResult:
+        return self._router.delete_one(self.database, self.name, query)
+
+    def delete_many(self, query: dict[str, Any]) -> OperationResult:
+        return self._router.delete_many(self.database, self.name, query)
+
+    # -- reads ----------------------------------------------------------------------
+
+    def find_with_cost(self, query: dict[str, Any] | None = None) -> OperationResult:
+        return self._router.find_with_cost(self.database, self.name, query or {})
+
+    def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
+        result = self.find_with_cost(query or {})
+        return result.documents[0] if result.documents else None
+
+    def count_documents(self, query: dict[str, Any] | None = None) -> int:
+        return self._router.count_documents(self.database, self.name, query or {})
+
+    # -- index management ---------------------------------------------------------------
+
+    def create_index(self, field_path: str, unique: bool = False) -> str:
+        return self._router.create_index(self.database, self.name, field_path,
+                                         unique=unique)
+
+    def drop_index(self, field_path: str) -> bool:
+        return self._router.drop_index(self.database, self.name, field_path)
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Merged ``collStats`` across shards plus routing metadata."""
+        return self.cluster.collection_stats(self.database, self.name)
+
+    @property
+    def engine(self):
+        """A representative engine (shard 0's) for concurrency/name lookups."""
+        return self.cluster.shard_collection_on(0, self.database, self.name).engine
+
+    def __len__(self) -> int:
+        return self.count_documents({})
+
+    def __repr__(self) -> str:
+        return (f"RoutedCollection({self.database}.{self.name}, "
+                f"shards={self.cluster.shard_count})")
+
+    @property
+    def _router(self) -> QueryRouter:
+        return self.cluster.router
+
+
+class ShardedDatabase:
+    """A named database spanning every shard of the cluster."""
+
+    def __init__(self, cluster: "ShardedCluster", name: str):
+        self.cluster = cluster
+        self.name = name
+
+    def collection(self, name: str) -> RoutedCollection:
+        """Return the routed handle for ``name`` (shards it on first use)."""
+        self.cluster.sharding_state(self.name, name)
+        return RoutedCollection(self.cluster, self.name, name)
+
+    def drop_collection(self, name: str) -> bool:
+        return self.cluster.drop_sharded_collection(self.name, name)
+
+    def collection_names(self) -> list[str]:
+        return self.cluster.collection_names(self.name)
+
+    def stats(self) -> dict[str, Any]:
+        """Merged ``dbStats`` across every shard."""
+        merged = {"db": self.name, "collections": 0, "documents": 0, "storage_bytes": 0}
+        seen: set[str] = set()
+        for server in self.cluster.shards:
+            if self.name not in server.database_names():
+                continue
+            stats = server.database(self.name).stats()
+            merged["documents"] += stats["documents"]
+            merged["storage_bytes"] += stats["storage_bytes"]
+            seen.update(server.database(self.name).collection_names())
+        merged["collections"] = len(seen)
+        merged["shards"] = self.cluster.shard_count
+        return merged
+
+    def __getitem__(self, name: str) -> RoutedCollection:
+        return self.collection(name)
+
+
+class ShardedCluster:
+    """N document servers behind one ``mongos``-style query router.
+
+    Args:
+        shards: number of shard servers to start.
+        storage_engine: engine every shard runs (``"wiredtiger"``/``"mmapv1"``).
+        shard_key: default shard key for namespaces not explicitly sharded.
+        strategy: default placement strategy, ``"hash"`` or ``"range"``.
+        split_threshold: chunk size (documents) that triggers a split.
+        auto_maintenance: when True, chunk splitting and balancing run
+            automatically after every ``split_threshold`` inserts into a
+            namespace; when False, call :meth:`maintain` explicitly.
+        cost_parameters / engine_options: forwarded to every shard server.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        storage_engine: str = "wiredtiger",
+        shard_key: str = "_id",
+        strategy: str = STRATEGY_HASH,
+        split_threshold: int = 64,
+        auto_maintenance: bool = True,
+        cost_parameters: CostParameters | None = None,
+        **engine_options: Any,
+    ):
+        if shards <= 0:
+            raise DocumentStoreError("a cluster needs at least one shard")
+        if strategy not in STRATEGIES:
+            raise DocumentStoreError(
+                f"unknown sharding strategy {strategy!r}; supported: {STRATEGIES}"
+            )
+        self.shards = [
+            DocumentServer(storage_engine, cost_parameters=cost_parameters,
+                           **engine_options)
+            for __ in range(shards)
+        ]
+        self.storage_engine = storage_engine
+        self.default_shard_key = shard_key
+        self.default_strategy = strategy
+        self.split_threshold = split_threshold
+        self.auto_maintenance = auto_maintenance
+        self.router = QueryRouter(self)
+        self._states: dict[tuple[str, str], ShardingState] = {}
+        self._commands_executed = 0
+
+    # -- DocumentServer-compatible surface ----------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def database(self, name: str) -> ShardedDatabase:
+        """Return the routed database called ``name``."""
+        return ShardedDatabase(self, name)
+
+    def drop_database(self, name: str) -> bool:
+        dropped = False
+        for server in self.shards:
+            dropped = server.drop_database(name) or dropped
+        for key in [key for key in self._states if key[0] == name]:
+            del self._states[key]
+        return dropped
+
+    def database_names(self) -> list[str]:
+        names: set[str] = set()
+        for server in self.shards:
+            names.update(server.database_names())
+        return sorted(names)
+
+    def run_command(self, command: dict[str, Any]) -> dict[str, Any]:
+        """Cluster-level commands: the server subset plus sharding commands.
+
+        Extra commands over :meth:`DocumentServer.run_command`:
+        ``listShards``, ``shardCollection`` (with ``key``/``strategy``
+        fields) and ``balancerStatus``.
+        """
+        self._commands_executed += 1
+        if "ping" in command:
+            return {"ok": 1}
+        if "buildInfo" in command:
+            return {"ok": 1, "version": "4.0-sim", "sharded": True,
+                    "shards": self.shard_count,
+                    "storageEngines": sorted(_ENGINE_FACTORIES)}
+        if "listShards" in command:
+            return {"ok": 1, "shards": [
+                {"id": f"shard{index}", "engine": server.storage_engine,
+                 "databases": len(server.database_names())}
+                for index, server in enumerate(self.shards)
+            ]}
+        if "shardCollection" in command:
+            namespace = command["shardCollection"]
+            db_name, __, coll_name = namespace.partition(".")
+            state = self.shard_collection(
+                db_name, coll_name,
+                key=command.get("key", self.default_shard_key),
+                strategy=command.get("strategy", self.default_strategy),
+            )
+            return {"ok": 1, "collectionsharded": namespace, "key": state.key,
+                    "strategy": state.manager.strategy}
+        if "balancerStatus" in command:
+            return {"ok": 1, "migrations": sum(
+                len(state.balancer.migrations) for state in self._states.values()
+            )}
+        if "serverStatus" in command:
+            return {"ok": 1, **self.server_status()}
+        if "dbStats" in command:
+            name = command["dbStats"]
+            if name not in self.database_names():
+                raise NotFoundError(f"database {name!r} does not exist")
+            return {"ok": 1, **self.database(name).stats()}
+        if "collStats" in command:
+            namespace = command["collStats"]
+            db_name, __, coll_name = namespace.partition(".")
+            if (db_name, coll_name) not in self._states:
+                raise NotFoundError(f"collection {namespace!r} does not exist")
+            return {"ok": 1, **self.collection_stats(db_name, coll_name)}
+        raise DocumentStoreError(f"unsupported command {sorted(command)!r}")
+
+    def server_status(self) -> dict[str, Any]:
+        """Cluster-wide status merging every shard's ``serverStatus``."""
+        per_shard = [server.server_status() for server in self.shards]
+        return {
+            "storageEngine": {"name": self.storage_engine},
+            "sharded": True,
+            "shards": self.shard_count,
+            "commands": self._commands_executed,
+            "databases": len(self.database_names()),
+            "totalDocuments": sum(status["totalDocuments"] for status in per_shard),
+            "chunks": sum(len(state.manager.chunks()) for state in self._states.values()),
+            "migrations": sum(
+                len(state.balancer.migrations) for state in self._states.values()
+            ),
+        }
+
+    def __getitem__(self, name: str) -> ShardedDatabase:
+        return self.database(name)
+
+    # -- sharding management -----------------------------------------------------------
+
+    def shard_collection(self, database: str, collection: str, key: str | None = None,
+                         strategy: str | None = None) -> ShardingState:
+        """Explicitly shard ``database.collection`` with ``key``/``strategy``.
+
+        Must happen before the namespace holds documents; re-sharding a
+        populated namespace would orphan its chunk bookkeeping.
+        """
+        existing = self._states.get((database, collection))
+        if existing is not None:
+            populated = any(
+                len(server.database(database).collection(collection)) > 0
+                for server in self.shards
+                if database in server.database_names()
+                and collection in server.database(database).collection_names()
+            )
+            if populated:
+                raise DocumentStoreError(
+                    f"{database}.{collection} is already sharded and populated"
+                )
+        state = ShardingState(
+            key=key or self.default_shard_key,
+            manager=ChunkManager(self.shard_count,
+                                 strategy=strategy or self.default_strategy,
+                                 split_threshold=self.split_threshold),
+        )
+        self._states[(database, collection)] = state
+        return state
+
+    def sharding_state(self, database: str, collection: str) -> ShardingState:
+        """The routing state of a namespace (sharded with defaults on first use)."""
+        state = self._states.get((database, collection))
+        if state is None:
+            state = self.shard_collection(database, collection)
+        return state
+
+    def shard_collection_on(self, shard_id: int, database: str,
+                            collection: str) -> Collection:
+        """The physical collection of one shard (router/balancer plumbing)."""
+        return self.shards[shard_id].database(database).collection(collection)
+
+    def drop_sharded_collection(self, database: str, collection: str) -> bool:
+        dropped = False
+        for server in self.shards:
+            if database in server.database_names():
+                dropped = server.database(database).drop_collection(collection) or dropped
+        self._states.pop((database, collection), None)
+        return dropped
+
+    def collection_names(self, database: str) -> list[str]:
+        names: set[str] = set()
+        for server in self.shards:
+            if database in server.database_names():
+                names.update(server.database(database).collection_names())
+        return sorted(names)
+
+    # -- maintenance: splits and balancing ---------------------------------------------
+
+    def maintain(self, database: str, collection: str) -> dict[str, Any]:
+        """Run one maintenance round: split oversized chunks, then balance.
+
+        Returns a summary with the splits performed and migrations run.
+        """
+        state = self.sharding_state(database, collection)
+        splits = self.split_chunks(database, collection)
+        migrations = self.balance(database, collection)
+        state.inserts_since_maintenance = 0
+        return {"splits": splits, "migrations": [m.as_dict() for m in migrations]}
+
+    def split_chunks(self, database: str, collection: str) -> int:
+        """Split every oversized chunk of a namespace; returns the split count."""
+        state = self.sharding_state(database, collection)
+        chunks = state.manager.chunks()
+        points_by_chunk: dict[int, list[Any]] = {}
+        for point in self._routing_points(database, collection, state):
+            for index, chunk in enumerate(chunks):
+                if chunk.covers(point):
+                    points_by_chunk.setdefault(index, []).append(point)
+                    break
+        return state.manager.split_oversized(points_by_chunk)
+
+    def balance(self, database: str, collection: str) -> list[Migration]:
+        """Run the balancer for a namespace; returns the migrations performed."""
+        state = self.sharding_state(database, collection)
+        collections = [
+            self.shard_collection_on(shard_id, database, collection)
+            for shard_id in range(self.shard_count)
+        ]
+        return state.balancer.balance(f"{database}.{collection}", state.key,
+                                      state.manager, collections)
+
+    def auto_maintain(self, database: str, collection: str) -> None:
+        """Maintenance trigger the router fires after inserts.
+
+        Each maintenance round scans the namespace, so the trigger backs
+        off geometrically with the routed document count: rounds run after
+        ``split_threshold`` inserts at first, then only once the namespace
+        has grown by another ~50%.  That keeps the total maintenance cost
+        O(N log N) over a load of N documents instead of O(N^2 / threshold).
+        """
+        if not self.auto_maintenance:
+            return
+        state = self.sharding_state(database, collection)
+        trigger = max(self.split_threshold, state.documents_routed // 2)
+        if state.inserts_since_maintenance >= trigger:
+            self.maintain(database, collection)
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def collection_stats(self, database: str, collection: str) -> dict[str, Any]:
+        """Merged per-shard ``collStats`` plus chunk/balancer metadata."""
+        state = self.sharding_state(database, collection)
+        per_shard = []
+        for shard_id in range(self.shard_count):
+            stats = self.shard_collection_on(shard_id, database, collection).stats()
+            stats["shard"] = f"shard{shard_id}"
+            per_shard.append(stats)
+        merged: dict[str, Any] = {
+            "collection": collection,
+            "engine": self.storage_engine,
+            "sharded": True,
+            "shard_key": state.key,
+            "strategy": state.manager.strategy,
+            "documents": sum(stats["documents"] for stats in per_shard),
+            "storage_bytes": sum(stats["storage_bytes"] for stats in per_shard),
+            "simulated_seconds": sum(stats["simulated_seconds"] for stats in per_shard),
+            "chunks": len(state.manager.chunks()),
+            "chunk_distribution": state.manager.chunk_counts(),
+            "splits": state.manager.splits_performed,
+            "migrations": len(state.balancer.migrations),
+            "indexes": per_shard[0]["indexes"] if per_shard else [],
+            "per_shard": per_shard,
+        }
+        return merged
+
+    def chunk_map(self, database: str, collection: str) -> list[dict[str, Any]]:
+        """The namespace's chunk table (for the CLI and the demo)."""
+        return self.sharding_state(database, collection).manager.describe()
+
+    # -- concurrency model ----------------------------------------------------------------
+
+    def speedup(self, threads: int, write_ratio: float) -> float:
+        """Cluster-level throughput speedup for ``threads`` client threads.
+
+        Threads spread evenly over the shards; each shard applies its
+        engine's concurrency profile to its slice of the threads, and the
+        total is capped by the thread count (a thread can only keep one
+        operation in flight).
+        """
+        if threads <= 1:
+            return 1.0
+        profile = _ENGINE_FACTORIES[self.storage_engine].concurrency
+        threads_per_shard = max(1, math.ceil(threads / self.shard_count))
+        per_shard = profile.speedup(threads_per_shard, write_ratio)
+        return min(float(threads), per_shard * min(self.shard_count, threads))
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _routing_points(self, database: str, collection: str,
+                        state: ShardingState) -> list[Any]:
+        points = []
+        for shard_id in range(self.shard_count):
+            engine = self.shard_collection_on(shard_id, database, collection).engine
+            for __, document, __cost in engine.scan():
+                found, value = get_path(document, state.key)
+                if found:
+                    points.append(state.manager.routing_point(value))
+        return points
+
+    def __repr__(self) -> str:
+        return (f"ShardedCluster(shards={self.shard_count}, "
+                f"engine={self.storage_engine!r})")

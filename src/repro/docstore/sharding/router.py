@@ -1,0 +1,275 @@
+"""The query router: the ``mongos`` of the sharded cluster.
+
+The router exposes the same operation surface as a
+:class:`~repro.docstore.collection.Collection`, which lets the existing
+:class:`~repro.docstore.client.DocumentClient` /
+:class:`~repro.docstore.client.CollectionHandle` pair talk to a
+:class:`~repro.docstore.sharding.cluster.ShardedCluster` exactly as it talks
+to a single :class:`~repro.docstore.server.DocumentServer`.
+
+Routing rules (the MongoDB ones, simplified):
+
+* a write or query that pins the shard key to a single value is *targeted*:
+  it runs on exactly the one shard owning that key's chunk;
+* everything else is *scatter-gather*: the router fans out to every shard
+  and merges the per-shard results.
+
+Equivalence caveat (as on real ``mongos``): a single-document write that
+does not pin the shard key (``update_one``/``delete_one`` on a non-key
+predicate) affects exactly one matching document, but *which* one is
+shard-probe order, which may differ from a single server's insertion-order
+choice when several documents match.
+
+Cost accounting: targeted operations carry the owning shard's simulated
+cost unchanged.  Scatter-gather reads and broadcast writes fan out in
+parallel, so the merged ``simulated_seconds`` is the *slowest* shard's cost;
+sequential probes (``update_one``/``delete_one`` without a shard key stop at
+the first matching shard) accumulate the cost of every shard actually
+probed.  The per-shard breakdown always flows into
+``OperationResult.shard_costs``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.docstore.collection import OperationResult
+from repro.docstore.documents import get_path, with_id
+from repro.docstore.matching import equality_value
+from repro.docstore.update_ops import is_update_document
+from repro.errors import DocumentStoreError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.docstore.collection import Collection
+    from repro.docstore.sharding.cluster import ShardedCluster
+
+
+class QueryRouter:
+    """Routes collection operations of one cluster to its shards."""
+
+    def __init__(self, cluster: "ShardedCluster"):
+        self.cluster = cluster
+        self.targeted_operations = 0
+        self.scatter_operations = 0
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert_one(self, database: str, collection: str,
+                   document: dict[str, Any]) -> OperationResult:
+        state = self.cluster.sharding_state(database, collection)
+        stored = with_id(document)
+        found, value = get_path(stored, state.key)
+        if not found:
+            raise DocumentStoreError(
+                f"document is missing the shard key {state.key!r} "
+                f"of {database}.{collection}"
+            )
+        shard_id = state.manager.shard_for(value)
+        result = self._collection(database, collection, shard_id).insert_one(stored)
+        self.targeted_operations += 1
+        result.shard_costs = {self._shard_name(shard_id): result.simulated_seconds}
+        state.note_insert()
+        self.cluster.auto_maintain(database, collection)
+        return result
+
+    def insert_many(self, database: str, collection: str,
+                    documents: list[dict[str, Any]]) -> OperationResult:
+        combined = OperationResult()
+        for document in documents:
+            result = self.insert_one(database, collection, document)
+            combined.inserted_ids.extend(result.inserted_ids)
+            combined.simulated_seconds += result.simulated_seconds
+            _merge_shard_costs(combined, result.shard_costs)
+        return combined
+
+    def update_one(self, database: str, collection: str, query: dict[str, Any],
+                   update: dict[str, Any]) -> OperationResult:
+        state = self.cluster.sharding_state(database, collection)
+        self._check_shard_key_immutable(state.key, query, update)
+        result = self._targeted(database, collection, "update_one", query, update)
+        if result is not None:
+            return result
+        return self._probe_shards(database, collection, "update_one", query, update)
+
+    def update_many(self, database: str, collection: str, query: dict[str, Any],
+                    update: dict[str, Any]) -> OperationResult:
+        state = self.cluster.sharding_state(database, collection)
+        self._check_shard_key_immutable(state.key, query, update)
+        result = self._targeted(database, collection, "update_many", query, update)
+        if result is not None:
+            return result
+        return self._broadcast(database, collection, "update_many", query, update)
+
+    def delete_one(self, database: str, collection: str,
+                   query: dict[str, Any]) -> OperationResult:
+        result = self._targeted(database, collection, "delete_one", query)
+        if result is not None:
+            return result
+        return self._probe_shards(database, collection, "delete_one", query)
+
+    def delete_many(self, database: str, collection: str,
+                    query: dict[str, Any]) -> OperationResult:
+        result = self._targeted(database, collection, "delete_many", query)
+        if result is not None:
+            return result
+        return self._broadcast(database, collection, "delete_many", query)
+
+    # -- reads ----------------------------------------------------------------------
+
+    def find_with_cost(self, database: str, collection: str,
+                       query: dict[str, Any]) -> OperationResult:
+        result = self._targeted(database, collection, "find_with_cost", query)
+        if result is not None:
+            return result
+        # Scatter-gather: fan out to every shard, merge in shard order.
+        self.scatter_operations += 1
+        merged = OperationResult()
+        for shard_id in range(self.cluster.shard_count):
+            result = self._collection(database, collection, shard_id).find_with_cost(query)
+            merged.documents.extend(result.documents)
+            merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+        merged.matched_count = len(merged.documents)
+        merged.simulated_seconds = max(merged.shard_costs.values(), default=0.0)
+        return merged
+
+    def count_documents(self, database: str, collection: str,
+                        query: dict[str, Any]) -> int:
+        state = self.cluster.sharding_state(database, collection)
+        shard_id = self._target_shard(state, query)
+        if shard_id is not None:
+            self.targeted_operations += 1
+            return self._collection(database, collection, shard_id).count_documents(query)
+        self.scatter_operations += 1
+        return sum(
+            self._collection(database, collection, shard_id).count_documents(query)
+            for shard_id in range(self.cluster.shard_count)
+        )
+
+    # -- index management ---------------------------------------------------------------
+
+    def create_index(self, database: str, collection: str, field_path: str,
+                     unique: bool = False) -> str:
+        """Broadcast index creation to every shard.
+
+        A unique index is only enforceable when it is prefixed by the shard
+        key (each shard can only see its own documents), mirroring the
+        MongoDB restriction.
+        """
+        state = self.cluster.sharding_state(database, collection)
+        if unique and field_path != state.key:
+            raise DocumentStoreError(
+                f"unique index on {field_path!r} cannot be enforced across "
+                f"shards; the shard key is {state.key!r}"
+            )
+        for shard_id in range(self.cluster.shard_count):
+            self._collection(database, collection, shard_id).create_index(
+                field_path, unique=unique
+            )
+        return field_path
+
+    def drop_index(self, database: str, collection: str, field_path: str) -> bool:
+        dropped = False
+        for shard_id in range(self.cluster.shard_count):
+            if self._collection(database, collection, shard_id).drop_index(field_path):
+                dropped = True
+        return dropped
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _target_shard(self, state, query: dict[str, Any]) -> int | None:
+        """The single shard a query targets, or None for scatter-gather."""
+        pinned, value = equality_value(query, state.key)
+        if pinned:
+            return state.manager.shard_for(value)
+        return None
+
+    def _targeted(self, database: str, collection: str, operation: str,
+                  query: dict[str, Any], *arguments: Any) -> OperationResult | None:
+        """Run ``operation`` on the one shard ``query`` pins, or return None."""
+        state = self.cluster.sharding_state(database, collection)
+        shard_id = self._target_shard(state, query)
+        if shard_id is None:
+            return None
+        self.targeted_operations += 1
+        target = self._collection(database, collection, shard_id)
+        result = getattr(target, operation)(query, *arguments)
+        result.shard_costs = {self._shard_name(shard_id): result.simulated_seconds}
+        return result
+
+    def _probe_shards(self, database: str, collection: str, operation: str,
+                      *arguments: Any) -> OperationResult:
+        """Run a single-document write shard by shard until one matches."""
+        self.scatter_operations += 1
+        merged = OperationResult()
+        for shard_id in range(self.cluster.shard_count):
+            target = self._collection(database, collection, shard_id)
+            result = getattr(target, operation)(*arguments)
+            merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+            merged.simulated_seconds += result.simulated_seconds
+            if result.matched_count or result.deleted_count:
+                merged.matched_count = result.matched_count
+                merged.modified_count = result.modified_count
+                merged.deleted_count = result.deleted_count
+                break
+        return merged
+
+    def _broadcast(self, database: str, collection: str, operation: str,
+                   *arguments: Any) -> OperationResult:
+        """Run a multi-document write on every shard in parallel and merge."""
+        self.scatter_operations += 1
+        merged = OperationResult()
+        for shard_id in range(self.cluster.shard_count):
+            target = self._collection(database, collection, shard_id)
+            result = getattr(target, operation)(*arguments)
+            merged.matched_count += result.matched_count
+            merged.modified_count += result.modified_count
+            merged.deleted_count += result.deleted_count
+            merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+        merged.simulated_seconds = max(merged.shard_costs.values(), default=0.0)
+        return merged
+
+    def _collection(self, database: str, collection: str, shard_id: int) -> "Collection":
+        return self.cluster.shard_collection_on(shard_id, database, collection)
+
+    @staticmethod
+    def _shard_name(shard_id: int) -> str:
+        return f"shard{shard_id}"
+
+    @staticmethod
+    def _check_shard_key_immutable(key: str, query: dict[str, Any],
+                                   update: dict[str, Any]) -> None:
+        """Reject updates that could change a document's shard key."""
+        if is_update_document(update):
+            for spec in update.values():
+                if not isinstance(spec, dict):
+                    continue
+                for field_path in spec:
+                    touched = (field_path == key or field_path.startswith(key + ".")
+                               or key.startswith(field_path + "."))
+                    if touched and key != "_id":
+                        raise DocumentStoreError(
+                            f"the shard key {key!r} is immutable"
+                        )
+            return
+        if key == "_id":
+            return  # replacement updates always preserve _id
+        found, value = get_path(update, key)
+        if not found:
+            raise DocumentStoreError(
+                f"replacement documents must carry the shard key {key!r}"
+            )
+        pinned, pinned_value = equality_value(query, key)
+        if not pinned:
+            # Without a pinned key we cannot compare the replacement against
+            # the matched document, so the write could silently re-key a
+            # document in place on the wrong shard.
+            raise DocumentStoreError(
+                f"replacement updates must pin the shard key {key!r} in their query"
+            )
+        if value != pinned_value:
+            raise DocumentStoreError(f"the shard key {key!r} is immutable")
+
+
+def _merge_shard_costs(result: OperationResult, costs: dict[str, float]) -> None:
+    for shard, cost in costs.items():
+        result.shard_costs[shard] = result.shard_costs.get(shard, 0.0) + cost

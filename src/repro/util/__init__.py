@@ -2,6 +2,7 @@
 
 from repro.util.clock import Clock, SimulatedClock, SystemClock
 from repro.util.ids import new_id, new_token
+from repro.util.stats import mean, percentile
 from repro.util.validation import (
     ensure_in,
     ensure_non_empty,
@@ -15,6 +16,8 @@ __all__ = [
     "SystemClock",
     "new_id",
     "new_token",
+    "mean",
+    "percentile",
     "ensure_in",
     "ensure_non_empty",
     "ensure_positive",

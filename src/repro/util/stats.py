@@ -1,0 +1,41 @@
+"""Shared numeric helpers: mean and linear-interpolated percentiles.
+
+Both the workload runner (:mod:`repro.workloads.runner`) and the analysis
+layer (:mod:`repro.analysis.metrics`) summarise latency series; this module
+is their single implementation so the two layers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ValidationError
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of ``values``; an empty series has mean 0.0."""
+    data = list(values)
+    if not data:
+        return 0.0
+    return sum(data) / len(data)
+
+
+def percentile(sorted_values: Sequence[float], rank: float) -> float:
+    """Linear-interpolated percentile of an already-sorted series.
+
+    Uses the same interpolation as ``numpy.percentile``'s default: the
+    ``rank``-th percentile sits at position ``rank/100 * (n - 1)`` and is
+    interpolated between the two neighbouring samples.
+
+    Raises :class:`~repro.errors.ValidationError` for an empty series or a
+    rank outside ``[0, 100]``.
+    """
+    if not sorted_values:
+        raise ValidationError("cannot compute a percentile of an empty series")
+    if not 0 <= rank <= 100:
+        raise ValidationError("percentile rank must lie in [0, 100]")
+    position = (rank / 100.0) * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction

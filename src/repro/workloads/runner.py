@@ -23,7 +23,10 @@ from typing import Any
 
 from repro.docstore.client import CollectionHandle, DocumentClient
 from repro.docstore.server import DocumentServer
+from repro.docstore.sharding.chunks import STRATEGIES
+from repro.docstore.sharding.cluster import ShardedCluster
 from repro.errors import ValidationError
+from repro.util.stats import mean, percentile
 from repro.workloads.distributions import KeyDistribution, make_distribution
 from repro.workloads.generator import RecordGenerator
 from repro.workloads.ycsb import OperationMix
@@ -43,6 +46,10 @@ class WorkloadSpec:
         warmup_operations: read operations issued before measuring.
         scan_length: documents returned per scan operation.
         seed: RNG seed making the run reproducible.
+        shards: number of shards when the workload targets a sharded
+            cluster (1 means a single server).
+        shard_key: shard key of the benchmark collection.
+        shard_strategy: chunk placement strategy (``"hash"`` or ``"range"``).
     """
 
     record_count: int = 1000
@@ -55,12 +62,21 @@ class WorkloadSpec:
     warmup_operations: int = 100
     scan_length: int = 10
     seed: int = 42
+    shards: int = 1
+    shard_key: str = "_id"
+    shard_strategy: str = "hash"
 
     def __post_init__(self) -> None:
         if self.record_count <= 0 or self.operation_count <= 0:
             raise ValidationError("record_count and operation_count must be positive")
         if self.threads <= 0:
             raise ValidationError("threads must be positive")
+        if self.shards <= 0:
+            raise ValidationError("shards must be positive")
+        if self.shard_strategy not in STRATEGIES:
+            raise ValidationError(
+                f"shard_strategy must be one of {STRATEGIES}, got {self.shard_strategy!r}"
+            )
 
 
 @dataclass
@@ -69,6 +85,7 @@ class BenchmarkResult:
 
     engine: str
     threads: int
+    shards: int
     operations: int
     simulated_seconds: float
     throughput_ops_per_sec: float
@@ -84,6 +101,7 @@ class BenchmarkResult:
         return {
             "engine": self.engine,
             "threads": self.threads,
+            "shards": self.shards,
             "operations": self.operations,
             "simulated_seconds": self.simulated_seconds,
             "throughput_ops_per_sec": self.throughput_ops_per_sec,
@@ -97,13 +115,20 @@ class BenchmarkResult:
 
 
 class DocumentBenchmark:
-    """Loads, warms up and measures one document server with one workload."""
+    """Loads, warms up and measures one document deployment with one workload.
 
-    def __init__(self, server: DocumentServer, spec: WorkloadSpec,
+    The deployment may be a single :class:`DocumentServer` or a
+    :class:`~repro.docstore.sharding.cluster.ShardedCluster`; both expose the
+    surface :class:`~repro.docstore.client.DocumentClient` needs.
+    """
+
+    def __init__(self, server: DocumentServer | ShardedCluster, spec: WorkloadSpec,
                  database: str = "benchmark", collection: str = "usertable"):
         self.server = server
         self.spec = spec
         self.client = DocumentClient(server)
+        self.database = database
+        self.collection = collection
         self.handle: CollectionHandle = self.client.collection(database, collection)
         self.generator = RecordGenerator(spec.field_count, spec.field_length)
         self._rng = random.Random(spec.seed)
@@ -111,6 +136,28 @@ class DocumentBenchmark:
             spec.distribution, spec.record_count
         )
         self._inserted = spec.record_count
+
+    @classmethod
+    def for_spec(cls, spec: WorkloadSpec, storage_engine: str = "wiredtiger",
+                 database: str = "benchmark", collection: str = "usertable",
+                 **engine_options) -> "DocumentBenchmark":
+        """Build the benchmark and its deployment from the spec alone.
+
+        ``spec.shards == 1`` yields a plain :class:`DocumentServer`;
+        anything larger yields a :class:`ShardedCluster` sharded with the
+        spec's ``shard_key``/``shard_strategy``.
+        """
+        if spec.shards == 1:
+            server: DocumentServer | ShardedCluster = DocumentServer(
+                storage_engine, **engine_options
+            )
+        else:
+            server = ShardedCluster(
+                shards=spec.shards, storage_engine=storage_engine,
+                shard_key=spec.shard_key, strategy=spec.shard_strategy,
+                **engine_options,
+            )
+        return cls(server, spec, database=database, collection=collection)
 
     # -- phases ------------------------------------------------------------------------
 
@@ -121,6 +168,9 @@ class DocumentBenchmark:
             record = self.generator.record(index, self._rng)
             total += self.handle.insert_one(record).simulated_seconds
         self.handle.create_index("category")
+        if isinstance(self.server, ShardedCluster):
+            # Settle chunk splits and balancing before the measured phase.
+            self.server.maintain(self.database, self.collection)
         return total
 
     def warm_up(self) -> float:
@@ -195,10 +245,14 @@ class DocumentBenchmark:
 
     def _summarise(self, latencies: list[float], counts: dict[str, int]) -> BenchmarkResult:
         engine = self.handle.engine
-        concurrency = engine.concurrency
         threads = self.spec.threads
         write_ratio = self.spec.mix.write_fraction
-        speedup = concurrency.speedup(threads, write_ratio)
+        if isinstance(self.server, ShardedCluster):
+            shards = self.server.shard_count
+            speedup = self.server.speedup(threads, write_ratio)
+        else:
+            shards = 1
+            speedup = engine.concurrency.speedup(threads, write_ratio)
 
         total_service = sum(latencies)
         wall_clock = total_service / speedup if speedup > 0 else total_service
@@ -210,27 +264,14 @@ class DocumentBenchmark:
         return BenchmarkResult(
             engine=engine.name,
             threads=threads,
+            shards=shards,
             operations=len(latencies),
             simulated_seconds=wall_clock,
             throughput_ops_per_sec=throughput,
-            latency_avg_ms=_mean(adjusted) * 1000.0,
-            latency_p50_ms=_percentile(adjusted, 50) * 1000.0,
-            latency_p95_ms=_percentile(adjusted, 95) * 1000.0,
-            latency_p99_ms=_percentile(adjusted, 99) * 1000.0,
+            latency_avg_ms=mean(adjusted) * 1000.0,
+            latency_p50_ms=percentile(adjusted, 50) * 1000.0,
+            latency_p95_ms=percentile(adjusted, 95) * 1000.0,
+            latency_p99_ms=percentile(adjusted, 99) * 1000.0,
             operation_counts=counts,
             engine_statistics=self.handle.stats(),
         )
-
-
-def _mean(values: list[float]) -> float:
-    return sum(values) / len(values) if values else 0.0
-
-
-def _percentile(sorted_values: list[float], percentile: float) -> float:
-    if not sorted_values:
-        return 0.0
-    rank = (percentile / 100.0) * (len(sorted_values) - 1)
-    lower = int(rank)
-    upper = min(lower + 1, len(sorted_values) - 1)
-    fraction = rank - lower
-    return sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction

@@ -1,0 +1,90 @@
+"""Tests for the sharded-deployment Chronos agent and its system registration."""
+
+from __future__ import annotations
+
+from repro.agent.base import JobContext
+from repro.agent.metrics import AgentMetrics
+from repro.agents.sharded_agent import (
+    ShardedMongoAgent,
+    register_sharded_mongodb_system,
+)
+from repro.util.clock import SimulatedClock
+
+
+def make_context(parameters: dict) -> JobContext:
+    return JobContext(
+        job_id="job-sharded",
+        parameters=parameters,
+        deployment={"host": "test"},
+        metrics=AgentMetrics(SimulatedClock()),
+    )
+
+
+class TestShardedMongoAgent:
+    PARAMETERS = {
+        "storage_engine": "wiredtiger",
+        "shards": 4,
+        "shard_strategy": "hash",
+        "threads": 4,
+        "record_count": 80,
+        "operation_count": 160,
+        "query_mix": "80:20",
+        "distribution": "uniform",
+        "seed": 1,
+    }
+
+    def run_agent(self, parameters):
+        agent = ShardedMongoAgent()
+        context = make_context(parameters)
+        agent.set_up(context)
+        agent.warm_up(context)
+        raw = agent.execute(context)
+        result = agent.analyze(context, raw)
+        agent.clean_up(context)
+        return agent, context, result
+
+    def test_full_lifecycle_produces_sharded_result(self):
+        __, context, result = self.run_agent(self.PARAMETERS)
+        assert result["engine"] == "wiredtiger"
+        assert result["shards"] == 4
+        assert result["operations"] == 160
+        assert result["throughput_ops_per_sec"] > 0
+        assert result["chunks"] >= 4
+        assert "migrations" in result and "chunk_distribution" in result
+        assert context.state == {}  # clean_up cleared the benchmark
+
+    def test_range_strategy_selected_from_parameters(self):
+        parameters = dict(self.PARAMETERS, shard_strategy="range")
+        __, __, result = self.run_agent(parameters)
+        assert result["engine_statistics"]["strategy"] == "range"
+
+    def test_single_shard_degenerates_to_one_server(self):
+        parameters = dict(self.PARAMETERS, shards=1)
+        __, __, result = self.run_agent(parameters)
+        assert result["shards"] == 1
+        assert result["chunks"] == 1  # single-server stats carry no chunk table
+
+    def test_ycsb_workload_parameter_overrides_mix(self):
+        parameters = dict(self.PARAMETERS, ycsb_workload="C")
+        __, __, result = self.run_agent(parameters)
+        assert result["operation_counts"]["update"] == 0
+
+    def test_sharded_and_single_results_hold_the_same_documents(self):
+        __, __, sharded = self.run_agent(self.PARAMETERS)
+        __, __, single = self.run_agent(dict(self.PARAMETERS, shards=1))
+        assert (sharded["engine_statistics"]["documents"]
+                == single["engine_statistics"]["documents"])
+
+    def test_extra_result_files_render_cluster_statistics(self):
+        agent, context, result = self.run_agent(self.PARAMETERS)
+        files = agent.extra_result_files(context, result)
+        assert "cluster_statistics.txt" in files
+        assert "chunks:" in files["cluster_statistics.txt"]
+
+    def test_system_registration_defines_scale_out_axes(self, control, admin):
+        system = register_sharded_mongodb_system(control, owner_id=admin.id)
+        names = [d.name for d in control.systems.parameter_definitions(system.id)]
+        assert {"storage_engine", "shards", "shard_strategy", "threads"} <= set(names)
+        diagrams = control.systems.diagrams(system.id)
+        assert any(d["y_field"] == "throughput_ops_per_sec" for d in diagrams)
+        assert any(d["y_field"] == "migrations" for d in diagrams)

@@ -1,0 +1,110 @@
+"""Tests for chunk splitting and balancer migrations at the cluster level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.client import DocumentClient
+from repro.docstore.sharding import ShardedCluster
+
+
+def load(cluster: ShardedCluster, count: int):
+    handle = DocumentClient(cluster).collection("app", "users")
+    handle.insert_many([
+        {"_id": f"user{index:04d}", "n": index} for index in range(count)
+    ])
+    return handle
+
+
+class TestSplitting:
+    def test_load_splits_oversized_chunks(self):
+        cluster = ShardedCluster(shards=2, split_threshold=16, auto_maintenance=False)
+        load(cluster, 100)
+        assert cluster.split_chunks("app", "users") > 0
+        manager = cluster.sharding_state("app", "users").manager
+        manager.validate()
+        assert len(manager.chunks()) > 2
+
+    def test_every_key_owned_by_exactly_one_chunk_after_splits(self):
+        cluster = ShardedCluster(shards=2, split_threshold=8, auto_maintenance=False)
+        load(cluster, 120)
+        cluster.split_chunks("app", "users")
+        manager = cluster.sharding_state("app", "users").manager
+        owners = manager.owners_of([f"user{index:04d}" for index in range(120)])
+        assert all(len(chunks) == 1 for chunks in owners.values())
+
+    def test_split_respects_the_threshold(self):
+        cluster = ShardedCluster(shards=1, split_threshold=10, auto_maintenance=False)
+        load(cluster, 75)
+        cluster.split_chunks("app", "users")
+        manager = cluster.sharding_state("app", "users").manager
+        collection = cluster.shard_collection_on(0, "app", "users")
+        for chunk in manager.chunks():
+            owned = sum(
+                1 for __, document, __cost in collection.engine.scan()
+                if chunk.covers(manager.routing_point(document["_id"]))
+            )
+            assert owned <= 10
+
+
+class TestBalancing:
+    def test_range_load_converges_to_even_chunk_counts(self):
+        cluster = ShardedCluster(shards=4, strategy="range", split_threshold=16,
+                                 auto_maintenance=False)
+        load(cluster, 200)
+        cluster.maintain("app", "users")
+        counts = cluster.sharding_state("app", "users").manager.chunk_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_migration_loses_no_documents(self):
+        cluster = ShardedCluster(shards=4, strategy="range", split_threshold=16,
+                                 auto_maintenance=False)
+        handle = load(cluster, 200)
+        before = sorted(d["_id"] for d in handle.find_with_cost({}).documents)
+        summary = cluster.maintain("app", "users")
+        assert summary["migrations"], "expected the balancer to migrate chunks"
+        after = sorted(d["_id"] for d in handle.find_with_cost({}).documents)
+        assert before == after
+        assert handle.count_documents() == 200
+
+    def test_migrated_documents_live_on_their_new_shard(self):
+        cluster = ShardedCluster(shards=2, strategy="range", split_threshold=8,
+                                 auto_maintenance=False)
+        load(cluster, 60)
+        cluster.maintain("app", "users")
+        state = cluster.sharding_state("app", "users")
+        for index in range(60):
+            key = f"user{index:04d}"
+            owner = state.manager.shard_for(key)
+            document = cluster.shard_collection_on(
+                owner, "app", "users").find_one({"_id": key})
+            assert document is not None, f"{key} missing from shard {owner}"
+
+    def test_migrations_are_recorded_with_document_counts(self):
+        cluster = ShardedCluster(shards=4, strategy="range", split_threshold=16,
+                                 auto_maintenance=False)
+        load(cluster, 200)
+        cluster.maintain("app", "users")
+        state = cluster.sharding_state("app", "users")
+        assert state.balancer.migrations
+        for migration in state.balancer.migrations:
+            assert migration.namespace == "app.users"
+            assert migration.documents_moved >= 0
+            assert migration.source_shard != migration.target_shard
+
+    def test_balanced_cluster_needs_no_further_migrations(self):
+        cluster = ShardedCluster(shards=4, split_threshold=16,
+                                 auto_maintenance=False)
+        load(cluster, 100)
+        cluster.maintain("app", "users")
+        assert cluster.balance("app", "users") == []
+
+    def test_auto_maintenance_triggers_during_load(self):
+        cluster = ShardedCluster(shards=4, strategy="range", split_threshold=16)
+        load(cluster, 200)
+        state = cluster.sharding_state("app", "users")
+        state.manager.validate()
+        assert len(state.manager.chunks()) > 1
+        assert state.balancer.migrations
+        counts = state.manager.chunk_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1

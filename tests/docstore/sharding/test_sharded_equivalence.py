@@ -1,0 +1,120 @@
+"""Differential tests: a sharded cluster must behave like a single server.
+
+Same seed, same operation sequence, any shard count -- the surviving
+documents and every operation's matched/modified/deleted counts must be
+identical; only the simulated costs may differ (routing, scatter-gather and
+chunk migrations legitimately change service times).
+
+Known, documented exception (matching real ``mongos``): a single-document
+write that does not pin the shard key picks its victim in shard-probe
+order, which can differ from a single server's insertion-order choice when
+*several* documents match.  The sequences below therefore target
+single-document writes by ``_id`` (the common case) and exercise
+multi-match predicates through ``update_many``/``delete_many``/``find``,
+whose results are order-independent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.docstore.client import CollectionHandle, DocumentClient
+from repro.docstore.server import DocumentServer
+from repro.docstore.sharding import ShardedCluster
+from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+from repro.workloads.ycsb import CORE_WORKLOADS
+
+SHARD_COUNTS = [1, 2, 4]
+
+
+def make_handle(shards: int, strategy: str = "hash") -> CollectionHandle:
+    if shards == 1:
+        server: DocumentServer | ShardedCluster = DocumentServer()
+    else:
+        server = ShardedCluster(shards=shards, strategy=strategy, split_threshold=16)
+    return DocumentClient(server).collection("app", "users")
+
+
+def run_sequence(handle: CollectionHandle, seed: int = 3):
+    """A seeded CRUD mix; returns (sorted documents, operation outcomes)."""
+    rng = random.Random(seed)
+    outcomes = []
+    inserted = 0
+    for step in range(300):
+        roll = rng.random()
+        key = f"user{rng.randrange(max(inserted, 1))}"
+        if roll < 0.4 or inserted < 10:
+            result = handle.insert_one(
+                {"_id": f"user{inserted}", "n": inserted, "group": inserted % 5})
+            outcomes.append(("insert", tuple(result.inserted_ids)))
+            inserted += 1
+        elif roll < 0.6:
+            result = handle.update_one({"_id": key}, {"$set": {"n": step}})
+            outcomes.append(("update", result.matched_count, result.modified_count))
+        elif roll < 0.7:
+            result = handle.update_many({"group": rng.randrange(5)},
+                                        {"$inc": {"touched": 1}})
+            outcomes.append(("update_many", result.matched_count))
+        elif roll < 0.8:
+            result = handle.delete_one({"_id": key})
+            outcomes.append(("delete", result.deleted_count))
+        elif roll < 0.9:
+            documents = handle.find({"group": rng.randrange(5)})
+            outcomes.append(("find", sorted(d["_id"] for d in documents)))
+        else:
+            outcomes.append(("count", handle.count_documents()))
+    documents = sorted(handle.find_with_cost({}).documents,
+                       key=lambda document: document["_id"])
+    return documents, outcomes
+
+
+class TestCrudEquivalence:
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("strategy", ["hash", "range"])
+    def test_sharded_sequence_matches_single_server(self, shards, strategy):
+        single_documents, single_outcomes = run_sequence(make_handle(1))
+        sharded_documents, sharded_outcomes = run_sequence(
+            make_handle(shards, strategy))
+        assert sharded_outcomes == single_outcomes
+        assert sharded_documents == single_documents
+
+    def test_costs_may_differ_but_are_accounted(self):
+        handle = make_handle(4)
+        handle.insert_one({"_id": "u1", "n": 1})
+        result = handle.find_with_cost({"n": 1})
+        assert result.simulated_seconds > 0
+        assert result.shard_costs
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("workload", ["A", "B"])
+    def test_ycsb_run_leaves_identical_collections(self, workload):
+        core = CORE_WORKLOADS[workload]
+
+        def final_documents(shards: int):
+            spec = WorkloadSpec(record_count=120, operation_count=240, threads=4,
+                                mix=core.mix, distribution=core.distribution,
+                                seed=13, shards=shards)
+            benchmark = DocumentBenchmark.for_spec(spec, "wiredtiger")
+            benchmark.execute_full()
+            return sorted(benchmark.handle.find_with_cost({}).documents,
+                          key=lambda document: document["_id"])
+
+        baseline = final_documents(1)
+        for shards in (2, 4):
+            assert final_documents(shards) == baseline
+
+    def test_operation_counts_identical_across_shard_counts(self):
+        core = CORE_WORKLOADS["F"]
+        results = []
+        for shards in SHARD_COUNTS:
+            spec = WorkloadSpec(record_count=80, operation_count=160, threads=2,
+                                mix=core.mix, distribution=core.distribution,
+                                seed=21, shards=shards)
+            results.append(DocumentBenchmark.for_spec(spec, "wiredtiger").execute_full())
+        counts = [result.operation_counts for result in results]
+        assert counts[0] == counts[1] == counts[2]
+        documents = [result.engine_statistics["documents"] for result in results]
+        assert len(set(documents)) == 1

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
+from repro.docstore.collection import Collection
 from repro.docstore.cost import ConcurrencyProfile, CostParameters
 from repro.docstore.mmapv1 import MmapV1Engine
 from repro.docstore.wiredtiger import WiredTigerEngine
@@ -174,6 +177,65 @@ class TestMmapV1Specifics:
         engine.insert("a", small_doc())
         with pytest.raises(KeyError):
             engine.insert("a", small_doc())
+
+
+class TestEngineDifferential:
+    """Both engines must be operationally equivalent: same documents, same
+    counts for any operation sequence -- only the simulated costs differ."""
+
+    @staticmethod
+    def run_sequence(engine, seed: int = 17):
+        """A seeded CRUD mix; returns (sorted documents, operation outcomes)."""
+        collection = Collection("diff", engine)
+        rng = random.Random(seed)
+        outcomes = []
+        inserted = 0
+        for step in range(400):
+            roll = rng.random()
+            key = f"d{rng.randrange(max(inserted, 1))}"
+            if roll < 0.35 or inserted < 5:
+                result = collection.insert_one(
+                    {"_id": f"d{inserted}", "n": inserted,
+                     "payload": "x" * rng.randrange(50, 400),
+                     "category": f"c{inserted % 4}"})
+                outcomes.append(("insert", tuple(result.inserted_ids)))
+                inserted += 1
+            elif roll < 0.55:
+                result = collection.update_one(
+                    {"_id": key}, {"$set": {"payload": "y" * rng.randrange(50, 800)}})
+                outcomes.append(("update", result.matched_count, result.modified_count))
+            elif roll < 0.65:
+                result = collection.update_many({"category": f"c{rng.randrange(4)}"},
+                                                {"$inc": {"n": 1}})
+                outcomes.append(("update_many", result.matched_count,
+                                 result.modified_count))
+            elif roll < 0.75:
+                result = collection.delete_one({"_id": key})
+                outcomes.append(("delete", result.deleted_count))
+            elif roll < 0.85:
+                documents = collection.find_with_cost(
+                    {"category": f"c{rng.randrange(4)}"}).documents
+                outcomes.append(("find", sorted(d["_id"] for d in documents)))
+            else:
+                outcomes.append(("count", collection.count_documents()))
+            if step == 100:
+                outcomes.append(("index", collection.create_index("category")))
+        documents = sorted(collection.find_with_cost({}).documents,
+                           key=lambda document: document["_id"])
+        return documents, outcomes
+
+    def test_seeded_sequence_yields_identical_state_and_outcomes(self):
+        wired_docs, wired_outcomes = self.run_sequence(WiredTigerEngine())
+        mmap_docs, mmap_outcomes = self.run_sequence(MmapV1Engine())
+        assert wired_outcomes == mmap_outcomes
+        assert wired_docs == mmap_docs
+
+    def test_costs_differ_while_state_matches(self):
+        wired, mmap = WiredTigerEngine(), MmapV1Engine()
+        self.run_sequence(wired)
+        self.run_sequence(mmap)
+        assert wired.count() == mmap.count()
+        assert wired.costs.total_seconds != mmap.costs.total_seconds
 
 
 class TestConcurrencyProfile:

@@ -102,6 +102,24 @@ class TestDocumentClient:
         assert len(users.find()) == 3
         assert client.latencies()  # something was recorded
 
+    def test_empty_query_reads_labelled_scan_consistently(self):
+        """find / find_one / find_with_cost agree: empty query = scan."""
+        client = DocumentClient(DocumentServer())
+        users = client.collection("app", "users")
+        users.insert_many([{"n": i} for i in range(3)])
+        client.reset_latencies()
+        users.find()
+        users.find_one()
+        users.find_with_cost()
+        assert len(client.latencies("scan")) == 3
+        assert client.latencies("read") == []
+        client.reset_latencies()
+        users.find({"n": 1})
+        users.find_one({"n": 1})
+        users.find_with_cost({"n": 1})
+        assert len(client.latencies("read")) == 3
+        assert client.latencies("scan") == []
+
     def test_command_passthrough_and_drop(self):
         client = DocumentClient(DocumentServer())
         client.collection("app", "users").insert_one({"a": 1})

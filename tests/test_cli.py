@@ -38,7 +38,7 @@ class TestCommands:
     def test_info_command(self, capsys):
         assert main(["info"]) == 0
         output = capsys.readouterr().out
-        assert "Chronos" in output and "E1-E8" in output
+        assert "Chronos" in output and "E1-E9" in output
 
     def test_demo_command_prints_table_and_winner(self, capsys):
         exit_code = main(["demo", "--threads", "1", "4", "--records", "60",
@@ -70,3 +70,15 @@ class TestCommands:
         output = capsys.readouterr().out
         for workload in ("A", "B", "C", "D", "E", "F"):
             assert f"| {workload} |" in output
+
+    def test_sharded_command_sweeps_shard_counts(self, capsys):
+        exit_code = main(["sharded", "--shards", "1", "2", "--records", "60",
+                          "--operations", "120", "--workload", "A"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "YCSB workload A" in output
+        assert "| 1 |" in output and "| 2 |" in output
+
+    def test_sharded_command_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sharded", "--strategy", "random"])

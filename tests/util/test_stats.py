@@ -1,0 +1,52 @@
+"""Tests for the shared mean/percentile helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.stats import mean, percentile
+
+
+class TestMean:
+    def test_empty_series_has_mean_zero(self):
+        assert mean([]) == 0.0
+
+    def test_single_element(self):
+        assert mean([7.5]) == 7.5
+
+    def test_average(self):
+        assert mean([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_accepts_any_iterable(self):
+        assert mean(value for value in (2.0, 4.0)) == 3.0
+
+
+class TestPercentile:
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValidationError):
+            percentile([], 50)
+
+    def test_rank_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            percentile([1.0], -1)
+        with pytest.raises(ValidationError):
+            percentile([1.0], 101)
+
+    def test_single_element_is_every_percentile(self):
+        for rank in (0, 50, 99, 100):
+            assert percentile([42.0], rank) == 42.0
+
+    def test_interpolation_between_samples(self):
+        data = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(data, 0) == 10.0
+        assert percentile(data, 100) == 40.0
+        assert percentile(data, 50) == 25.0
+        assert percentile(data, 25) == pytest.approx(17.5)
+
+    def test_matches_the_runner_and_metrics_consumers(self):
+        # Both layers import this implementation; spot-check the shared result.
+        from repro.analysis.metrics import percentile as metrics_percentile
+
+        data = [1.0, 2.0, 4.0, 8.0]
+        assert metrics_percentile(data, 95) == percentile(data, 95)
