@@ -1,0 +1,222 @@
+"""E10 -- the query planner: index-range scans and range-targeted routing.
+
+Two comparisons, both opened by the planner refactor:
+
+* **Single server**: the same range query on an indexed vs an unindexed
+  collection.  With the ordered secondary index the planner picks
+  ``INDEX_RANGE`` and examines only the overlapping index window; without it
+  every document is scanned.  The simulated-cost gap widens with the
+  document count.
+* **Sharded cluster**: the same range query on a range-sharded vs a
+  hash-sharded cluster.  The router's shared interval analysis targets only
+  the shards owning overlapping chunks on the range-sharded key; the hashed
+  key must scatter to every shard.
+
+Run standalone for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_query_planner.py --smoke
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.docstore.collection import Collection  # noqa: E402
+from repro.docstore.planner import FULL_SCAN, INDEX_RANGE  # noqa: E402
+from repro.docstore.sharding.cluster import ShardedCluster  # noqa: E402
+from repro.docstore.wiredtiger import WiredTigerEngine  # noqa: E402
+
+DOCUMENT_COUNTS = [250, 1000, 4000]
+SHARDS = 4
+WINDOW = 50  # documents matched by the range query (fixed, so the gap grows with N)
+
+
+def _documents(count: int) -> list[dict[str, Any]]:
+    return [
+        {"_id": f"user{index:06d}", "counter": index,
+         "category": f"cat{index % 10}", "payload": "x" * 64}
+        for index in range(count)
+    ]
+
+
+def _range_query(count: int) -> dict[str, Any]:
+    low = count // 2
+    return {"counter": {"$gte": low, "$lt": low + min(WINDOW, count)}}
+
+
+def run_single_server(count: int) -> dict[str, Any]:
+    """Full-scan vs index-range execution of one range query."""
+    indexed = Collection("users", WiredTigerEngine())
+    unindexed = Collection("users", WiredTigerEngine())
+    documents = _documents(count)
+    indexed.insert_many(documents)
+    unindexed.insert_many(documents)
+    indexed.create_index("counter")
+
+    query = _range_query(count)
+    indexed_plan = indexed.explain(query)["winning_plan"]
+    unindexed_plan = unindexed.explain(query)["winning_plan"]
+    indexed_cost = indexed.find_with_cost(query).simulated_seconds
+    scan_cost = unindexed.find_with_cost(query).simulated_seconds
+    return {
+        "documents": count,
+        "indexed_path": indexed_plan["access_path"],
+        "indexed_examined": indexed_plan["candidates_examined"],
+        "unindexed_path": unindexed_plan["access_path"],
+        "indexed_cost": indexed_cost,
+        "scan_cost": scan_cost,
+        "speedup": scan_cost / indexed_cost if indexed_cost else float("inf"),
+    }
+
+
+def run_sharded(count: int, strategy: str) -> dict[str, Any]:
+    """One range query on the shard key against a 4-shard cluster."""
+    cluster = ShardedCluster(shards=SHARDS, strategy=strategy, split_threshold=32,
+                             auto_maintenance=False)
+    handle = cluster.database("bench").collection("users")
+    handle.insert_many([{"_id": f"user{index:06d}", "counter": index}
+                        for index in range(count)])
+    cluster.maintain("bench", "users")
+
+    start = f"user{count - min(WINDOW, count):06d}"
+    query = {"_id": {"$gte": start}}
+    # Snapshot the routing counters after loading: every insert_one counts as
+    # a targeted operation, so only the delta attributes to the range query.
+    targeted_before = cluster.router.targeted_operations
+    scatter_before = cluster.router.scatter_operations
+    result = handle.find_with_cost(query)
+    return {
+        "documents": count,
+        "strategy": strategy,
+        "shards_contacted": len(result.shard_costs),
+        "matched": len(result.documents),
+        "cost": result.simulated_seconds,
+        "targeted": cluster.router.targeted_operations - targeted_before,
+        "scatter": cluster.router.scatter_operations - scatter_before,
+    }
+
+
+def build_report_lines() -> list[str]:
+    lines = ["## Single server: full scan vs INDEX_RANGE", "",
+             "| documents | indexed path | examined | indexed cost (s) "
+             "| full-scan cost (s) | speedup |",
+             "| --- | --- | --- | --- | --- | --- |"]
+    for count in DOCUMENT_COUNTS:
+        row = run_single_server(count)
+        lines.append(
+            f"| {row['documents']} | {row['indexed_path']} "
+            f"| {row['indexed_examined']} | {row['indexed_cost']:.6f} "
+            f"| {row['scan_cost']:.6f} | {row['speedup']:.1f}x |")
+    lines += ["", "## Sharded: scatter (hash) vs range-targeted (range)", "",
+              "| documents | strategy | shards contacted | matched | cost (s) |",
+              "| --- | --- | --- | --- | --- |"]
+    for count in DOCUMENT_COUNTS:
+        for strategy in ("hash", "range"):
+            row = run_sharded(count, strategy)
+            lines.append(
+                f"| {row['documents']} | {row['strategy']} "
+                f"| {row['shards_contacted']}/{SHARDS} | {row['matched']} "
+                f"| {row['cost']:.6f} |")
+    return lines
+
+
+# -- pytest harness -------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone --smoke run without pytest
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def planner_report(report_writer):
+        lines = build_report_lines()
+        report_writer("E10_query_planner",
+                      "Query planner: index-range scans and range-targeted routing",
+                      lines)
+        return lines
+
+    class TestPlannerShape:
+        def test_index_range_beats_full_scan_at_scale(self, planner_report):
+            for count in (1000, 4000):
+                row = run_single_server(count)
+                assert row["indexed_path"] == INDEX_RANGE
+                assert row["unindexed_path"] == FULL_SCAN
+                assert row["indexed_cost"] < row["scan_cost"]
+
+        def test_speedup_grows_with_document_count(self, planner_report):
+            speedups = [run_single_server(count)["speedup"]
+                        for count in DOCUMENT_COUNTS]
+            assert speedups[-1] > speedups[0]
+
+        def test_range_strategy_targets_a_shard_subset(self, planner_report):
+            hashed = run_sharded(1000, "hash")
+            ranged = run_sharded(1000, "range")
+            assert hashed["shards_contacted"] == SHARDS
+            assert ranged["shards_contacted"] < SHARDS
+            assert hashed["matched"] == ranged["matched"]
+            assert ranged["targeted"] >= 1 and hashed["scatter"] >= 1
+
+    @pytest.mark.benchmark(group="E10-planner")
+    @pytest.mark.parametrize("count", DOCUMENT_COUNTS)
+    def test_benchmark_planner_range_query(benchmark, count):
+        """Wall-clock cost of loading + one planned range query."""
+        result = benchmark.pedantic(run_single_server, args=(count,),
+                                    rounds=1, iterations=1)
+        benchmark.extra_info.update({
+            "documents": count, "speedup": result["speedup"],
+        })
+        assert result["indexed_cost"] < result["scan_cost"]
+
+
+# -- standalone / CI smoke mode ---------------------------------------------------
+
+
+def smoke() -> int:
+    """A fast subset with hard assertions; non-zero exit on regression."""
+    failures: list[str] = []
+
+    single = run_single_server(1000)
+    print(f"single server @1000 docs: {single['indexed_path']} examined "
+          f"{single['indexed_examined']}, cost {single['indexed_cost']:.6f}s "
+          f"vs full scan {single['scan_cost']:.6f}s "
+          f"({single['speedup']:.1f}x)")
+    if single["indexed_path"] != INDEX_RANGE:
+        failures.append("indexed range query did not use INDEX_RANGE")
+    if not single["indexed_cost"] < single["scan_cost"]:
+        failures.append("index-range execution not cheaper than full scan")
+
+    hashed = run_sharded(1000, "hash")
+    ranged = run_sharded(1000, "range")
+    print(f"sharded @1000 docs: hash contacted {hashed['shards_contacted']}/"
+          f"{SHARDS} shards, range contacted {ranged['shards_contacted']}/"
+          f"{SHARDS} (matched {ranged['matched']} both)")
+    if ranged["shards_contacted"] >= SHARDS:
+        failures.append("range-sharded query did not target a shard subset")
+    if hashed["matched"] != ranged["matched"]:
+        failures.append("hash and range strategies disagree on matches")
+    if ranged["targeted"] < 1:
+        failures.append("range query was not counted as targeted")
+
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    print("smoke ok" if not failures else "smoke FAILED")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    if "--smoke" in argv:
+        return smoke()
+    lines = build_report_lines()
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,6 +7,7 @@ the same workflows from the command line::
     python -m repro demo --threads 1 2 4 --query-mix 95:5
     python -m repro workloads            # YCSB A-F on both engines
     python -m repro sharded --shards 1 2 4   # scale-out: YCSB on sharded clusters
+    python -m repro explain --query '{"counter": {"$gte": 500}}'   # query plans
     python -m repro serve --port 8080    # serve the REST API over HTTP
     python -m repro info                 # package / experiment overview
 
@@ -69,6 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--operations", type=int, default=400)
     sharded.add_argument("--threads", type=int, default=8)
 
+    explain = subparsers.add_parser(
+        "explain", help="show the access path a document-store query uses")
+    explain.add_argument("--query", default='{"counter": {"$gte": 500}}',
+                         help="the filter to plan, as JSON")
+    explain.add_argument("--records", type=int, default=1000,
+                         help="synthetic documents to load before planning")
+    explain.add_argument("--engine", default="wiredtiger",
+                         choices=["wiredtiger", "mmapv1"])
+    explain.add_argument("--index", action="append", default=None,
+                         help="secondary index field (repeatable; "
+                              "default: category and counter)")
+    explain.add_argument("--limit", type=int, default=None,
+                         help="cursor limit pushed into the planner")
+    explain.add_argument("--shards", type=int, default=1,
+                         help="explain against a sharded cluster (>1)")
+    explain.add_argument("--strategy", default="range", choices=["hash", "range"],
+                         help="chunk placement strategy of the cluster")
+    explain.add_argument("--shard-key", default="_id", dest="shard_key")
+
     serve = subparsers.add_parser("serve", help="serve the Chronos REST API over HTTP")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--data-directory", default=None,
@@ -87,6 +107,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_workloads(arguments)
     if arguments.command == "sharded":
         return _command_sharded(arguments)
+    if arguments.command == "explain":
+        return _command_explain(arguments)
     if arguments.command == "serve":
         return _command_serve(arguments)
     return _command_info()
@@ -199,6 +221,42 @@ def _command_sharded(arguments) -> int:
     return 0
 
 
+def _command_explain(arguments) -> int:
+    import json
+    import random
+
+    from repro.docstore.client import DocumentClient
+    from repro.docstore.server import DocumentServer
+    from repro.docstore.sharding.cluster import ShardedCluster
+    from repro.workloads.generator import RecordGenerator
+
+    try:
+        query = json.loads(arguments.query)
+    except json.JSONDecodeError as error:
+        print(f"invalid --query JSON: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(query, dict):
+        print("--query must be a JSON object", file=sys.stderr)
+        return 2
+
+    if arguments.shards > 1:
+        server: DocumentServer | ShardedCluster = ShardedCluster(
+            shards=arguments.shards, storage_engine=arguments.engine,
+            shard_key=arguments.shard_key, strategy=arguments.strategy)
+    else:
+        server = DocumentServer(arguments.engine)
+    handle = DocumentClient(server).collection("benchmark", "usertable")
+    generator = RecordGenerator(field_count=2, field_length=8)
+    rng = random.Random(7)
+    for index in range(arguments.records):
+        handle.insert_one(generator.record(index, rng))
+    for field_path in arguments.index or ["category", "counter"]:
+        handle.create_index(field_path)
+    plan = handle.explain(query, limit=arguments.limit)
+    print(json.dumps(plan, indent=2, sort_keys=True, default=str))
+    return 0
+
+
 def _command_serve(arguments) -> int:
     from repro.agents.kvstore_agent import register_kvstore_system
     from repro.agents.mongodb_agent import register_mongodb_system
@@ -232,11 +290,12 @@ def _command_info() -> int:
           f"Database Evaluations' (EDBT 2020)")
     print()
     print("subsystems: core (Chronos Control), agent (Python agent library), docstore")
-    print("  (wiredTiger/mmapv1 SuE), docstore.sharding (sharded cluster + query")
-    print("  router), kvstore (second SuE), storage (embedded RDBMS), rest")
-    print("  (versioned API), workloads (YCSB), analysis (metrics + diagrams)")
+    print("  (wiredTiger/mmapv1 SuE with a cost-based query planner), docstore.sharding")
+    print("  (sharded cluster + range-aware query router), kvstore (second SuE),")
+    print("  storage (embedded RDBMS), rest (versioned API), workloads (YCSB),")
+    print("  analysis (metrics + diagrams)")
     print()
-    print("experiments: E1-E9, see DESIGN.md and EXPERIMENTS.md; regenerate with")
+    print("experiments: E1-E10, see DESIGN.md and EXPERIMENTS.md; regenerate with")
     print("  pytest benchmarks/")
     return 0
 

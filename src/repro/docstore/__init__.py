@@ -7,9 +7,11 @@ this environment, the package implements a document database that exposes the
 same externally visible behaviour the demo depends on:
 
 * databases and collections with CRUD, rich query operators, update
-  operators, secondary indexes and cursors
+  operators, ordered secondary indexes and cursors
   (:mod:`repro.docstore.collection`, :mod:`repro.docstore.matching`,
-  :mod:`repro.docstore.update_ops`),
+  :mod:`repro.docstore.update_ops`), planned by a cost-based query planner
+  (:mod:`repro.docstore.planner`) over shared predicate analysis
+  (:mod:`repro.docstore.predicates`), with ``explain()`` on every surface,
 * two storage engines with the *mechanisms that make them differ* in the
   demo: a B-tree based, block-compressed, document-level-locking engine
   (:mod:`repro.docstore.wiredtiger`) and an extent-based, padded, in-place,

@@ -84,13 +84,50 @@ class BTree:
         yield from self._iterate(self._root)
 
     def range(self, low: Any, high: Any) -> Iterator[tuple[Any, Any]]:
-        """Yield pairs with ``low <= key <= high`` in order."""
-        for key, value in self.items():
-            if low is not None and key < low:
-                continue
-            if high is not None and key > high:
-                return
-            yield key, value
+        """Yield pairs with ``low <= key <= high`` in order.
+
+        This is a true range scan: it descends from the root to the first
+        key ``>= low`` (recording the node accesses on the way down, as
+        ``get`` does) and walks in order from there, stopping at the first
+        key ``> high`` -- it never touches the part of the tree before
+        ``low``.
+        """
+        # Descend to the start position, remembering the path.  Each stack
+        # entry is (node, index): for a leaf, the next key slot to emit; for
+        # an internal node, the separator key to emit once its child at that
+        # index has been exhausted.
+        stack: list[tuple[_Node, int]] = []
+        node = self._root
+        while True:
+            self.node_accesses += 1
+            index = 0 if low is None else bisect.bisect_left(node.keys, low)
+            stack.append((node, index))
+            if node.is_leaf:
+                break
+            node = node.children[index]
+        # In-order walk from the start position.
+        while stack:
+            node, index = stack.pop()
+            if node.is_leaf:
+                while index < len(node.keys):
+                    key = node.keys[index]
+                    if high is not None and key > high:
+                        return
+                    yield key, node.values[index]
+                    index += 1
+            elif index < len(node.keys):
+                key = node.keys[index]
+                if high is not None and key > high:
+                    return
+                yield key, node.values[index]
+                stack.append((node, index + 1))
+                child = node.children[index + 1]
+                while True:
+                    self.node_accesses += 1
+                    stack.append((child, 0))
+                    if child.is_leaf:
+                        break
+                    child = child.children[0]
 
     def depth(self) -> int:
         """Height of the tree (1 for a lone root leaf)."""

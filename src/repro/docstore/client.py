@@ -43,7 +43,7 @@ class CollectionHandle:
         return self._record("insert", self._target.insert_many(documents))
 
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
-        result = self._target.find_with_cost(query or {})
+        result = self._target.find_with_cost(query or {}, limit=1)
         self._record(_read_label(query), result)
         return result.documents[0] if result.documents else None
 
@@ -52,9 +52,22 @@ class CollectionHandle:
         self._record(_read_label(query), result)
         return result.documents
 
-    def find_with_cost(self, query: dict[str, Any] | None = None) -> OperationResult:
-        """Return matching documents together with the simulated cost."""
-        return self._record(_read_label(query), self._target.find_with_cost(query or {}))
+    def find_with_cost(self, query: dict[str, Any] | None = None,
+                       limit: int | None = None) -> OperationResult:
+        """Return matching documents together with the simulated cost.
+
+        ``limit`` is pushed down into the query planner (and, on a cluster,
+        into every contacted shard), so a limited range scan stops early.
+        """
+        return self._record(
+            _read_label(query),
+            self._target.find_with_cost(query or {}, limit=limit),
+        )
+
+    def explain(self, query: dict[str, Any] | None = None,
+                limit: int | None = None) -> dict[str, Any]:
+        """The access path (or per-shard paths) ``query`` would use."""
+        return self._target.explain(query or {}, limit=limit)
 
     def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
         return self._record("update", self._target.update_one(query, update))

@@ -3,10 +3,13 @@
 A collection combines
 
 * a storage engine instance (wiredTiger or mmapv1) holding the documents,
-* an index catalog consulted for equality predicates and maintained on every
-  write, and
-* an ``_id`` primary index (a plain dictionary record-id map -- the engines
-  themselves key records by the ``_id`` value).
+* an index catalog of ordered secondary indexes maintained on every write,
+* an ``_id`` primary index (a record-id set for point lookups plus an
+  ordered index so ``_id`` range scans never touch the whole collection), and
+* a :class:`~repro.docstore.planner.QueryPlanner` that picks the access path
+  (``ID_LOOKUP`` / ``INDEX_EQ`` / ``INDEX_RANGE`` / ``FULL_SCAN``) for every
+  read and drives ``find`` / ``find_one`` / ``count`` / ``update`` /
+  ``delete``; :meth:`Collection.explain` exposes its decisions.
 
 Every operation returns an :class:`OperationResult` carrying the simulated
 cost so workload drivers can account latency without real sleeping.
@@ -21,8 +24,9 @@ from typing import Any
 from repro.docstore.cursor import Cursor
 from repro.docstore.documents import validate_document, with_id
 from repro.docstore.engine_base import StorageEngine
-from repro.docstore.indexes import IndexCatalog
-from repro.docstore.matching import equality_value, matches, query_fields
+from repro.docstore.indexes import IndexCatalog, OrderedSecondaryIndex, SecondaryIndex
+from repro.docstore.matching import matches
+from repro.docstore.planner import QueryPlanner
 from repro.docstore.update_ops import apply_update
 from repro.errors import DocumentStoreError, DuplicateKeyError
 
@@ -60,6 +64,12 @@ class Collection:
         self.engine = engine
         self.indexes = IndexCatalog()
         self._ids: set[str] = set()
+        # Ordered index over the ``_id`` values so range predicates on the
+        # primary key are real range scans.  It is primary-key bookkeeping,
+        # not a catalog entry: it does not count towards index-maintenance
+        # cost (the engines already charge for their own key structures).
+        self._id_index = OrderedSecondaryIndex("_id")
+        self.planner = QueryPlanner(self)
 
     # -- writes -----------------------------------------------------------------
 
@@ -73,6 +83,7 @@ class Collection:
                 f"duplicate _id {record_id!r} in collection {self.name!r}"
             )
         self.indexes.add_document(record_id, stored)
+        self._id_index.add(record_id, stored)
         with self.engine.locks.write(record_id):
             cost = self.engine.insert(record_id, stored)
             cost += self.engine.index_maintenance_cost(len(self.indexes))
@@ -142,6 +153,7 @@ class Collection:
         if record_id is None:
             return OperationResult(deleted_count=0, simulated_seconds=find_cost)
         self.indexes.remove_document(record_id, document)
+        self._id_index.remove(record_id, document)
         with self.engine.locks.write(record_id):
             cost = self.engine.delete(record_id)
         self._ids.discard(record_id)
@@ -154,6 +166,7 @@ class Collection:
         for document in matches_found.documents:
             record_id = str(document["_id"])
             self.indexes.remove_document(record_id, document)
+            self._id_index.remove(record_id, document)
             with self.engine.locks.write(record_id):
                 total_cost += self.engine.delete(record_id)
             self._ids.discard(record_id)
@@ -165,18 +178,31 @@ class Collection:
 
     def find(self, query: dict[str, Any] | None = None,
              projection: dict[str, int] | None = None) -> Cursor:
-        """Return a cursor over documents matching ``query`` (all when None)."""
+        """Return a cursor over documents matching ``query`` (all when None).
+
+        The cursor pushes its ``limit`` down into the planner when no sort
+        is requested, so a limited range scan stops after enough matches.
+        """
         query = query or {}
-        return Cursor(lambda: self._find_all(query).documents, projection)
+        return Cursor(
+            lambda limit=None: self._find_all(query, limit=limit).documents,
+            projection,
+        )
 
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
         """Return the first matching document or ``None``."""
         __, document, __cost = self._find_first(query or {})
         return document
 
-    def find_with_cost(self, query: dict[str, Any] | None = None) -> OperationResult:
+    def find_with_cost(self, query: dict[str, Any] | None = None,
+                       limit: int | None = None) -> OperationResult:
         """Like :meth:`find` but returns documents *and* the simulated cost."""
-        return self._find_all(query or {})
+        return self._find_all(query or {}, limit=limit)
+
+    def explain(self, query: dict[str, Any] | None = None,
+                limit: int | None = None) -> dict[str, Any]:
+        """Describe the access path ``query`` would use (see the planner)."""
+        return self.planner.explain(query or {}, limit=limit)
 
     def count_documents(self, query: dict[str, Any] | None = None) -> int:
         """Number of documents matching ``query``."""
@@ -207,53 +233,43 @@ class Collection:
 
     # -- internals -------------------------------------------------------------------------
 
-    def _find_all(self, query: dict[str, Any]) -> OperationResult:
-        candidates, lookup_cost = self._candidates(query)
+    def index_for(self, field_path: str) -> SecondaryIndex | None:
+        """The index usable for ``field_path`` (the ``_id`` index included)."""
+        if field_path == "_id":
+            return self._id_index
+        return self.indexes.get(field_path)
+
+    def record_ids(self) -> set[str]:
+        """The live record-id set (planner plumbing for ``ID_LOOKUP``)."""
+        return self._ids
+
+    def _find_all(self, query: dict[str, Any],
+                  limit: int | None = None) -> OperationResult:
+        plan = self.planner.plan(query, limit=limit)
         documents: list[dict[str, Any]] = []
-        total_cost = lookup_cost
-        for record_id in candidates:
+        read_cost = 0.0
+        for record_id in plan.iter_candidates():
             with self.engine.locks.read(record_id):
                 document, cost = self.engine.read(record_id)
-            total_cost += cost
+            read_cost += cost
             if document is not None and matches(document, query):
                 documents.append(document)
-        return OperationResult(documents=documents, simulated_seconds=total_cost,
+                if limit is not None and len(documents) >= limit:
+                    break
+        return OperationResult(documents=documents,
+                               simulated_seconds=plan.current_lookup_cost() + read_cost,
                                matched_count=len(documents))
 
     def _find_first(self, query: dict[str, Any]) -> tuple[str | None, dict[str, Any] | None, float]:
-        candidates, lookup_cost = self._candidates(query)
-        total_cost = lookup_cost
-        for record_id in candidates:
+        plan = self.planner.plan(query, limit=1)
+        read_cost = 0.0
+        for record_id in plan.iter_candidates():
             with self.engine.locks.read(record_id):
                 document, cost = self.engine.read(record_id)
-            total_cost += cost
+            read_cost += cost
             if document is not None and matches(document, query):
-                return record_id, document, total_cost
-        return None, None, total_cost
-
-    def _candidates(self, query: dict[str, Any]) -> tuple[list[str], float]:
-        """Choose the candidate record ids for ``query`` using available indexes."""
-        # Point lookup by _id.
-        pinned, value = equality_value(query, "_id")
-        if pinned:
-            record_id = str(value)
-            return ([record_id] if record_id in self._ids else []), 0.0
-        # Equality over an indexed field.
-        for field_path in query_fields(query):
-            index = self.indexes.get(field_path)
-            if index is None:
-                continue
-            pinned, value = equality_value(query, field_path)
-            if pinned:
-                cost = len(self.indexes) * self.engine.parameters.node_access
-                return sorted(index.lookup(value)), cost
-        # Full scan: charge the engine's scan cost.
-        documents: list[str] = []
-        scan_cost = 0.0
-        for record_id, __, cost in self.engine.scan():
-            documents.append(record_id)
-            scan_cost += cost
-        return documents, scan_cost
+                return record_id, document, plan.current_lookup_cost() + read_cost
+        return None, None, plan.current_lookup_cost() + read_cost
 
     def __len__(self) -> int:
         return self.engine.count()

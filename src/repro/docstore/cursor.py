@@ -4,18 +4,22 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+from repro.docstore.predicates import scalar_rank
+
 
 class Cursor:
     """Iterates over query results, applying sort / skip / limit / projection.
 
     The cursor is lazy with respect to the caller but materialises the
     matching documents on first use (sorting requires it anyway for the query
-    shapes the benchmarks issue).
+    shapes the benchmarks issue).  ``fetch`` takes an optional limit: when no
+    sort is requested, the effective limit (``skip + limit``) is pushed down
+    into it so the query planner can stop a scan early.
     """
 
     def __init__(
         self,
-        fetch: Callable[[], list[dict[str, Any]]],
+        fetch: Callable[..., list[dict[str, Any]]],
         projection: dict[str, int] | None = None,
     ):
         self._fetch = fetch
@@ -66,10 +70,10 @@ class Cursor:
 
     def _results(self) -> list[dict[str, Any]]:
         if self._materialised is None:
-            documents = self._fetch()
+            documents = self._fetch_documents()
             for field, direction in reversed(self._sort_spec):
                 documents.sort(
-                    key=lambda doc: _sort_key(doc.get(field)),
+                    key=lambda doc: sort_key(doc.get(field)),
                     reverse=direction < 0,
                 )
             if self._skip:
@@ -80,6 +84,11 @@ class Cursor:
                 documents = [self._project(doc) for doc in documents]
             self._materialised = documents
         return self._materialised
+
+    def _fetch_documents(self) -> list[dict[str, Any]]:
+        if self._limit is not None and not self._sort_spec:
+            return self._fetch(self._skip + self._limit)
+        return self._fetch()
 
     def _project(self, document: dict[str, Any]) -> dict[str, Any]:
         include = {field for field, flag in self._projection.items() if flag}
@@ -96,13 +105,19 @@ class Cursor:
             raise RuntimeError("cursor has already been consumed")
 
 
-def _sort_key(value: Any) -> tuple:
+def sort_key(value: Any) -> tuple:
+    """Total-order sort key over mixed-type values (shared with the router).
+
+    Built on the same type-rank ladder as
+    :func:`repro.docstore.predicates.ordered_key` -- the router's limited
+    multi-shard merge relies on the two orders agreeing with the ordered
+    index's emission order.
+    """
+    rank = scalar_rank(value)
+    if rank is None:
+        return (4, str(value))
     if value is None:
-        return (0, "")
+        return (rank, "")
     if isinstance(value, bool):
-        return (1, int(value))
-    if isinstance(value, (int, float)):
-        return (2, value)
-    if isinstance(value, str):
-        return (3, value)
-    return (4, str(value))
+        return (rank, int(value))
+    return (rank, value)

@@ -65,6 +65,21 @@ class StorageEngine(ABC):
     def storage_bytes(self) -> int:
         """Simulated on-disk footprint in bytes (including padding/compression)."""
 
+    # -- planner cost estimates ---------------------------------------------------
+
+    def scan_cost_per_document(self) -> float:
+        """Simulated cost of touching one document during a full scan.
+
+        The query planner uses this (times the document count) to estimate
+        the ``FULL_SCAN`` access path; engines override it to match what
+        their :meth:`scan` actually charges per document.
+        """
+        return self.parameters.node_access
+
+    def point_read_cost_estimate(self) -> float:
+        """Planner estimate for fetching one candidate document by record id."""
+        return self.parameters.base_operation + self.parameters.node_access
+
     # -- reporting --------------------------------------------------------------
 
     def index_maintenance_cost(self, index_count: int) -> float:

@@ -1,17 +1,31 @@
 """Secondary indexes over document fields.
 
-Indexes map a dotted field path's value to the set of record ids carrying
-that value.  The collection consults them for equality predicates and
-maintains them on every write; engines charge index-maintenance cost per
-affected index so the two storage engines stay comparable.
+Two index shapes live here:
+
+* :class:`SecondaryIndex` -- a hash index mapping a dotted field path's value
+  to the set of record ids carrying it; answers equality lookups only.
+* :class:`OrderedSecondaryIndex` -- the catalog's default since the query
+  planner landed: the hash entries plus a :class:`~repro.docstore.btree.BTree`
+  keyed by ``(type rank, value)`` over scalar values, so range predicates
+  become ordered ``tree.range()`` scans instead of full collection scans.
+  It is also *multikey* like MongoDB's indexes: a document whose indexed
+  value is an array is additionally indexed under each scalar element, which
+  makes equality lookups agree exactly with the array-matching semantics of
+  :func:`repro.docstore.matching.matches`.
+
+The collection consults indexes through the query planner and maintains them
+on every write; engines charge index-maintenance cost per affected index so
+the two storage engines stay comparable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
+from repro.docstore.btree import BTree
 from repro.docstore.documents import get_path
+from repro.docstore.predicates import Interval, ordered_key, scalar_rank
 from repro.errors import DuplicateKeyError
 
 
@@ -25,7 +39,7 @@ def _hashable(value: Any) -> Any:
 
 @dataclass
 class SecondaryIndex:
-    """An equality index on one dotted field path."""
+    """An equality (hash) index on one dotted field path."""
 
     field_path: str
     unique: bool = False
@@ -35,32 +49,116 @@ class SecondaryIndex:
         found, value = get_path(document, self.field_path)
         if not found:
             return
-        key = _hashable(value)
-        bucket = self._entries.setdefault(key, set())
-        if self.unique and bucket and record_id not in bucket:
-            raise DuplicateKeyError(
-                f"duplicate value {value!r} for unique index on {self.field_path!r}"
-            )
-        bucket.add(record_id)
+        keys = self._index_keys(value)
+        if self.unique:
+            for key in keys:
+                bucket = self._entries.get(key)
+                if bucket and record_id not in bucket:
+                    raise DuplicateKeyError(
+                        f"duplicate value {value!r} for unique index on "
+                        f"{self.field_path!r}"
+                    )
+        for key in keys:
+            self._entries.setdefault(key, set()).add(record_id)
 
     def remove(self, record_id: str, document: dict[str, Any]) -> None:
         found, value = get_path(document, self.field_path)
         if not found:
             return
-        key = _hashable(value)
-        bucket = self._entries.get(key)
-        if bucket is None:
-            return
-        bucket.discard(record_id)
-        if not bucket:
-            del self._entries[key]
+        for key in self._index_keys(value):
+            bucket = self._entries.get(key)
+            if bucket is None:
+                continue
+            bucket.discard(record_id)
+            if not bucket:
+                del self._entries[key]
+                self._drop_ordered_entry(key)
 
     def lookup(self, value: Any) -> set[str]:
-        """Record ids whose indexed field equals ``value``."""
+        """Record ids whose indexed field equals (or array-contains) ``value``."""
         return set(self._entries.get(_hashable(value), set()))
+
+    def _index_keys(self, value: Any) -> list[Any]:
+        """The hash keys one document value is indexed under."""
+        return [_hashable(value)]
+
+    def _drop_ordered_entry(self, key: Any) -> None:
+        """Hook for ordered subclasses: an entry bucket just emptied."""
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._entries.values())
+
+
+@dataclass
+class OrderedSecondaryIndex(SecondaryIndex):
+    """A multikey hash index plus a B-tree over scalar values for range scans.
+
+    The tree maps ``ordered_key(value)`` (a ``(type rank, value)`` composite,
+    so mixed-type collections stay sortable) to the *same* record-id bucket
+    the hash entries hold for that value.  Non-scalar values (arrays, sub
+    documents) live only in the hash entries: range predicates never match
+    them (see ``matching._comparable``), so the tree does not need them.
+    """
+
+    _tree: BTree = field(default_factory=lambda: BTree(order=32), repr=False)
+
+    def add(self, record_id: str, document: dict[str, Any]) -> None:
+        super().add(record_id, document)
+        found, value = get_path(document, self.field_path)
+        if not found:
+            return
+        for key in self._index_keys(value):
+            if scalar_rank(key) is not None:
+                self._tree.insert(ordered_key(key), self._entries[key])
+
+    def iter_range(self, interval: Interval) -> "Iterator[str]":
+        """Lazily yield record ids whose indexed value may lie in ``interval``.
+
+        Ids stream in ``(value, record id)`` order -- the index key order --
+        and are deduplicated, so a limited consumer can stop after a handful
+        of entries without walking the rest of the window.  The stream
+        over-approximates for multikey entries; callers re-check candidates
+        with ``matches()``.
+        """
+        rank = interval.rank
+        if rank is None:
+            return
+        low_key = (rank, interval.low) if interval.low is not None else (rank,)
+        high_key = (rank, interval.high) if interval.high is not None else (rank + 1,)
+        seen: set[str] = set()
+        for key, bucket in self._tree.range(low_key, high_key):
+            if not interval.contains(key[1]):
+                continue
+            for record_id in sorted(bucket):
+                if record_id not in seen:
+                    seen.add(record_id)
+                    yield record_id
+
+    def range_scan(self, interval: Interval) -> tuple[list[str], int]:
+        """Materialised :meth:`iter_range`: ``(ids, B-tree nodes visited)``."""
+        before = self._tree.node_accesses
+        ids = list(self.iter_range(interval))
+        return ids, self._tree.node_accesses - before
+
+    def tree_node_accesses(self) -> int:
+        """Cumulative B-tree node-access counter (planner cost accounting)."""
+        return self._tree.node_accesses
+
+    def tree_depth(self) -> int:
+        return self._tree.depth()
+
+    def _index_keys(self, value: Any) -> list[Any]:
+        keys = [_hashable(value)]
+        if isinstance(value, list):
+            # Multikey: index scalar array elements individually so equality
+            # lookups see the same documents array matching does.
+            keys.extend(element for element in value
+                        if not isinstance(element, (list, dict)))
+        return list(dict.fromkeys(keys))
+
+    def _drop_ordered_entry(self, key: Any) -> None:
+        if scalar_rank(key) is not None:
+            self._tree.delete(ordered_key(key))
 
 
 class IndexCatalog:
@@ -70,10 +168,10 @@ class IndexCatalog:
         self._indexes: dict[str, SecondaryIndex] = {}
 
     def create(self, field_path: str, unique: bool = False) -> SecondaryIndex:
-        """Create (or return the existing) index on ``field_path``."""
+        """Create (or return the existing) ordered index on ``field_path``."""
         if field_path in self._indexes:
             return self._indexes[field_path]
-        index = SecondaryIndex(field_path, unique=unique)
+        index = OrderedSecondaryIndex(field_path, unique=unique)
         self._indexes[field_path] = index
         return index
 

@@ -64,12 +64,13 @@ def _matches_logical(document: dict[str, Any], operator: str, condition: Any) ->
 
 def _matches_field(document: dict[str, Any], path: str, condition: Any) -> bool:
     found, value = get_path(document, path)
-    if _is_operator_expression(condition):
+    if is_operator_expression(condition):
         return _matches_operators(found, value, condition)
     return _values_equal(found, value, condition)
 
 
-def _is_operator_expression(condition: Any) -> bool:
+def is_operator_expression(condition: Any) -> bool:
+    """True when ``condition`` is an operator document such as ``{"$gt": 5}``."""
     return isinstance(condition, dict) and any(
         key.startswith("$") for key in condition
     )
@@ -161,7 +162,7 @@ def equality_value(query: dict[str, Any], field: str) -> tuple[bool, Any]:
     if field not in query:
         return False, None
     condition = query[field]
-    if _is_operator_expression(condition):
+    if is_operator_expression(condition):
         if set(condition) == {"$eq"}:
             return True, condition["$eq"]
         if set(condition) == {"$in"} and len(condition["$in"]) == 1:

@@ -123,8 +123,11 @@ class MmapV1Engine(StorageEngine):
         cost = self.parameters.base_operation + self.parameters.node_access
         return self.costs.charge("delete", cost)
 
+    def scan_cost_per_document(self) -> float:
+        return self.parameters.node_access + self._page_fault_cost(1024) * 0.25
+
     def scan(self) -> Iterator[tuple[str, dict[str, Any], float]]:
-        per_document = self.parameters.node_access + self._page_fault_cost(1024) * 0.25
+        per_document = self.scan_cost_per_document()
         for record_id, record in list(self._records.items()):
             cost = self.costs.charge("scan", per_document)
             yield record_id, copy.deepcopy(record.document), cost

@@ -1,0 +1,245 @@
+"""The query planner: choosing an access path for every collection read.
+
+The planner replaces the old ``Collection._candidates`` heuristic.  For a
+query it enumerates the applicable access paths, estimates each one's
+simulated cost from the engine's :class:`~repro.docstore.cost.CostParameters`,
+and picks the cheapest:
+
+* ``ID_LOOKUP``    -- the query pins ``_id`` to one value: direct record fetch.
+* ``INDEX_EQ``     -- an indexed field is pinned to one or more point values
+  (``$eq`` / ``$in``): hash-index lookups.
+* ``INDEX_RANGE``  -- an indexed field is range-constrained (``$gt``/``$gte``/
+  ``$lt``/``$lte``): an ordered ``tree.range()`` scan over the index B-tree.
+* ``FULL_SCAN``    -- no usable index: every document is examined.
+
+Candidate sets are always supersets of the true matches (the predicate
+analysis over-approximates); the caller re-checks every candidate with
+``matches()``, so planning never changes *what* a query returns, only how
+many documents it examines and what the operation costs.
+
+``explain()`` surfaces the decision -- the winning plan plus every
+considered alternative with its estimated cost -- through
+``Collection.explain`` / ``DocumentClient`` handles and the ``repro
+explain`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.docstore.indexes import OrderedSecondaryIndex
+from repro.docstore.matching import equality_value
+from repro.docstore.predicates import IntervalSet, query_intervals
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.docstore.collection import Collection
+
+ID_LOOKUP = "ID_LOOKUP"
+INDEX_EQ = "INDEX_EQ"
+INDEX_RANGE = "INDEX_RANGE"
+FULL_SCAN = "FULL_SCAN"
+
+ACCESS_PATHS = (ID_LOOKUP, INDEX_EQ, INDEX_RANGE, FULL_SCAN)
+
+
+@dataclass
+class QueryPlan:
+    """One chosen access path plus the bookkeeping ``explain`` exposes.
+
+    ``ID_LOOKUP`` / ``INDEX_EQ`` / ``FULL_SCAN`` plans carry a materialised
+    ``candidate_ids`` list.  ``INDEX_RANGE`` plans are *lazy*: candidates
+    stream from the index B-tree in ``(value, record id)`` order, so a
+    limited executor walks only as much of the window as it needs, and the
+    lookup cost accrues with the walk (``current_lookup_cost``).
+
+    Attributes:
+        access_path: one of :data:`ACCESS_PATHS`.
+        field: the field path driving the access (None for full scans).
+        estimated_cost: the planner's total cost estimate for the path.
+        candidate_ids: record ids the executor will examine (None while a
+            lazy plan is unmaterialised).
+        lookup_cost: simulated cost incurred finding the candidates
+            (index traversal / full-scan enumeration).
+        considered: summaries of every path that was costed.
+    """
+
+    access_path: str
+    field: str | None
+    estimated_cost: float
+    candidate_ids: list[str] | None = None
+    lookup_cost: float = 0.0
+    considered: list[dict[str, Any]] = field(default_factory=list)
+    lazy_candidates: Callable[[], Iterator[str]] | None = None
+    lazy_lookup_cost: Callable[[], float] | None = None
+
+    def iter_candidates(self) -> Iterator[str]:
+        if self.candidate_ids is not None:
+            return iter(self.candidate_ids)
+        return self.lazy_candidates()
+
+    def current_lookup_cost(self) -> float:
+        """The lookup cost charged so far (grows as a lazy plan is consumed)."""
+        if self.lazy_lookup_cost is not None:
+            return self.lazy_lookup_cost()
+        return self.lookup_cost
+
+    def materialize(self) -> list[str]:
+        """Force a lazy plan's full candidate list (used by ``explain``)."""
+        if self.candidate_ids is None:
+            self.candidate_ids = list(self.lazy_candidates())
+            self.lookup_cost = self.current_lookup_cost()
+        return self.candidate_ids
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "access_path": self.access_path,
+            "field": self.field,
+            "candidates_examined": (len(self.candidate_ids)
+                                    if self.candidate_ids is not None else None),
+            "estimated_cost": self.estimated_cost,
+        }
+
+
+class QueryPlanner:
+    """Plans every read of one :class:`~repro.docstore.collection.Collection`."""
+
+    def __init__(self, collection: "Collection"):
+        self.collection = collection
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan(self, query: dict[str, Any], limit: int | None = None) -> QueryPlan:
+        """Choose and materialise the cheapest access path for ``query``.
+
+        ``limit`` caps the estimated number of candidate reads (the executor
+        stops after ``limit`` matches), which lets short range scans beat a
+        full scan even on large collections.
+        """
+        query = query or {}
+        id_plan = self._id_lookup_plan(query)
+        if id_plan is not None:
+            id_plan.considered = [id_plan.summary()]
+            return id_plan
+
+        constraints = query_intervals(query)
+        choices: list[QueryPlan] = []
+        for field_path in sorted(constraints):
+            index_plan = self._index_plan(field_path, constraints[field_path], limit)
+            if index_plan is not None:
+                choices.append(index_plan)
+        full_scan = QueryPlan(FULL_SCAN, None, self._full_scan_estimate(limit))
+        choices.append(full_scan)
+
+        winner = min(choices, key=lambda plan: plan.estimated_cost)
+        if winner.access_path == FULL_SCAN:
+            winner.candidate_ids, winner.lookup_cost = self._scan_candidates()
+        winner.considered = [plan.summary() for plan in choices]
+        return winner
+
+    def explain(self, query: dict[str, Any] | None = None,
+                limit: int | None = None) -> dict[str, Any]:
+        """A MongoDB-``explain``-style description of how ``query`` would run.
+
+        Note that explain materialises the winning plan's candidate set (for
+        a winning full scan that enumerates the collection), so it charges
+        the same simulated lookup costs the real query would.
+        """
+        plan = self.plan(query or {}, limit=limit)
+        plan.materialize()
+        winning = plan.summary()
+        winning["lookup_cost"] = plan.lookup_cost
+        considered = [
+            plan.summary() if (entry["access_path"] == plan.access_path
+                               and entry["field"] == plan.field) else entry
+            for entry in plan.considered
+        ]
+        return {
+            "collection": self.collection.name,
+            "documents": self.collection.engine.count(),
+            "query": query or {},
+            "limit": limit,
+            "winning_plan": winning,
+            "considered_plans": considered,
+        }
+
+    # -- internals ---------------------------------------------------------------
+
+    def _id_lookup_plan(self, query: dict[str, Any]) -> QueryPlan | None:
+        pinned, value = equality_value(query, "_id")
+        if not pinned:
+            return None
+        record_id = str(value)
+        candidates = [record_id] if record_id in self.collection.record_ids() else []
+        estimated = len(candidates) * self._read_estimate()
+        return QueryPlan(ID_LOOKUP, "_id", estimated, candidate_ids=candidates)
+
+    def _index_plan(self, field_path: str, interval_set: IntervalSet,
+                    limit: int | None) -> QueryPlan | None:
+        index = self.collection.index_for(field_path)
+        if index is None or interval_set.is_full:
+            return None
+        if interval_set.is_empty:
+            # The constraints are contradictory: the query matches nothing.
+            return QueryPlan(INDEX_RANGE, field_path, 0.0, candidate_ids=[])
+        parameters = self.collection.engine.parameters
+        points = interval_set.point_values()
+        if points is not None:
+            ids: set[str] = set()
+            for value in points:
+                ids.update(index.lookup(value))
+            lookup_cost = len(self.collection.indexes) * parameters.node_access
+            reads = len(ids) if limit is None else min(len(ids), limit)
+            return QueryPlan(
+                INDEX_EQ, field_path,
+                lookup_cost + reads * self._read_estimate(),
+                candidate_ids=sorted(ids), lookup_cost=lookup_cost)
+        if not isinstance(index, OrderedSecondaryIndex):
+            return None
+        intervals = list(interval_set)
+        if any(interval.rank is None for interval in intervals):
+            return None  # bounds are not orderable scalars
+        # Lazy range plan: candidates stream from the tree in key order and
+        # the lookup cost accrues with the walk.  The estimate is an upper
+        # bound (the window size is unknown until walked): descent plus one
+        # read per document up to the limit / collection size.
+        count = self.collection.engine.count()
+        reads_bound = count if limit is None else min(count, limit)
+        lookup_estimate = (max(1, index.tree_depth()) * len(intervals)
+                           * parameters.node_access)
+        estimated = lookup_estimate + reads_bound * self._read_estimate()
+        accesses_before = index.tree_node_accesses()
+
+        def lazy_candidates() -> Iterator[str]:
+            seen: set[str] = set()
+            for interval in intervals:
+                for record_id in index.iter_range(interval):
+                    if record_id not in seen:
+                        seen.add(record_id)
+                        yield record_id
+
+        def lazy_lookup_cost() -> float:
+            return ((index.tree_node_accesses() - accesses_before)
+                    * parameters.node_access)
+
+        return QueryPlan(INDEX_RANGE, field_path, estimated,
+                         lazy_candidates=lazy_candidates,
+                         lazy_lookup_cost=lazy_lookup_cost)
+
+    def _read_estimate(self) -> float:
+        return self.collection.engine.point_read_cost_estimate()
+
+    def _full_scan_estimate(self, limit: int | None) -> float:
+        engine = self.collection.engine
+        count = engine.count()
+        # A full scan cannot stop early with confidence (matches may cluster
+        # at the end), so limit does not discount the estimate.
+        return count * (engine.scan_cost_per_document() + self._read_estimate())
+
+    def _scan_candidates(self) -> tuple[list[str], float]:
+        candidates: list[str] = []
+        scan_cost = 0.0
+        for record_id, __, cost in self.collection.engine.scan():
+            candidates.append(record_id)
+            scan_cost += cost
+        return candidates, scan_cost

@@ -25,6 +25,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from repro.docstore.predicates import Interval
 from repro.errors import DocumentStoreError
 
 HASH_SPACE_BITS = 64
@@ -69,6 +70,19 @@ class Chunk:
 
     def describe(self) -> dict[str, Any]:
         return {"lower": self.lower, "upper": self.upper, "shard": self.shard_id}
+
+
+def _overlaps(chunk: Chunk, interval: Interval) -> bool:
+    """True when the half-open chunk ``[lower, upper)`` intersects ``interval``."""
+    if interval.high is not None and chunk.lower is not None:
+        if interval.high < chunk.lower:
+            return False
+        if interval.high == chunk.lower and not interval.high_inclusive:
+            return False
+    if interval.low is not None and chunk.upper is not None:
+        if interval.low >= chunk.upper:  # upper bound is exclusive
+            return False
+    return True
 
 
 class ChunkManager:
@@ -122,6 +136,26 @@ class ChunkManager:
     def shard_for(self, shard_key_value: Any) -> int:
         """The shard owning ``shard_key_value``."""
         return self.chunk_for(shard_key_value).shard_id
+
+    def shards_for_interval(self, interval: Interval) -> set[int] | None:
+        """Shards owning chunks that overlap ``interval`` of shard-key values.
+
+        Only the ``range`` strategy can target intervals (its routing points
+        *are* the key values, so chunk bounds and interval bounds live in the
+        same space); for hashed namespaces -- or when the interval bounds are
+        not comparable with the chunk bounds -- the method returns ``None``
+        and the caller falls back to scatter-gather.
+        """
+        if self.strategy != STRATEGY_RANGE:
+            return None
+        shards: set[int] = set()
+        try:
+            for chunk in self._chunks:
+                if _overlaps(chunk, interval):
+                    shards.add(chunk.shard_id)
+        except TypeError:
+            return None
+        return shards
 
     def chunks(self) -> list[Chunk]:
         """All chunks ordered by lower bound."""

@@ -84,15 +84,23 @@ class RoutedCollection:
 
     # -- reads ----------------------------------------------------------------------
 
-    def find_with_cost(self, query: dict[str, Any] | None = None) -> OperationResult:
-        return self._router.find_with_cost(self.database, self.name, query or {})
+    def find_with_cost(self, query: dict[str, Any] | None = None,
+                       limit: int | None = None) -> OperationResult:
+        return self._router.find_with_cost(self.database, self.name, query or {},
+                                           limit=limit)
 
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
-        result = self.find_with_cost(query or {})
+        result = self.find_with_cost(query or {}, limit=1)
         return result.documents[0] if result.documents else None
 
     def count_documents(self, query: dict[str, Any] | None = None) -> int:
         return self._router.count_documents(self.database, self.name, query or {})
+
+    def explain(self, query: dict[str, Any] | None = None,
+                limit: int | None = None) -> dict[str, Any]:
+        """Routing decision plus the per-shard query plans."""
+        return self._router.explain(self.database, self.name, query or {},
+                                    limit=limit)
 
     # -- index management ---------------------------------------------------------------
 

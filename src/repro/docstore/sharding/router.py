@@ -7,12 +7,22 @@ The router exposes the same operation surface as a
 :class:`~repro.docstore.sharding.cluster.ShardedCluster` exactly as it talks
 to a single :class:`~repro.docstore.server.DocumentServer`.
 
-Routing rules (the MongoDB ones, simplified):
+Routing rules (the MongoDB ones, simplified).  The router shares the query
+planner's predicate analysis (:mod:`repro.docstore.predicates`) to decide the
+fan-out of every operation:
 
-* a write or query that pins the shard key to a single value is *targeted*:
-  it runs on exactly the one shard owning that key's chunk;
-* everything else is *scatter-gather*: the router fans out to every shard
-  and merges the per-shard results.
+* the shard key pinned to one value (``$eq``) -> *targeted*: exactly the one
+  shard owning that key's chunk;
+* the shard key constrained to a point set (``$in``) -> targeted to the
+  owning shards of those points;
+* the shard key range-constrained on a **range-sharded** namespace ->
+  targeted to the shards owning chunks overlapping the interval
+  (:meth:`~repro.docstore.sharding.chunks.ChunkManager.shards_for_interval`);
+* everything else (no shard-key constraint, or a range on a hashed key) ->
+  *scatter-gather* across every shard.
+
+Operations whose fan-out the analysis narrowed count as
+``targeted_operations``; full fan-outs count as ``scatter_operations``.
 
 Equivalence caveat (as on real ``mongos``): a single-document write that
 does not pin the shard key (``update_one``/``delete_one`` on a non-key
@@ -20,28 +30,44 @@ predicate) affects exactly one matching document, but *which* one is
 shard-probe order, which may differ from a single server's insertion-order
 choice when several documents match.
 
-Cost accounting: targeted operations carry the owning shard's simulated
-cost unchanged.  Scatter-gather reads and broadcast writes fan out in
-parallel, so the merged ``simulated_seconds`` is the *slowest* shard's cost;
-sequential probes (``update_one``/``delete_one`` without a shard key stop at
-the first matching shard) accumulate the cost of every shard actually
-probed.  The per-shard breakdown always flows into
-``OperationResult.shard_costs``.
+Cost accounting: all multi-shard latency merging goes through
+:func:`combine_shard_costs` -- fan-outs run in parallel (cost of the slowest
+shard), sequential probes accumulate every probed shard.  The per-shard
+breakdown always flows into ``OperationResult.shard_costs``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.docstore.collection import OperationResult
+from repro.docstore.cursor import sort_key
 from repro.docstore.documents import get_path, with_id
 from repro.docstore.matching import equality_value
+from repro.docstore.predicates import query_intervals
 from repro.docstore.update_ops import is_update_document
 from repro.errors import DocumentStoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.docstore.collection import Collection
-    from repro.docstore.sharding.cluster import ShardedCluster
+    from repro.docstore.sharding.cluster import ShardedCluster, ShardingState
+
+
+def combine_shard_costs(shard_costs: Mapping[str, float], parallel: bool) -> float:
+    """The single latency model for every multi-shard operation.
+
+    Fan-out operations (scatter/targeted-subset reads, broadcast writes)
+    contact their shards concurrently, so the merged simulated time is the
+    *slowest* shard's cost (max).  Serial probes (``update_one`` /
+    ``delete_one`` without a resolvable shard key stop at the first matching
+    shard) visit shards one after another, so their merged time is the *sum*
+    of every shard actually probed.  Routing both shapes through this one
+    helper keeps the asymmetry deliberate rather than accidental.
+    """
+    if not shard_costs:
+        return 0.0
+    values = shard_costs.values()
+    return sum(values) if not parallel else max(values)
 
 
 class QueryRouter:
@@ -86,64 +112,99 @@ class QueryRouter:
                    update: dict[str, Any]) -> OperationResult:
         state = self.cluster.sharding_state(database, collection)
         self._check_shard_key_immutable(state.key, query, update)
-        result = self._targeted(database, collection, "update_one", query, update)
-        if result is not None:
-            return result
-        return self._probe_shards(database, collection, "update_one", query, update)
+        shard_ids, targeted = self._shards_for_query(state, query)
+        self._note(targeted)
+        if len(shard_ids) == 1:
+            return self._single_shard(database, collection, shard_ids[0],
+                                      "update_one", query, update)
+        return self._probe_shards(database, collection, shard_ids,
+                                  "update_one", query, update)
 
     def update_many(self, database: str, collection: str, query: dict[str, Any],
                     update: dict[str, Any]) -> OperationResult:
         state = self.cluster.sharding_state(database, collection)
         self._check_shard_key_immutable(state.key, query, update)
-        result = self._targeted(database, collection, "update_many", query, update)
-        if result is not None:
-            return result
-        return self._broadcast(database, collection, "update_many", query, update)
+        shard_ids, targeted = self._shards_for_query(state, query)
+        self._note(targeted)
+        if len(shard_ids) == 1:
+            return self._single_shard(database, collection, shard_ids[0],
+                                      "update_many", query, update)
+        return self._broadcast(database, collection, shard_ids,
+                               "update_many", query, update)
 
     def delete_one(self, database: str, collection: str,
                    query: dict[str, Any]) -> OperationResult:
-        result = self._targeted(database, collection, "delete_one", query)
-        if result is not None:
-            return result
-        return self._probe_shards(database, collection, "delete_one", query)
+        state = self.cluster.sharding_state(database, collection)
+        shard_ids, targeted = self._shards_for_query(state, query)
+        self._note(targeted)
+        if len(shard_ids) == 1:
+            return self._single_shard(database, collection, shard_ids[0],
+                                      "delete_one", query)
+        return self._probe_shards(database, collection, shard_ids,
+                                  "delete_one", query)
 
     def delete_many(self, database: str, collection: str,
                     query: dict[str, Any]) -> OperationResult:
-        result = self._targeted(database, collection, "delete_many", query)
-        if result is not None:
-            return result
-        return self._broadcast(database, collection, "delete_many", query)
+        state = self.cluster.sharding_state(database, collection)
+        shard_ids, targeted = self._shards_for_query(state, query)
+        self._note(targeted)
+        if len(shard_ids) == 1:
+            return self._single_shard(database, collection, shard_ids[0],
+                                      "delete_many", query)
+        return self._broadcast(database, collection, shard_ids,
+                               "delete_many", query)
 
     # -- reads ----------------------------------------------------------------------
 
-    def find_with_cost(self, database: str, collection: str,
-                       query: dict[str, Any]) -> OperationResult:
-        result = self._targeted(database, collection, "find_with_cost", query)
-        if result is not None:
-            return result
-        # Scatter-gather: fan out to every shard, merge in shard order.
-        self.scatter_operations += 1
+    def find_with_cost(self, database: str, collection: str, query: dict[str, Any],
+                       limit: int | None = None) -> OperationResult:
+        state = self.cluster.sharding_state(database, collection)
+        shard_ids, targeted = self._shards_for_query(state, query)
+        self._note(targeted)
         merged = OperationResult()
-        for shard_id in range(self.cluster.shard_count):
-            result = self._collection(database, collection, shard_id).find_with_cost(query)
+        for shard_id in shard_ids:
+            result = self._collection(database, collection, shard_id).find_with_cost(
+                query, limit=limit)
             merged.documents.extend(result.documents)
             merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+        merged.simulated_seconds = combine_shard_costs(merged.shard_costs,
+                                                       parallel=True)
+        if limit is not None and len(shard_ids) > 1:
+            merged.documents = _merge_limited(merged.documents, query, limit)
         merged.matched_count = len(merged.documents)
-        merged.simulated_seconds = max(merged.shard_costs.values(), default=0.0)
         return merged
 
     def count_documents(self, database: str, collection: str,
                         query: dict[str, Any]) -> int:
         state = self.cluster.sharding_state(database, collection)
-        shard_id = self._target_shard(state, query)
-        if shard_id is not None:
-            self.targeted_operations += 1
-            return self._collection(database, collection, shard_id).count_documents(query)
-        self.scatter_operations += 1
+        shard_ids, targeted = self._shards_for_query(state, query)
+        self._note(targeted)
         return sum(
             self._collection(database, collection, shard_id).count_documents(query)
-            for shard_id in range(self.cluster.shard_count)
+            for shard_id in shard_ids
         )
+
+    def explain(self, database: str, collection: str, query: dict[str, Any],
+                limit: int | None = None) -> dict[str, Any]:
+        """Cluster-level explain: routing decision plus every shard's plan."""
+        state = self.cluster.sharding_state(database, collection)
+        shard_ids, targeted = self._shards_for_query(state, query)
+        shard_plans = {
+            self._shard_name(shard_id): self._collection(
+                database, collection, shard_id).explain(query, limit=limit)
+            for shard_id in shard_ids
+        }
+        return {
+            "sharded": True,
+            "collection": collection,
+            "query": query,
+            "shard_key": state.key,
+            "strategy": state.manager.strategy,
+            "targeting": "targeted" if targeted else "scatter",
+            "shards": [self._shard_name(shard_id) for shard_id in shard_ids],
+            "shard_count": self.cluster.shard_count,
+            "shard_plans": shard_plans,
+        }
 
     # -- index management ---------------------------------------------------------------
 
@@ -176,56 +237,91 @@ class QueryRouter:
 
     # -- internals -------------------------------------------------------------------------
 
-    def _target_shard(self, state, query: dict[str, Any]) -> int | None:
-        """The single shard a query targets, or None for scatter-gather."""
+    def _shards_for_query(self, state: "ShardingState",
+                          query: dict[str, Any]) -> tuple[list[int], bool]:
+        """The shards an operation must contact, plus whether it is targeted.
+
+        Targeted means the shard-key analysis narrowed the fan-out: a pinned
+        key, a point set (``$in``), or -- on a range-sharded namespace -- an
+        interval overlapping only some chunks.  An unconstrained key (or a
+        range on a hashed key) falls back to the full shard list.
+        """
+        every = list(range(self.cluster.shard_count))
         pinned, value = equality_value(query, state.key)
         if pinned:
-            return state.manager.shard_for(value)
-        return None
+            try:
+                return [state.manager.shard_for(value)], True
+            except (DocumentStoreError, TypeError):
+                # The pinned value does not compare with the chunk bounds
+                # (e.g. an int key on a string-range-sharded namespace): the
+                # query cannot be placed, so fall back to scatter-gather.
+                return every, False
+        interval_set = query_intervals(query).get(state.key)
+        if interval_set is None or interval_set.is_full:
+            return every, False
+        if interval_set.is_empty:
+            return [], True  # contradictory constraints: nothing can match
+        points = interval_set.point_values()
+        if points is not None:
+            try:
+                shards = {state.manager.shard_for(point) for point in points}
+            except (DocumentStoreError, TypeError):
+                return every, False
+            return sorted(shards), len(shards) < len(every)
+        shards = set()
+        for interval in interval_set:
+            owners = state.manager.shards_for_interval(interval)
+            if owners is None:
+                return every, False  # hashed key or incomparable bounds
+            shards |= owners
+        # A range that overlaps every chunk did not narrow anything: count it
+        # as scatter so the targeting stats stay honest.
+        return sorted(shards), len(shards) < len(every)
 
-    def _targeted(self, database: str, collection: str, operation: str,
-                  query: dict[str, Any], *arguments: Any) -> OperationResult | None:
-        """Run ``operation`` on the one shard ``query`` pins, or return None."""
-        state = self.cluster.sharding_state(database, collection)
-        shard_id = self._target_shard(state, query)
-        if shard_id is None:
-            return None
-        self.targeted_operations += 1
+    def _note(self, targeted: bool) -> None:
+        if targeted:
+            self.targeted_operations += 1
+        else:
+            self.scatter_operations += 1
+
+    def _single_shard(self, database: str, collection: str, shard_id: int,
+                      operation: str, *arguments: Any) -> OperationResult:
+        """Run ``operation`` on exactly one shard, keeping its cost unchanged."""
         target = self._collection(database, collection, shard_id)
-        result = getattr(target, operation)(query, *arguments)
+        result = getattr(target, operation)(*arguments)
         result.shard_costs = {self._shard_name(shard_id): result.simulated_seconds}
         return result
 
-    def _probe_shards(self, database: str, collection: str, operation: str,
-                      *arguments: Any) -> OperationResult:
+    def _probe_shards(self, database: str, collection: str, shard_ids: list[int],
+                      operation: str, *arguments: Any) -> OperationResult:
         """Run a single-document write shard by shard until one matches."""
-        self.scatter_operations += 1
         merged = OperationResult()
-        for shard_id in range(self.cluster.shard_count):
+        for shard_id in shard_ids:
             target = self._collection(database, collection, shard_id)
             result = getattr(target, operation)(*arguments)
             merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
-            merged.simulated_seconds += result.simulated_seconds
             if result.matched_count or result.deleted_count:
                 merged.matched_count = result.matched_count
                 merged.modified_count = result.modified_count
                 merged.deleted_count = result.deleted_count
                 break
+        merged.simulated_seconds = combine_shard_costs(merged.shard_costs,
+                                                       parallel=False)
         return merged
 
-    def _broadcast(self, database: str, collection: str, operation: str,
-                   *arguments: Any) -> OperationResult:
-        """Run a multi-document write on every shard in parallel and merge."""
-        self.scatter_operations += 1
+    def _broadcast(self, database: str, collection: str, shard_ids: list[int],
+                   operation: str, *arguments: Any) -> OperationResult:
+        """Run a multi-document write on the shards in parallel and merge."""
         merged = OperationResult()
-        for shard_id in range(self.cluster.shard_count):
+        for shard_id in shard_ids:
             target = self._collection(database, collection, shard_id)
             result = getattr(target, operation)(*arguments)
             merged.matched_count += result.matched_count
             merged.modified_count += result.modified_count
             merged.deleted_count += result.deleted_count
             merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
-        merged.simulated_seconds = max(merged.shard_costs.values(), default=0.0)
+        merged.simulated_seconds = combine_shard_costs(merged.shard_costs,
+                                                       parallel=True)
         return merged
 
     def _collection(self, database: str, collection: str, shard_id: int) -> "Collection":
@@ -268,6 +364,35 @@ class QueryRouter:
             )
         if value != pinned_value:
             raise DocumentStoreError(f"the shard key {key!r} is immutable")
+
+
+def _merge_limited(documents: list[dict[str, Any]], query: dict[str, Any],
+                   limit: int) -> list[dict[str, Any]]:
+    """Cut a multi-shard result down to ``limit`` documents.
+
+    When exactly one field carries an interval constraint, the merged
+    documents are put into the order a single server's executor emits for
+    that query shape -- ``(field value, record id)`` for a range (the
+    ordered index scan order), plain record-id order for equality / ``$in``
+    (the hash-lookup order) -- so the cluster returns the same ``limit``
+    documents a single server would when that field is indexed.  Queries
+    without a single constrained field are cut in shard order (their limited
+    result is execution-order-dependent, as in MongoDB without a sort).
+    """
+    constraints = {field_path: interval_set for field_path, interval_set
+                   in query_intervals(query).items() if not interval_set.is_full}
+    if len(constraints) == 1:
+        ((field_path, interval_set),) = constraints.items()
+        if interval_set.point_values() is not None:
+            # Equality / $in: a single server's INDEX_EQ path emits matches
+            # in record-id order.
+            documents = sorted(documents, key=lambda doc: str(doc.get("_id")))
+        else:
+            documents = sorted(
+                documents,
+                key=lambda doc: (sort_key(get_path(doc, field_path)[1]),
+                                 str(doc.get("_id"))))
+    return documents[:limit]
 
 
 def _merge_shard_costs(result: OperationResult, costs: dict[str, float]) -> None:

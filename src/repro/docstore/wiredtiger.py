@@ -121,11 +121,11 @@ class WiredTigerEngine(StorageEngine):
         cost = self.parameters.base_operation + self._tree.depth() * self.parameters.node_access
         return self.costs.charge("delete", cost)
 
+    def scan_cost_per_document(self) -> float:
+        return self.parameters.node_access + self.parameters.compression_per_kb * 0.5
+
     def scan(self) -> Iterator[tuple[str, dict[str, Any], float]]:
-        per_document = (
-            self.parameters.node_access
-            + self.parameters.compression_per_kb * 0.5
-        )
+        per_document = self.scan_cost_per_document()
         for record_id, document in self._tree.items():
             cost = self.costs.charge("scan", per_document)
             yield record_id, copy.deepcopy(document), cost

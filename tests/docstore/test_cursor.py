@@ -15,10 +15,11 @@ DOCUMENTS = [
 
 
 def make_cursor(projection=None, counter=None):
-    def fetch():
+    def fetch(limit=None):
         if counter is not None:
             counter.append(1)
-        return [dict(doc) for doc in DOCUMENTS]
+        documents = [dict(doc) for doc in DOCUMENTS]
+        return documents if limit is None else documents[:limit]
 
     return Cursor(fetch, projection)
 
@@ -72,7 +73,7 @@ class TestModifiers:
     def test_first_and_len(self):
         assert make_cursor().sort("_id").first()["_id"] == "a"
         assert len(make_cursor()) == 4
-        empty = Cursor(lambda: [])
+        empty = Cursor(lambda limit=None: [])
         assert empty.first() is None
 
 

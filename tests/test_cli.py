@@ -38,7 +38,7 @@ class TestCommands:
     def test_info_command(self, capsys):
         assert main(["info"]) == 0
         output = capsys.readouterr().out
-        assert "Chronos" in output and "E1-E9" in output
+        assert "Chronos" in output and "E1-E10" in output
 
     def test_demo_command_prints_table_and_winner(self, capsys):
         exit_code = main(["demo", "--threads", "1", "4", "--records", "60",
@@ -82,3 +82,32 @@ class TestCommands:
     def test_sharded_command_rejects_unknown_strategy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sharded", "--strategy", "random"])
+
+
+class TestExplainCommand:
+    def test_explain_reports_index_range(self, capsys):
+        exit_code = main(["explain", "--records", "200",
+                          "--query", '{"counter": {"$gte": 150}}'])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert '"access_path": "INDEX_RANGE"' in output
+        assert '"FULL_SCAN"' in output  # the considered alternative
+
+    def test_explain_full_scan_without_index(self, capsys):
+        exit_code = main(["explain", "--records", "50", "--index", "category",
+                          "--query", '{"counter": {"$gte": 10}}'])
+        assert exit_code == 0
+        assert '"access_path": "FULL_SCAN"' in capsys.readouterr().out
+
+    def test_explain_sharded_reports_targeting(self, capsys):
+        exit_code = main(["explain", "--records", "120", "--shards", "2",
+                          "--strategy", "range",
+                          "--query", '{"_id": {"$gte": "user90"}}'])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert '"targeting": "targeted"' in output
+        assert '"sharded": true' in output
+
+    def test_explain_rejects_invalid_json(self, capsys):
+        assert main(["explain", "--query", "{not json"]) == 2
+        assert "invalid --query JSON" in capsys.readouterr().err
