@@ -5,6 +5,10 @@
 * :class:`~repro.agents.sharded_agent.ShardedMongoAgent` -- the scale-out
   scenario: YCSB workloads against a sharded cluster behind a query router,
   sweeping shard count and placement strategy.
+* :class:`~repro.agents.replicated_agent.ReplicatedMongoAgent` -- the
+  durability/availability scenario: YCSB workloads against a replica set,
+  sweeping write concern and read preference, optionally killing the
+  primary mid-run.
 * :class:`~repro.agents.kvstore_agent.KeyValueStoreAgent` -- a second SuE
   demonstrating that multiple systems can be evaluated through the same
   Chronos Control instance.
@@ -14,6 +18,10 @@
 
 from repro.agents.kvstore_agent import KeyValueStoreAgent, register_kvstore_system
 from repro.agents.mongodb_agent import MongoDbAgent, register_mongodb_system
+from repro.agents.replicated_agent import (
+    ReplicatedMongoAgent,
+    register_replicated_mongodb_system,
+)
 from repro.agents.sharded_agent import (
     ShardedMongoAgent,
     register_sharded_mongodb_system,
@@ -25,6 +33,8 @@ __all__ = [
     "register_mongodb_system",
     "ShardedMongoAgent",
     "register_sharded_mongodb_system",
+    "ReplicatedMongoAgent",
+    "register_replicated_mongodb_system",
     "KeyValueStoreAgent",
     "register_kvstore_system",
     "SleepAgent",

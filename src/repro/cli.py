@@ -7,6 +7,7 @@ the same workflows from the command line::
     python -m repro demo --threads 1 2 4 --query-mix 95:5
     python -m repro workloads            # YCSB A-F on both engines
     python -m repro sharded --shards 1 2 4   # scale-out: YCSB on sharded clusters
+    python -m repro replicated --kill-primary    # replica sets: durability demo
     python -m repro explain --query '{"counter": {"$gte": 500}}'   # query plans
     python -m repro serve --port 8080    # serve the REST API over HTTP
     python -m repro info                 # package / experiment overview
@@ -70,6 +71,34 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--operations", type=int, default=400)
     sharded.add_argument("--threads", type=int, default=8)
 
+    replicated = subparsers.add_parser(
+        "replicated",
+        help="run a YCSB workload against replica sets, sweeping write "
+             "concern and read preference")
+    replicated.add_argument("--replicas", type=int, default=3,
+                            help="replica-set members (1 primary + N-1 secondaries)")
+    replicated.add_argument("--engine", default="wiredtiger",
+                            choices=["wiredtiger", "mmapv1"])
+    replicated.add_argument("--workload", default="A",
+                            help="YCSB core workload (A-F)")
+    replicated.add_argument("--write-concerns", nargs="+", default=["1", "majority"],
+                            dest="write_concerns",
+                            help="write concerns to sweep (ints or 'majority')")
+    replicated.add_argument("--read-preferences", nargs="+",
+                            default=["primary", "secondary"],
+                            dest="read_preferences",
+                            choices=["primary", "secondary", "nearest"],
+                            help="read preferences to sweep")
+    replicated.add_argument("--lag", type=int, default=3,
+                            help="oplog entries secondaries may trail behind")
+    replicated.add_argument("--kill-primary", action="store_true",
+                            dest="kill_primary",
+                            help="kill the primary halfway through the "
+                                 "measured phase (failover demo)")
+    replicated.add_argument("--records", type=int, default=200)
+    replicated.add_argument("--operations", type=int, default=400)
+    replicated.add_argument("--threads", type=int, default=8)
+
     explain = subparsers.add_parser(
         "explain", help="show the access path a document-store query uses")
     explain.add_argument("--query", default='{"counter": {"$gte": 500}}',
@@ -107,6 +136,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_workloads(arguments)
     if arguments.command == "sharded":
         return _command_sharded(arguments)
+    if arguments.command == "replicated":
+        return _command_replicated(arguments)
     if arguments.command == "explain":
         return _command_explain(arguments)
     if arguments.command == "serve":
@@ -221,6 +252,52 @@ def _command_sharded(arguments) -> int:
     return 0
 
 
+def _command_replicated(arguments) -> int:
+    from repro.agents.replicated_agent import parse_write_concern
+    from repro.docstore.replication import FailureInjector, ReplicaSet
+    from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+    from repro.workloads.ycsb import ycsb_workload
+
+    workload = ycsb_workload(arguments.workload)
+    print(f"YCSB workload {workload.name} ({workload.description}) on "
+          f"{arguments.engine}, {arguments.replicas} member(s), "
+          f"{arguments.threads} threads, lag={arguments.lag}"
+          + (", killing the primary mid-run" if arguments.kill_primary else ""))
+    print("| w | reads | throughput (ops/s) | p95 (ms) | staleness (avg) "
+          "| failovers | lost writes |")
+    print("| --- | --- | --- | --- | --- | --- | --- |")
+    for write_concern in arguments.write_concerns:
+        for read_preference in arguments.read_preferences:
+            spec = WorkloadSpec(record_count=arguments.records,
+                                operation_count=arguments.operations,
+                                threads=arguments.threads,
+                                mix=workload.mix,
+                                distribution=workload.distribution,
+                                replicas=arguments.replicas,
+                                write_concern=parse_write_concern(write_concern),
+                                read_preference=read_preference,
+                                replication_lag=arguments.lag)
+            benchmark = DocumentBenchmark.for_spec(spec, arguments.engine)
+            if arguments.kill_primary and isinstance(benchmark.server, ReplicaSet):
+                injector = FailureInjector(benchmark.server)
+                kill_at = spec.operation_count // 2
+
+                def hook(index: int, injector=injector, kill_at=kill_at) -> None:
+                    if index == kill_at:
+                        injector.kill_primary()
+
+                benchmark.operation_hook = hook
+            result = benchmark.execute_full()
+            replication = result.engine_statistics.get("replication", {})
+            print(f"| {write_concern} | {read_preference} "
+                  f"| {result.throughput_ops_per_sec:,.0f} "
+                  f"| {result.latency_p95_ms:.3f} "
+                  f"| {replication.get('staleness_mean', 0.0):.2f} "
+                  f"| {replication.get('failovers', 0)} "
+                  f"| {replication.get('rolled_back_entries', 0)} |")
+    return 0
+
+
 def _command_explain(arguments) -> int:
     import json
     import random
@@ -260,6 +337,7 @@ def _command_explain(arguments) -> int:
 def _command_serve(arguments) -> int:
     from repro.agents.kvstore_agent import register_kvstore_system
     from repro.agents.mongodb_agent import register_mongodb_system
+    from repro.agents.replicated_agent import register_replicated_mongodb_system
     from repro.agents.sharded_agent import register_sharded_mongodb_system
     from repro.core.control import ChronosControl
     from repro.rest.wire import HttpServerAdapter
@@ -270,6 +348,8 @@ def _command_serve(arguments) -> int:
         register_mongodb_system(control, owner_id=admin.id)
     if control.systems.get_by_name("mongodb-sharded") is None:
         register_sharded_mongodb_system(control, owner_id=admin.id)
+    if control.systems.get_by_name("mongodb-replicated") is None:
+        register_replicated_mongodb_system(control, owner_id=admin.id)
     if control.systems.get_by_name("kvstore") is None:
         register_kvstore_system(control, owner_id=admin.id)
     adapter = HttpServerAdapter(control.api, port=arguments.port).start()
@@ -291,11 +371,12 @@ def _command_info() -> int:
     print()
     print("subsystems: core (Chronos Control), agent (Python agent library), docstore")
     print("  (wiredTiger/mmapv1 SuE with a cost-based query planner), docstore.sharding")
-    print("  (sharded cluster + range-aware query router), kvstore (second SuE),")
-    print("  storage (embedded RDBMS), rest (versioned API), workloads (YCSB),")
-    print("  analysis (metrics + diagrams)")
+    print("  (sharded cluster + range-aware query router), docstore.replication")
+    print("  (replica sets: oplog, elections, write/read concern, failure injection),")
+    print("  kvstore (second SuE), storage (embedded RDBMS), rest (versioned API),")
+    print("  workloads (YCSB), analysis (metrics + diagrams)")
     print()
-    print("experiments: E1-E10, see DESIGN.md and EXPERIMENTS.md; regenerate with")
+    print("experiments: E1-E11, see DESIGN.md and EXPERIMENTS.md; regenerate with")
     print("  pytest benchmarks/")
     return 0
 

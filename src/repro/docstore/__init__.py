@@ -22,14 +22,22 @@ same externally visible behaviour the demo depends on:
 * a sharded cluster (:mod:`repro.docstore.sharding`): N servers behind a
   ``mongos``-style query router with hash/range chunk placement, chunk
   splitting and a balancer, reachable through the same
-  :class:`~repro.docstore.client.DocumentClient` as a single server.
+  :class:`~repro.docstore.client.DocumentClient` as a single server, and
+* replica sets (:mod:`repro.docstore.replication`): a primary serialising
+  writes into an idempotent oplog that secondaries tail and replay, with
+  write concern, read preference, replication lag, majority-vote elections
+  and failure injection -- also behind the same client, and usable as the
+  shards of a cluster (``ShardedCluster(shards=N, replicas=M)``).
 """
 
 from repro.docstore.client import DocumentClient
+from repro.docstore.replication.failures import FailureInjector
+from repro.docstore.replication.replica_set import ReplicaSet
 from repro.docstore.server import DocumentServer
 from repro.docstore.sharding.cluster import ShardedCluster
 
-__all__ = ["DocumentServer", "DocumentClient", "ShardedCluster"]
+__all__ = ["DocumentServer", "DocumentClient", "ShardedCluster", "ReplicaSet",
+           "FailureInjector"]
 
 ENGINE_WIREDTIGER = "wiredtiger"
 ENGINE_MMAPV1 = "mmapv1"

@@ -70,6 +70,11 @@ class Collection:
         # cost (the engines already charge for their own key structures).
         self._id_index = OrderedSecondaryIndex("_id")
         self.planner = QueryPlanner(self)
+        # Optional write observer ``(operation, record_id, post_image)`` fired
+        # after every successful document change.  The replication subsystem
+        # attaches one to a primary's collections to capture the exact
+        # post-images its oplog replays on secondaries; ``None`` costs nothing.
+        self.change_listener: Any = None
 
     # -- writes -----------------------------------------------------------------
 
@@ -88,6 +93,7 @@ class Collection:
             cost = self.engine.insert(record_id, stored)
             cost += self.engine.index_maintenance_cost(len(self.indexes))
         self._ids.add(record_id)
+        self._notify("insert", record_id, stored)
         return OperationResult(
             inserted_ids=[record_id], modified_count=0, simulated_seconds=cost
         )
@@ -113,6 +119,7 @@ class Collection:
         with self.engine.locks.write(record_id):
             cost = self.engine.update(record_id, new_document)
             cost += self.engine.index_maintenance_cost(len(self.indexes))
+        self._notify("update", record_id, new_document)
         return OperationResult(
             matched_count=1,
             modified_count=0 if new_document == document else 1,
@@ -133,6 +140,7 @@ class Collection:
             with self.engine.locks.write(record_id):
                 total_cost += self.engine.update(record_id, new_document)
                 total_cost += self.engine.index_maintenance_cost(len(self.indexes))
+            self._notify("update", record_id, new_document)
             if new_document != document:
                 modified += 1
         return OperationResult(
@@ -157,6 +165,7 @@ class Collection:
         with self.engine.locks.write(record_id):
             cost = self.engine.delete(record_id)
         self._ids.discard(record_id)
+        self._notify("delete", record_id, None)
         return OperationResult(deleted_count=1, simulated_seconds=find_cost + cost)
 
     def delete_many(self, query: dict[str, Any]) -> OperationResult:
@@ -170,6 +179,7 @@ class Collection:
             with self.engine.locks.write(record_id):
                 total_cost += self.engine.delete(record_id)
             self._ids.discard(record_id)
+            self._notify("delete", record_id, None)
         return OperationResult(
             deleted_count=len(matches_found.documents), simulated_seconds=total_cost
         )
@@ -232,6 +242,11 @@ class Collection:
         return engine_stats
 
     # -- internals -------------------------------------------------------------------------
+
+    def _notify(self, operation: str, record_id: str,
+                document: dict[str, Any] | None) -> None:
+        if self.change_listener is not None:
+            self.change_listener(operation, record_id, document)
 
     def index_for(self, field_path: str) -> SecondaryIndex | None:
         """The index usable for ``field_path`` (the ``_id`` index included)."""

@@ -1,0 +1,124 @@
+"""One member of a replica set: a document server plus replication state.
+
+A :class:`ReplicaSetMember` wraps a plain
+:class:`~repro.docstore.server.DocumentServer` -- the same class that backs
+standalone deployments and sharded-cluster shards -- and adds what
+replication needs to know about it: its role, liveness, the optime it has
+applied up to, and a simulated network distance (``ping_seconds``) used by
+write-concern waits and ``nearest`` reads.
+
+Members keep their server's ``replication`` attribute up to date, so
+``server.run_command({"replSetGetStatus": 1})`` and ``server_status()`` on
+the *member's own* server report its role and optime (the introspection
+surface tests and agents rely on).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.docstore.cost import CostParameters
+from repro.docstore.replication.oplog import ZERO_OPTIME, Oplog, OplogEntry, apply_entry
+from repro.docstore.server import DocumentServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.docstore.replication.oplog import OpTime
+
+ROLE_PRIMARY = "PRIMARY"
+ROLE_SECONDARY = "SECONDARY"
+
+
+class ReplicaSetMember:
+    """One ``mongod`` of a replica set."""
+
+    def __init__(self, member_id: int, set_name: str, storage_engine: str,
+                 ping_seconds: float = 0.0,
+                 cost_parameters: CostParameters | None = None,
+                 **engine_options: Any):
+        self.member_id = member_id
+        self.set_name = set_name
+        self.storage_engine = storage_engine
+        self.ping_seconds = ping_seconds
+        self._cost_parameters = cost_parameters
+        self._engine_options = dict(engine_options)
+        self.server = self._new_server()
+        self.role = ROLE_SECONDARY
+        self.up = True
+        self.applied: "OpTime" = ZERO_OPTIME
+        # Set when this member's data ran ahead of a rolled-back oplog (it
+        # was the primary that died with unreplicated writes): incremental
+        # catch-up would be wrong, a full resync is required.
+        self.needs_resync = False
+        self.entries_applied = 0
+        self.resyncs = 0
+        self.publish_status()
+
+    @property
+    def name(self) -> str:
+        return f"{self.set_name}/member{self.member_id}"
+
+    # -- replication ------------------------------------------------------------------
+
+    def apply_entries(self, entries: list[OplogEntry]) -> float:
+        """Replay ``entries`` (ordered, contiguous tail) onto this member."""
+        cost = 0.0
+        for entry in entries:
+            cost += apply_entry(self.server, entry)
+            self.applied = entry.optime
+            self.entries_applied += 1
+        if entries:
+            self.publish_status()
+        return cost
+
+    def resync(self, oplog: Oplog) -> float:
+        """Initial-sync from scratch: fresh server, full oplog replay.
+
+        This is how a member whose data diverged from the (rolled-back)
+        oplog -- or a freshly restarted crashed process -- rebuilds a state
+        that is exactly the log's image.
+        """
+        self.server = self._new_server()
+        self.applied = ZERO_OPTIME
+        self.entries_applied = 0
+        self.needs_resync = False
+        self.resyncs += 1
+        return self.apply_entries(list(oplog))
+
+    # -- introspection ----------------------------------------------------------------
+
+    def publish_status(self) -> None:
+        """Mirror this member's replication view onto its server."""
+        self.server.replication = {
+            "set": self.set_name,
+            "member_id": self.member_id,
+            "name": self.name,
+            "role": self.role,
+            "up": self.up,
+            "optime": self.applied.as_list(),
+        }
+
+    def status(self, lag_entries: int, partitioned: bool) -> dict[str, Any]:
+        """One row of ``replSetGetStatus``."""
+        return {
+            "member_id": self.member_id,
+            "name": self.name,
+            "role": self.role,
+            "up": self.up,
+            "partitioned": partitioned,
+            "optime": self.applied.as_list(),
+            "lag_entries": lag_entries,
+            "ping_ms": self.ping_seconds * 1000.0,
+            "entries_applied": self.entries_applied,
+            "needs_resync": self.needs_resync,
+            "resyncs": self.resyncs,
+        }
+
+    # -- internals --------------------------------------------------------------------
+
+    def _new_server(self) -> DocumentServer:
+        return DocumentServer(self.storage_engine,
+                              cost_parameters=self._cost_parameters,
+                              **self._engine_options)
+
+    def __repr__(self) -> str:
+        return f"ReplicaSetMember({self.name}, role={self.role}, up={self.up})"

@@ -1,0 +1,213 @@
+"""The replication oplog: an append-only, idempotently replayable change log.
+
+The primary of a :class:`~repro.docstore.replication.replica_set.ReplicaSet`
+records every document change as an :class:`OplogEntry`; secondaries tail the
+log and replay entries onto their own :class:`~repro.docstore.server.DocumentServer`.
+
+Two properties make the design safe to replay at any point of a secondary's
+life, which is what makes lag, catch-up, restart-resync and rollback simple:
+
+* **Monotonic optimes.**  Every entry carries an :class:`OpTime`
+  ``(term, index)``.  The term bumps on every election, so entries written by
+  a new primary always order after everything the old primary wrote -- even
+  after a rollback truncated the tail of the log.
+* **Idempotent entries.**  CRUD entries store the *effect*, not the command:
+  inserts and updates carry the full post-image and replay as "put this exact
+  document at this ``_id``", deletes as "ensure this ``_id`` is gone".
+  Re-applying an entry (or a whole batch, in order) leaves the data
+  unchanged, so a secondary that replays overlapping windows converges to
+  the same state.  Updates of existing documents replay in place
+  (:meth:`Collection.replace_one`), preserving the engine's insertion order
+  so a promoted secondary scans documents in the same order its old primary
+  did.
+
+DDL changes (index create/drop, collection/database drops) are logged too so
+that a full replay from an empty server reconstructs a member exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import copy
+from dataclasses import dataclass, field
+from functools import total_ordering
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import DocumentStoreError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.docstore.server import DocumentServer
+
+OP_INSERT = "insert"
+OP_UPDATE = "update"
+OP_DELETE = "delete"
+OP_CREATE_INDEX = "create_index"
+OP_DROP_INDEX = "drop_index"
+OP_DROP_COLLECTION = "drop_collection"
+OP_DROP_DATABASE = "drop_database"
+OP_NOOP = "noop"
+
+_DOCUMENT_OPS = (OP_INSERT, OP_UPDATE, OP_DELETE)
+
+
+@total_ordering
+@dataclass(frozen=True)
+class OpTime:
+    """A replication timestamp: election term plus log position."""
+
+    term: int = 0
+    index: int = 0
+
+    def as_list(self) -> list[int]:
+        """JSON-friendly ``[term, index]`` form (for statuses and tests)."""
+        return [self.term, self.index]
+
+    def _key(self) -> tuple[int, int]:
+        return (self.term, self.index)
+
+    def __lt__(self, other: "OpTime") -> bool:
+        return self._key() < other._key()
+
+
+ZERO_OPTIME = OpTime(0, 0)
+
+
+@dataclass(frozen=True)
+class OplogEntry:
+    """One idempotent change: a document post-image, a delete, or DDL."""
+
+    optime: OpTime
+    operation: str
+    database: str
+    collection: str = ""
+    record_id: str | None = None
+    document: dict[str, Any] | None = None
+    field_path: str | None = None
+    unique: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "optime": self.optime.as_list(),
+            "operation": self.operation,
+            "namespace": f"{self.database}.{self.collection}".rstrip("."),
+            "record_id": self.record_id,
+        }
+
+
+@dataclass
+class Oplog:
+    """The replica set's single authoritative, append-only change log.
+
+    ``truncate_after`` models rollback at failover: entries the new primary
+    never applied are removed (and counted by the replica set as lost
+    acknowledged writes when the write concern allowed that).
+    """
+
+    _entries: list[OplogEntry] = field(default_factory=list)
+    _next_index: int = 1
+
+    def append(self, term: int, operation: str, database: str, collection: str = "",
+               record_id: str | None = None, document: dict[str, Any] | None = None,
+               field_path: str | None = None, unique: bool = False) -> OplogEntry:
+        """Stamp the next optime onto a change and append it."""
+        if operation in _DOCUMENT_OPS and record_id is None:
+            raise DocumentStoreError(f"oplog {operation} entries need a record_id")
+        entry = OplogEntry(
+            optime=OpTime(term, self._next_index),
+            operation=operation,
+            database=database,
+            collection=collection,
+            record_id=record_id,
+            # Deep-copied so later in-place mutations on the primary can
+            # never retroactively change what secondaries replay.
+            document=copy.deepcopy(document),
+            field_path=field_path,
+            unique=unique,
+        )
+        self._next_index += 1
+        self._entries.append(entry)
+        return entry
+
+    @property
+    def entries(self) -> list[OplogEntry]:
+        return self._entries
+
+    def last_optime(self) -> OpTime:
+        return self._entries[-1].optime if self._entries else ZERO_OPTIME
+
+    def _position_after(self, optime: OpTime) -> int:
+        """Index of the first entry ordered after ``optime`` (binary search;
+        entry optimes are strictly increasing by construction)."""
+        return bisect.bisect_right(self._entries, optime,
+                                   key=lambda entry: entry.optime)
+
+    def entries_after(self, optime: OpTime,
+                      through: OpTime | None = None) -> list[OplogEntry]:
+        """The tail strictly after ``optime`` (clipped at ``through`` when
+        given) -- what a secondary replays to catch up."""
+        start = self._position_after(optime)
+        if through is None:
+            return self._entries[start:]
+        return self._entries[start:self._position_after(through)]
+
+    def lag_behind(self, optime: OpTime) -> int:
+        """How many entries trail ``optime`` -- a member's staleness, O(log n)."""
+        return len(self._entries) - self._position_after(optime)
+
+    def truncate_after(self, optime: OpTime) -> list[OplogEntry]:
+        """Drop (and return) every entry after ``optime`` -- failover rollback."""
+        cut = self._position_after(optime)
+        removed = self._entries[cut:]
+        self._entries = self._entries[:cut]
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[OplogEntry]:
+        return iter(self._entries)
+
+
+def apply_entry(server: "DocumentServer", entry: OplogEntry) -> float:
+    """Replay one entry onto ``server`` idempotently; returns simulated cost.
+
+    Inserts and updates converge to "``record_id`` holds exactly this
+    post-image" (replacing in place when present so engine scan order matches
+    the primary's); deletes to "``record_id`` is absent".  DDL entries are
+    no-ops when their effect already holds.
+    """
+    if entry.operation == OP_NOOP:
+        return 0.0
+    if entry.operation == OP_DROP_DATABASE:
+        server.drop_database(entry.database)
+        return 0.0
+    if entry.operation in (OP_DROP_COLLECTION, OP_DROP_INDEX):
+        # Drops of namespaces this member never saw must stay no-ops:
+        # ``server.database()`` creates on access, and a phantom empty
+        # namespace would make ``database_names()`` diverge from the primary.
+        if entry.database not in server.database_names():
+            return 0.0
+        database = server.database(entry.database)
+        if entry.collection not in database.collection_names():
+            return 0.0
+        if entry.operation == OP_DROP_COLLECTION:
+            database.drop_collection(entry.collection)
+        else:
+            database.collection(entry.collection).drop_index(entry.field_path)
+        return 0.0
+    collection = server.database(entry.database).collection(entry.collection)
+    if entry.operation == OP_CREATE_INDEX:
+        if collection.indexes.get(entry.field_path) is None:
+            collection.create_index(entry.field_path, unique=entry.unique)
+        return 0.0
+    if entry.operation in (OP_INSERT, OP_UPDATE):
+        post_image = copy.deepcopy(entry.document)
+        if entry.record_id in collection.record_ids():
+            return collection.replace_one(
+                {"_id": entry.record_id}, post_image).simulated_seconds
+        return collection.insert_one(post_image).simulated_seconds
+    if entry.operation == OP_DELETE:
+        if entry.record_id in collection.record_ids():
+            return collection.delete_one({"_id": entry.record_id}).simulated_seconds
+        return 0.0
+    raise DocumentStoreError(f"unknown oplog operation {entry.operation!r}")

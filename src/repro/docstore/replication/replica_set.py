@@ -1,0 +1,815 @@
+"""Replica sets: one primary plus N-1 secondaries behind the server surface.
+
+A :class:`ReplicaSet` mirrors the :class:`~repro.docstore.server.DocumentServer`
+surface (``database()`` / ``run_command()`` / ``drop_database()`` /
+``server_status()``), so ``DocumentClient(ReplicaSet(members=3))`` works
+everywhere a server or a :class:`~repro.docstore.sharding.cluster.ShardedCluster`
+does -- evaluation clients, benchmarks and agents gain replication without
+code changes.  The ScalienDB shape from the paper's related work maps on
+directly: the primary serialises writes into a log that secondaries replay,
+with leader election on failure.
+
+How the pieces fit:
+
+* **Writes** go to the primary's real collections.  A change listener on
+  those collections captures every post-image into the shared
+  :class:`~repro.docstore.replication.oplog.Oplog`; secondaries tail and
+  replay it (idempotently).
+* **Write concern** -- ``w=1`` acknowledges after the primary applies;
+  ``w=k`` / ``w="majority"`` blocks until enough secondaries have applied
+  the write's optime, charging the slowest required secondary's network
+  round-trip plus apply cost to the operation.
+* **Replication lag** -- secondaries not needed for the write concern stay
+  up to ``replication_lag`` entries behind, which is what ``secondary``
+  reads observe: real eventual consistency, measured in
+  ``staleness_samples``.
+* **Read preference** -- ``primary`` (consistent), ``secondary``
+  (round-robin over secondaries, may be stale), ``nearest`` (lowest ping).
+* **Elections** -- when the primary dies or is partitioned from a majority,
+  a majority vote among reachable members elects the one with the highest
+  applied optime.  Oplog entries the new primary never saw are rolled back
+  (``rolled_back_entries``); members whose data ran ahead resync from
+  scratch when they rejoin.  With ``auto_elect`` (the standalone default)
+  failover is transparent to clients; inside a sharded cluster the
+  :class:`~repro.docstore.sharding.router.QueryRouter` drives the election
+  and retries instead (``auto_elect=False``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.docstore.collection import Collection, OperationResult
+from repro.docstore.cost import CostParameters
+from repro.docstore.replication.member import (
+    ROLE_PRIMARY,
+    ROLE_SECONDARY,
+    ReplicaSetMember,
+)
+from repro.docstore.replication.oplog import (
+    OP_CREATE_INDEX,
+    OP_DROP_COLLECTION,
+    OP_DROP_DATABASE,
+    OP_DROP_INDEX,
+    Oplog,
+    OpTime,
+)
+from repro.docstore.server import _ENGINE_FACTORIES
+from repro.errors import (
+    DocumentStoreError,
+    NoPrimaryError,
+    NotFoundError,
+    NotPrimaryError,
+    WriteConcernError,
+)
+
+WRITE_CONCERN_MAJORITY = "majority"
+
+READ_PRIMARY = "primary"
+READ_SECONDARY = "secondary"
+READ_NEAREST = "nearest"
+READ_PREFERENCES = (READ_PRIMARY, READ_SECONDARY, READ_NEAREST)
+
+DEFAULT_NETWORK_DELAY = 0.00025
+DEFAULT_ELECTION_TIMEOUT = 0.01
+
+
+def resolve_write_concern(write_concern: int | str, member_count: int) -> int:
+    """Number of members (primary included) that must acknowledge a write."""
+    if write_concern == WRITE_CONCERN_MAJORITY:
+        return member_count // 2 + 1
+    if isinstance(write_concern, bool) or not isinstance(write_concern, int):
+        raise DocumentStoreError(
+            f"write concern must be a positive int or 'majority', "
+            f"got {write_concern!r}"
+        )
+    if not 1 <= write_concern <= member_count:
+        raise DocumentStoreError(
+            f"write concern w={write_concern} is outside 1..{member_count}"
+        )
+    return write_concern
+
+
+@dataclass
+class ElectionRecord:
+    """One election: who won, with how many votes, at what simulated cost."""
+
+    term: int
+    winner_id: int
+    votes: int
+    member_count: int
+    rolled_back_entries: int
+    simulated_seconds: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "term": self.term,
+            "winner": self.winner_id,
+            "votes": f"{self.votes}/{self.member_count}",
+            "rolled_back_entries": self.rolled_back_entries,
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+
+class ReplicatedCollection:
+    """The replica-set stand-in for a :class:`Collection`.
+
+    Exposes the operation surface
+    :class:`~repro.docstore.client.CollectionHandle` (and the sharding
+    router/balancer) expect, routing writes to the primary and reads to the
+    member the set's read preference selects.
+    """
+
+    def __init__(self, replica_set: "ReplicaSet", database: str, collection: str):
+        self.replica_set = replica_set
+        self.database = database
+        self.name = collection
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert_one(self, document: dict[str, Any]) -> OperationResult:
+        return self.replica_set.primary_write(self.database, self.name,
+                                              "insert_one", document)
+
+    def insert_many(self, documents: list[dict[str, Any]]) -> OperationResult:
+        return self.replica_set.primary_write(self.database, self.name,
+                                              "insert_many", documents)
+
+    def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
+        return self.replica_set.primary_write(self.database, self.name,
+                                              "update_one", query, update)
+
+    def update_many(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
+        return self.replica_set.primary_write(self.database, self.name,
+                                              "update_many", query, update)
+
+    def replace_one(self, query: dict[str, Any],
+                    replacement: dict[str, Any]) -> OperationResult:
+        return self.replica_set.primary_write(self.database, self.name,
+                                              "replace_one", query, replacement)
+
+    def delete_one(self, query: dict[str, Any]) -> OperationResult:
+        return self.replica_set.primary_write(self.database, self.name,
+                                              "delete_one", query)
+
+    def delete_many(self, query: dict[str, Any]) -> OperationResult:
+        return self.replica_set.primary_write(self.database, self.name,
+                                              "delete_many", query)
+
+    # -- reads ----------------------------------------------------------------------
+
+    def find_with_cost(self, query: dict[str, Any] | None = None,
+                       limit: int | None = None) -> OperationResult:
+        return self.replica_set.routed_read(self.database, self.name,
+                                            "find_with_cost", query or {},
+                                            limit=limit)
+
+    def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
+        result = self.find_with_cost(query or {}, limit=1)
+        return result.documents[0] if result.documents else None
+
+    def count_documents(self, query: dict[str, Any] | None = None) -> int:
+        member = self.replica_set.read_member()
+        collection = self.replica_set.member_collection(member, self.database,
+                                                        self.name)
+        return collection.count_documents(query or {})
+
+    def explain(self, query: dict[str, Any] | None = None,
+                limit: int | None = None) -> dict[str, Any]:
+        """The serving member's query plan plus which member answered."""
+        member = self.replica_set.read_member()
+        collection = self.replica_set.member_collection(member, self.database,
+                                                        self.name)
+        plan = collection.explain(query or {}, limit=limit)
+        plan["replication"] = {"member": member.name, "role": member.role,
+                               "read_preference": self.replica_set.read_preference}
+        return plan
+
+    # -- index management ---------------------------------------------------------------
+
+    def create_index(self, field_path: str, unique: bool = False) -> str:
+        return self.replica_set.create_index(self.database, self.name,
+                                             field_path, unique=unique)
+
+    def drop_index(self, field_path: str) -> bool:
+        return self.replica_set.drop_index(self.database, self.name, field_path)
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Primary ``collStats`` plus a replication summary."""
+        member = self.replica_set.status_member()
+        collection = self.replica_set.member_collection(member, self.database,
+                                                        self.name)
+        stats = collection.stats()
+        stats["replicas"] = self.replica_set.replica_count
+        stats["replication"] = self.replica_set.replication_summary()
+        return stats
+
+    @property
+    def engine(self):
+        """The primary's engine (concurrency/name lookups, balancer scans)."""
+        primary = self.replica_set.require_primary()
+        return self.replica_set.member_collection(
+            primary, self.database, self.name).engine
+
+    def __len__(self) -> int:
+        return self.count_documents({})
+
+    def __repr__(self) -> str:
+        return (f"ReplicatedCollection({self.database}.{self.name}, "
+                f"set={self.replica_set.set_name})")
+
+
+class ReplicatedDatabase:
+    """A named database spanning every member of the replica set."""
+
+    def __init__(self, replica_set: "ReplicaSet", name: str):
+        self.replica_set = replica_set
+        self.name = name
+
+    def collection(self, name: str) -> ReplicatedCollection:
+        return ReplicatedCollection(self.replica_set, self.name, name)
+
+    def drop_collection(self, name: str) -> bool:
+        return self.replica_set.drop_collection(self.name, name)
+
+    def collection_names(self) -> list[str]:
+        member = self.replica_set.status_member()
+        if self.name not in member.server.database_names():
+            return []
+        return member.server.database(self.name).collection_names()
+
+    def stats(self) -> dict[str, Any]:
+        member = self.replica_set.status_member()
+        stats = member.server.database(self.name).stats()
+        stats["replicas"] = self.replica_set.replica_count
+        return stats
+
+    def __getitem__(self, name: str) -> ReplicatedCollection:
+        return self.collection(name)
+
+
+class ReplicaSet:
+    """N document servers replicating one oplog behind a single surface.
+
+    Args:
+        members: total member count (1 primary + ``members - 1`` secondaries).
+        storage_engine: engine every member runs.
+        set_name: replica-set name (shows up in statuses and member names).
+        write_concern: default for every write -- ``1`` .. ``members`` or
+            ``"majority"``.
+        read_preference: ``"primary"`` / ``"secondary"`` / ``"nearest"``.
+        replication_lag: how many oplog entries secondaries not required by
+            the write concern may trail behind (eventual consistency window).
+        network_delay_seconds: base one-way delay; member pings derive from it.
+        election_timeout_seconds: detection+election cost charged on failover.
+        auto_elect: elect transparently when the primary is unusable (set
+            False inside sharded clusters, where the router drives failover).
+        cost_parameters / engine_options: forwarded to every member server.
+    """
+
+    def __init__(
+        self,
+        members: int = 3,
+        storage_engine: str = "wiredtiger",
+        set_name: str = "rs0",
+        write_concern: int | str = 1,
+        read_preference: str = READ_PRIMARY,
+        replication_lag: int = 0,
+        network_delay_seconds: float = DEFAULT_NETWORK_DELAY,
+        election_timeout_seconds: float = DEFAULT_ELECTION_TIMEOUT,
+        auto_elect: bool = True,
+        cost_parameters: CostParameters | None = None,
+        **engine_options: Any,
+    ):
+        if members < 1:
+            raise DocumentStoreError("a replica set needs at least one member")
+        if read_preference not in READ_PREFERENCES:
+            raise DocumentStoreError(
+                f"unknown read preference {read_preference!r}; "
+                f"supported: {READ_PREFERENCES}"
+            )
+        if replication_lag < 0:
+            raise DocumentStoreError("replication_lag cannot be negative")
+        resolve_write_concern(write_concern, members)  # validate early
+        self.set_name = set_name
+        self.storage_engine = storage_engine
+        self.write_concern: int | str = write_concern
+        self.read_preference = read_preference
+        self.replication_lag = replication_lag
+        self.network_delay_seconds = network_delay_seconds
+        self.election_timeout_seconds = election_timeout_seconds
+        self.auto_elect = auto_elect
+        self.members = [
+            # Deterministic ping spread with the *last* member closest (1x),
+            # the initial primary mid-distance (1.5x) and the rest farther
+            # out -- so ``nearest`` genuinely prefers a secondary and its
+            # reads observe replication lag like any secondary read.
+            ReplicaSetMember(member_id, set_name, storage_engine,
+                             ping_seconds=network_delay_seconds
+                             * (1 + ((member_id + 1) % 3) / 2),
+                             cost_parameters=cost_parameters, **engine_options)
+            for member_id in range(members)
+        ]
+        self.term = 1
+        self.oplog = Oplog()
+        self.partitioned: set[int] = set()
+        self.elections: list[ElectionRecord] = []
+        self.failovers = 0
+        self.rolled_back_entries = 0
+        self.staleness_samples: list[int] = []
+        self._primary_id: int | None = 0
+        self.members[0].role = ROLE_PRIMARY
+        self.members[0].publish_status()
+        self._commands_executed = 0
+        self._replaying = False
+        self._pending_cost = 0.0
+        self._read_cursor = 0
+
+    # -- membership / roles ---------------------------------------------------------
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.members)
+
+    @property
+    def primary(self) -> ReplicaSetMember | None:
+        """The member currently holding the primary role (may be down)."""
+        if self._primary_id is None:
+            return None
+        return self.members[self._primary_id]
+
+    def secondaries(self) -> list[ReplicaSetMember]:
+        return [member for member in self.members if member.role != ROLE_PRIMARY]
+
+    def majority(self) -> int:
+        return len(self.members) // 2 + 1
+
+    def reachable_members(self) -> list[ReplicaSetMember]:
+        """Members that are up and on the majority side of any partition."""
+        return [member for member in self.members
+                if member.up and member.member_id not in self.partitioned]
+
+    def require_primary(self) -> ReplicaSetMember:
+        """The usable primary, electing one first when allowed.
+
+        A primary is usable when it is up, un-partitioned and can see a
+        majority.  Otherwise ``auto_elect`` holds an election transparently;
+        without it a :class:`NotPrimaryError` asks the caller (the sharded
+        query router) to drive the failover.
+        """
+        member = self.primary
+        usable = (
+            member is not None
+            and member.up
+            and member.member_id not in self.partitioned
+            and len(self.reachable_members()) >= self.majority()
+        )
+        if usable:
+            return member
+        if not self.auto_elect:
+            raise NotPrimaryError(
+                f"replica set {self.set_name!r} has no usable primary"
+            )
+        self.elect()
+        return self.members[self._primary_id]
+
+    def elect(self, exclude_member: int | None = None) -> ElectionRecord:
+        """Majority-vote election; the highest-optime reachable member wins.
+
+        Rolls back oplog entries the winner never applied (they lived only
+        on the dead primary) and flags members whose data ran ahead of the
+        truncated log for resync.  The election's simulated cost is charged
+        to the next operation.
+        """
+        candidates = [member for member in self.reachable_members()
+                      if member.member_id != exclude_member]
+        if len(self.reachable_members()) < self.majority() or not candidates:
+            self._demote_current_primary()
+            self._primary_id = None
+            raise NoPrimaryError(
+                f"replica set {self.set_name!r} cannot elect a primary: "
+                f"{len(self.reachable_members())}/{len(self.members)} members "
+                f"reachable, majority is {self.majority()}"
+            )
+        winner = max(candidates, key=lambda m: (m.applied, -m.member_id))
+        self._demote_current_primary()
+        self.term += 1
+        removed = self.oplog.truncate_after(winner.applied)
+        self.rolled_back_entries += len(removed)
+        for member in self.members:
+            if member.applied > winner.applied:
+                member.needs_resync = True
+        winner.role = ROLE_PRIMARY
+        winner.publish_status()
+        self._primary_id = winner.member_id
+        self.failovers += 1
+        cost = self.election_timeout_seconds + 2 * self.network_delay_seconds
+        self._pending_cost += cost
+        record = ElectionRecord(
+            term=self.term,
+            winner_id=winner.member_id,
+            votes=len(self.reachable_members()),
+            member_count=len(self.members),
+            rolled_back_entries=len(removed),
+            simulated_seconds=cost,
+        )
+        self.elections.append(record)
+        return record
+
+    def step_down(self) -> ElectionRecord:
+        """Voluntary ``replSetStepDown``: the primary yields and a new one is
+        elected among the *other* members (ties on optime break toward them)."""
+        old_primary = self._primary_id
+        return self.elect(exclude_member=old_primary)
+
+    def _demote_current_primary(self) -> None:
+        if self._primary_id is not None:
+            old = self.members[self._primary_id]
+            old.role = ROLE_SECONDARY
+            old.publish_status()
+
+    # -- failure hooks (driven by the FailureInjector) ---------------------------------
+
+    def kill_member(self, member_id: int) -> None:
+        """Crash a member.  A dead primary keeps its role until the next
+        operation (or the router) notices and triggers the election -- that
+        detection gap is the failover window E11 measures."""
+        member = self.members[member_id]
+        member.up = False
+        member.publish_status()
+
+    def restart_member(self, member_id: int) -> float:
+        """Restart a crashed member; it rejoins as a secondary and catches up
+        (full resync when its old data ran ahead of a rolled-back oplog)."""
+        member = self.members[member_id]
+        member.up = True
+        if self._primary_id != member.member_id:
+            member.role = ROLE_SECONDARY
+        member.publish_status()
+        return self.catch_up_member(member)
+
+    def set_partition(self, member_ids: set[int]) -> None:
+        """Isolate ``member_ids`` on the minority side of a network split."""
+        unknown = member_ids - {member.member_id for member in self.members}
+        if unknown:
+            raise DocumentStoreError(f"unknown member ids {sorted(unknown)}")
+        self.partitioned = set(member_ids)
+
+    def heal_partition(self) -> float:
+        """Reconnect partitioned members; they catch up (or resync)."""
+        healed = self.partitioned
+        self.partitioned = set()
+        cost = 0.0
+        for member_id in sorted(healed):
+            member = self.members[member_id]
+            if member.role == ROLE_PRIMARY and self._primary_id != member.member_id:
+                member.role = ROLE_SECONDARY
+                member.publish_status()
+            if member.up:
+                cost += self.catch_up_member(member)
+        return cost
+
+    def catch_up_member(self, member: ReplicaSetMember,
+                        target: OpTime | None = None) -> float:
+        """Replay the member's oplog tail (or resync when it diverged)."""
+        self._replaying = True
+        try:
+            if member.needs_resync:
+                return member.resync(self.oplog)
+            entries = self.oplog.entries_after(member.applied, through=target)
+            return member.apply_entries(entries)
+        finally:
+            self._replaying = False
+
+    # -- write path --------------------------------------------------------------------
+
+    def primary_write(self, database: str, collection: str, operation: str,
+                      *arguments: Any) -> OperationResult:
+        """Run a write on the primary, replicate it, honour the write concern."""
+        primary = self.require_primary()
+        target = self.member_collection(primary, database, collection)
+        appended_from = len(self.oplog)
+        result: OperationResult = getattr(target, operation)(*arguments)
+        result.simulated_seconds += self._finish_write(appended_from)
+        result.simulated_seconds += self._take_pending_cost()
+        return result
+
+    def create_index(self, database: str, collection: str, field_path: str,
+                     unique: bool = False) -> str:
+        """Create an index on the primary and replicate it to every member
+        (DDL is broadcast eagerly so secondary reads plan like the primary)."""
+        primary = self.require_primary()
+        target = self.member_collection(primary, database, collection)
+        if target.indexes.get(field_path) is None:
+            target.create_index(field_path, unique=unique)
+        entry = self.oplog.append(self.term, OP_CREATE_INDEX, database, collection,
+                                  field_path=field_path, unique=unique)
+        self._advance_primary(entry.optime)
+        self._replicate_ddl()
+        return field_path
+
+    def drop_index(self, database: str, collection: str, field_path: str) -> bool:
+        """Drop an index everywhere.  Like every drop, it never *creates* a
+        namespace as a side effect (replay on secondaries is guarded the same
+        way, keeping all members byte-identical)."""
+        primary = self.require_primary()
+        dropped = False
+        if (database in primary.server.database_names()
+                and collection in primary.server.database(database).collection_names()):
+            target = self.member_collection(primary, database, collection)
+            dropped = target.drop_index(field_path)
+        entry = self.oplog.append(self.term, OP_DROP_INDEX, database, collection,
+                                  field_path=field_path)
+        self._advance_primary(entry.optime)
+        self._replicate_ddl()
+        return dropped
+
+    def drop_collection(self, database: str, collection: str) -> bool:
+        primary = self.require_primary()
+        dropped = False
+        if database in primary.server.database_names():
+            dropped = primary.server.database(database).drop_collection(collection)
+        entry = self.oplog.append(self.term, OP_DROP_COLLECTION, database, collection)
+        self._advance_primary(entry.optime)
+        self._replicate_ddl()
+        return dropped
+
+    def drop_database(self, name: str) -> bool:
+        primary = self.require_primary()
+        dropped = primary.server.drop_database(name)
+        entry = self.oplog.append(self.term, OP_DROP_DATABASE, name)
+        self._advance_primary(entry.optime)
+        self._replicate_ddl()
+        return dropped
+
+    def _finish_write(self, appended_from: int) -> float:
+        """Post-write replication: ack wait first, then background tailing."""
+        entries = self.oplog.entries[appended_from:]
+        extra = 0.0
+        if entries:
+            extra = self._satisfy_write_concern(entries[-1].optime)
+        self._background_replicate()
+        return extra
+
+    def _satisfy_write_concern(self, target: OpTime) -> float:
+        """Block until ``w`` members applied ``target``; returns the wait."""
+        needed = resolve_write_concern(self.write_concern, len(self.members)) - 1
+        if needed <= 0:
+            return 0.0
+        candidates = sorted(
+            (member for member in self.reachable_members()
+             if member.role != ROLE_PRIMARY),
+            key=lambda m: (m.ping_seconds, m.member_id),
+        )
+        if len(candidates) < needed:
+            raise WriteConcernError(
+                f"write concern w={self.write_concern!r} needs {needed} "
+                f"reachable secondaries, only {len(candidates)} available"
+            )
+        wait = 0.0
+        for member in candidates[:needed]:
+            apply_cost = self.catch_up_member(member, target)
+            wait = max(wait, 2 * member.ping_seconds + apply_cost)
+        return wait
+
+    def _background_replicate(self) -> None:
+        """Keep reachable secondaries within ``replication_lag`` entries.
+
+        This models the asynchronous tailing that happens off the client's
+        critical path, so its apply costs are not charged to any operation.
+        """
+        entries = self.oplog.entries
+        horizon = len(entries) - self.replication_lag
+        if horizon <= 0:
+            return
+        target = entries[horizon - 1].optime
+        for member in self.reachable_members():
+            if member.role == ROLE_PRIMARY or member.needs_resync:
+                continue
+            if member.applied < target:
+                self.catch_up_member(member, target)
+
+    def _replicate_ddl(self) -> None:
+        """Broadcast DDL to every reachable secondary immediately."""
+        for member in self.reachable_members():
+            if member.role != ROLE_PRIMARY and not member.needs_resync:
+                self.catch_up_member(member)
+
+    def _take_pending_cost(self) -> float:
+        cost, self._pending_cost = self._pending_cost, 0.0
+        return cost
+
+    # -- read path ---------------------------------------------------------------------
+
+    def read_member(self) -> ReplicaSetMember:
+        """The member the configured read preference selects for this read.
+
+        Every read served by a secondary samples the staleness it observes
+        (oplog entries the member has not applied yet) into
+        ``staleness_samples``.
+        """
+        member = self._select_read_member()
+        if member.role != ROLE_PRIMARY:
+            self.staleness_samples.append(self.oplog.lag_behind(member.applied))
+        return member
+
+    def _select_read_member(self) -> ReplicaSetMember:
+        if self.read_preference == READ_PRIMARY:
+            return self.require_primary()
+        reachable = self.reachable_members()
+        if self.read_preference == READ_NEAREST:
+            if not reachable:
+                raise NoPrimaryError(
+                    f"replica set {self.set_name!r} has no reachable members"
+                )
+            return min(reachable, key=lambda m: (m.ping_seconds, m.member_id))
+        usable = [member for member in reachable
+                  if member.role != ROLE_PRIMARY and not member.needs_resync]
+        if not usable:
+            # No readable secondary left: fall back to the primary (the
+            # "secondaryPreferred" behaviour, which keeps workloads running
+            # through failovers).
+            return self.require_primary()
+        member = usable[self._read_cursor % len(usable)]
+        self._read_cursor += 1
+        return member
+
+    def routed_read(self, database: str, collection: str, operation: str,
+                    *arguments: Any, **keywords: Any) -> OperationResult:
+        """Run a read on the preferred member, sampling observed staleness."""
+        member = self.read_member()
+        target = self.member_collection(member, database, collection)
+        result: OperationResult = getattr(target, operation)(*arguments, **keywords)
+        result.simulated_seconds += 2 * member.ping_seconds
+        result.simulated_seconds += self._take_pending_cost()
+        return result
+
+    # -- member plumbing ---------------------------------------------------------------
+
+    def member_collection(self, member: ReplicaSetMember, database: str,
+                          collection: str) -> Collection:
+        """The member's physical collection, oplog-instrumented on the primary."""
+        physical = member.server.database(database).collection(collection)
+        if member.role == ROLE_PRIMARY and physical.change_listener is None:
+            physical.change_listener = self._make_listener(database, collection)
+        return physical
+
+    def _make_listener(self, database: str, collection: str) -> Callable:
+        def listener(operation: str, record_id: str,
+                     document: dict[str, Any] | None) -> None:
+            if self._replaying:
+                return
+            entry = self.oplog.append(self.term, operation, database, collection,
+                                      record_id=record_id, document=document)
+            self._advance_primary(entry.optime)
+        return listener
+
+    def _advance_primary(self, optime: OpTime) -> None:
+        """The primary applies what it writes: its optime tracks the log head."""
+        if self._primary_id is not None:
+            primary = self.members[self._primary_id]
+            primary.applied = optime
+            primary.entries_applied += 1
+            primary.publish_status()
+
+    # -- DocumentServer-compatible surface ---------------------------------------------
+
+    def database(self, name: str) -> ReplicatedDatabase:
+        return ReplicatedDatabase(self, name)
+
+    def status_member(self) -> ReplicaSetMember:
+        """A member for status/introspection reads: the primary when usable,
+        otherwise the freshest up member (statuses must not need a primary)."""
+        member = self.primary
+        if member is not None and member.up:
+            return member
+        up = [candidate for candidate in self.members if candidate.up]
+        if not up:
+            return self.members[0]
+        return max(up, key=lambda m: (m.applied, -m.member_id))
+
+    def database_names(self) -> list[str]:
+        return self.status_member().server.database_names()
+
+    def run_command(self, command: dict[str, Any]) -> dict[str, Any]:
+        """The server command subset plus the replica-set commands:
+        ``replSetGetStatus``, ``replSetStepDown``, ``isMaster``/``hello``."""
+        self._commands_executed += 1
+        if "ping" in command:
+            return {"ok": 1}
+        if "replSetGetStatus" in command:
+            return self.replica_set_status()
+        if "replSetStepDown" in command:
+            record = self.step_down()
+            return {"ok": 1, "term": record.term, "primary": record.winner_id}
+        if "isMaster" in command or "hello" in command:
+            primary = self.primary
+            return {
+                "ok": 1,
+                "ismaster": True,
+                "setName": self.set_name,
+                "hosts": [member.name for member in self.members],
+                "primary": primary.name if primary else None,
+            }
+        if "buildInfo" in command:
+            primary = self.require_primary()
+            info = primary.server.run_command({"buildInfo": 1})
+            info.update({"replicaSet": self.set_name,
+                         "members": len(self.members)})
+            return info
+        if "serverStatus" in command:
+            return {"ok": 1, **self.server_status()}
+        if "dbStats" in command:
+            name = command["dbStats"]
+            if name not in self.database_names():
+                raise NotFoundError(f"database {name!r} does not exist")
+            return {"ok": 1, **self.database(name).stats()}
+        if "collStats" in command:
+            namespace = command["collStats"]
+            db_name, __, coll_name = namespace.partition(".")
+            names = self.database(db_name).collection_names()
+            if coll_name not in names:
+                raise NotFoundError(f"collection {namespace!r} does not exist")
+            return {"ok": 1,
+                    **self.database(db_name).collection(coll_name).stats()}
+        return self.require_primary().server.run_command(command)
+
+    def server_status(self) -> dict[str, Any]:
+        """A member's ``serverStatus`` plus set-level replication state."""
+        status = self.status_member().server.server_status()
+        status["commands"] = self._commands_executed
+        status["repl"] = self.replication_summary()
+        return status
+
+    def replica_set_status(self) -> dict[str, Any]:
+        """``replSetGetStatus``: per-member roles, optimes and lag."""
+        return {
+            "ok": 1,
+            "set": self.set_name,
+            "term": self.term,
+            "primary": self._primary_id,
+            "write_concern": self.write_concern,
+            "read_preference": self.read_preference,
+            "oplog_entries": len(self.oplog),
+            "failovers": self.failovers,
+            "rolled_back_entries": self.rolled_back_entries,
+            "members": [
+                member.status(
+                    lag_entries=self.oplog.lag_behind(member.applied),
+                    partitioned=member.member_id in self.partitioned,
+                )
+                for member in self.members
+            ],
+        }
+
+    def replication_summary(self) -> dict[str, Any]:
+        """The compact replication block embedded in statuses and stats."""
+        samples = self.staleness_samples
+        return {
+            "set": self.set_name,
+            "replicas": len(self.members),
+            "primary": self._primary_id,
+            "term": self.term,
+            "write_concern": self.write_concern,
+            "read_preference": self.read_preference,
+            "replication_lag": self.replication_lag,
+            "oplog_entries": len(self.oplog),
+            "failovers": self.failovers,
+            "elections": [record.as_dict() for record in self.elections],
+            "rolled_back_entries": self.rolled_back_entries,
+            "staleness_samples": len(samples),
+            "staleness_mean": sum(samples) / len(samples) if samples else 0.0,
+            "staleness_max": max(samples) if samples else 0,
+        }
+
+    def __getitem__(self, name: str) -> ReplicatedDatabase:
+        return self.database(name)
+
+    # -- concurrency model ----------------------------------------------------------------
+
+    def speedup(self, threads: int, write_ratio: float) -> float:
+        """Throughput speedup for ``threads`` concurrent client threads.
+
+        Writes always serialise on the primary, so ``primary`` reads leave
+        the whole set behaving like one server -- and so does ``nearest``,
+        which routes every read to the single closest member.  Only
+        ``secondary`` reads fan out: they round-robin over the up
+        secondaries the way cluster reads spread over shards, capped by the
+        thread count.
+        """
+        profile = _ENGINE_FACTORIES[self.storage_engine].concurrency
+        if threads <= 1 or self.read_preference != READ_SECONDARY:
+            return profile.speedup(threads, write_ratio)
+        readable = max(1, len([member for member in self.members
+                               if member.up and member.role != ROLE_PRIMARY]))
+        threads_per_member = max(1, math.ceil(threads / readable))
+        per_member = profile.speedup(threads_per_member, write_ratio)
+        return min(float(threads), per_member * min(readable, threads))
+
+    def __repr__(self) -> str:
+        return (f"ReplicaSet({self.set_name!r}, members={len(self.members)}, "
+                f"primary={self._primary_id}, engine={self.storage_engine!r})")

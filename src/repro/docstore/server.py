@@ -84,6 +84,10 @@ class DocumentServer:
         self._engine_options = engine_options
         self._databases: dict[str, DatabaseNamespace] = {}
         self._commands_executed = 0
+        # Replication view of this process, maintained by the owning
+        # ``ReplicaSetMember`` ({"set", "member_id", "role", "optime", ...});
+        # None for a standalone server.
+        self.replication: dict[str, Any] | None = None
 
     # -- namespace management ----------------------------------------------------
 
@@ -108,11 +112,15 @@ class DocumentServer:
         """Execute an administrative command (subset of the MongoDB commands).
 
         Supported commands: ``ping``, ``serverStatus``, ``dbStats``,
-        ``collStats``, ``buildInfo``.
+        ``collStats``, ``buildInfo``, ``replSetGetStatus``.
         """
         self._commands_executed += 1
         if "ping" in command:
             return {"ok": 1}
+        if "replSetGetStatus" in command:
+            if self.replication is not None:
+                return {"ok": 1, **self.replication}
+            return {"ok": 1, "set": None, "role": "standalone", "members": []}
         if "buildInfo" in command:
             return {"ok": 1, "version": "4.0-sim", "storageEngines": sorted(_ENGINE_FACTORIES)}
         if "serverStatus" in command:
@@ -134,7 +142,7 @@ class DocumentServer:
         raise DocumentStoreError(f"unsupported command {sorted(command)!r}")
 
     def server_status(self) -> dict[str, Any]:
-        """Server-wide statistics (engine, databases, totals)."""
+        """Server-wide statistics (engine, databases, totals, replication role)."""
         return {
             "storageEngine": {"name": self.storage_engine},
             "databases": len(self._databases),
@@ -144,6 +152,8 @@ class DocumentServer:
                 for database in self._databases.values()
                 for name in database.collection_names()
             ),
+            "repl": dict(self.replication) if self.replication is not None
+            else {"role": "standalone"},
         }
 
     # -- internals --------------------------------------------------------------------

@@ -28,11 +28,12 @@ from typing import Any
 from repro.docstore.collection import Collection, OperationResult
 from repro.docstore.cost import CostParameters
 from repro.docstore.documents import get_path
+from repro.docstore.replication.replica_set import READ_PRIMARY, ReplicaSet
 from repro.docstore.server import _ENGINE_FACTORIES, DocumentServer
 from repro.docstore.sharding.balancer import Balancer, Migration
 from repro.docstore.sharding.chunks import STRATEGIES, STRATEGY_HASH, ChunkManager
 from repro.docstore.sharding.router import QueryRouter
-from repro.errors import DocumentStoreError, NotFoundError
+from repro.errors import DocumentStoreError, NotFoundError, NotPrimaryError
 
 
 @dataclass
@@ -183,6 +184,12 @@ class ShardedCluster:
         auto_maintenance: when True, chunk splitting and balancing run
             automatically after every ``split_threshold`` inserts into a
             namespace; when False, call :meth:`maintain` explicitly.
+        replicas: members per shard; ``1`` (the default) runs plain
+            :class:`DocumentServer` shards, larger values run each shard as
+            a :class:`~repro.docstore.replication.replica_set.ReplicaSet`
+            (with the router driving elections and retrying on failover).
+        write_concern / read_preference / replication_lag: replica-set
+            configuration applied to every shard (ignored for replicas=1).
         cost_parameters / engine_options: forwarded to every shard server.
     """
 
@@ -194,20 +201,39 @@ class ShardedCluster:
         strategy: str = STRATEGY_HASH,
         split_threshold: int = 64,
         auto_maintenance: bool = True,
+        replicas: int = 1,
+        write_concern: int | str = 1,
+        read_preference: str = READ_PRIMARY,
+        replication_lag: int = 0,
         cost_parameters: CostParameters | None = None,
         **engine_options: Any,
     ):
         if shards <= 0:
             raise DocumentStoreError("a cluster needs at least one shard")
+        if replicas <= 0:
+            raise DocumentStoreError("a shard needs at least one replica")
         if strategy not in STRATEGIES:
             raise DocumentStoreError(
                 f"unknown sharding strategy {strategy!r}; supported: {STRATEGIES}"
             )
-        self.shards = [
-            DocumentServer(storage_engine, cost_parameters=cost_parameters,
-                           **engine_options)
-            for __ in range(shards)
-        ]
+        if replicas == 1:
+            self.shards: list[DocumentServer | ReplicaSet] = [
+                DocumentServer(storage_engine, cost_parameters=cost_parameters,
+                               **engine_options)
+                for __ in range(shards)
+            ]
+        else:
+            # auto_elect is off: failover inside a cluster is the *router's*
+            # job, which elects and retries (counting failover_retries).
+            self.shards = [
+                ReplicaSet(members=replicas, storage_engine=storage_engine,
+                           set_name=f"shard{index}", write_concern=write_concern,
+                           read_preference=read_preference,
+                           replication_lag=replication_lag, auto_elect=False,
+                           cost_parameters=cost_parameters, **engine_options)
+                for index in range(shards)
+            ]
+        self.replicas = replicas
         self.storage_engine = storage_engine
         self.default_shard_key = shard_key
         self.default_strategy = strategy
@@ -228,6 +254,9 @@ class ShardedCluster:
         return ShardedDatabase(self, name)
 
     def drop_database(self, name: str) -> bool:
+        # Drops fan out to every shard directly (not through the router's
+        # per-operation retry), so heal dead shard primaries first.
+        self.ensure_primaries()
         dropped = False
         for server in self.shards:
             dropped = server.drop_database(name) or dropped
@@ -275,6 +304,13 @@ class ShardedCluster:
             return {"ok": 1, "migrations": sum(
                 len(state.balancer.migrations) for state in self._states.values()
             )}
+        if "replSetGetStatus" in command:
+            if not self.replicated:
+                return {"ok": 1, "set": None, "role": "standalone", "members": []}
+            return {"ok": 1, "shards": {
+                f"shard{index}": self.replica_set(index).replica_set_status()
+                for index in range(self.shard_count)
+            }}
         if "serverStatus" in command:
             return {"ok": 1, **self.server_status()}
         if "dbStats" in command:
@@ -293,10 +329,11 @@ class ShardedCluster:
     def server_status(self) -> dict[str, Any]:
         """Cluster-wide status merging every shard's ``serverStatus``."""
         per_shard = [server.server_status() for server in self.shards]
-        return {
+        status = {
             "storageEngine": {"name": self.storage_engine},
             "sharded": True,
             "shards": self.shard_count,
+            "replicas": self.replicas,
             "commands": self._commands_executed,
             "databases": len(self.database_names()),
             "totalDocuments": sum(status["totalDocuments"] for status in per_shard),
@@ -305,6 +342,13 @@ class ShardedCluster:
                 len(state.balancer.migrations) for state in self._states.values()
             ),
         }
+        if self.replicated:
+            replica_sets = [self.replica_set(index)
+                            for index in range(self.shard_count)]
+            status["failovers"] = sum(rs.failovers for rs in replica_sets)
+            status["rolled_back_entries"] = sum(
+                rs.rolled_back_entries for rs in replica_sets)
+        return status
 
     def __getitem__(self, name: str) -> ShardedDatabase:
         return self.database(name)
@@ -348,10 +392,37 @@ class ShardedCluster:
 
     def shard_collection_on(self, shard_id: int, database: str,
                             collection: str) -> Collection:
-        """The physical collection of one shard (router/balancer plumbing)."""
+        """The physical collection of one shard (router/balancer plumbing).
+
+        With replicated shards this is the shard's
+        :class:`~repro.docstore.replication.replica_set.ReplicatedCollection`,
+        which speaks the same operation protocol.
+        """
         return self.shards[shard_id].database(database).collection(collection)
 
+    # -- replication management --------------------------------------------------------
+
+    @property
+    def replicated(self) -> bool:
+        return self.replicas > 1
+
+    def replica_set(self, shard_id: int) -> ReplicaSet:
+        """The replica set backing one shard (replicated clusters only)."""
+        shard = self.shards[shard_id]
+        if not isinstance(shard, ReplicaSet):
+            raise DocumentStoreError(
+                f"shard {shard_id} is not replicated (replicas={self.replicas})"
+            )
+        return shard
+
+    def ensure_shard_primary(self, shard_id: int) -> None:
+        """Elect a new primary on one shard (router failover path)."""
+        shard = self.shards[shard_id]
+        if isinstance(shard, ReplicaSet):
+            shard.elect()
+
     def drop_sharded_collection(self, database: str, collection: str) -> bool:
+        self.ensure_primaries()
         dropped = False
         for server in self.shards:
             if database in server.database_names():
@@ -368,11 +439,27 @@ class ShardedCluster:
 
     # -- maintenance: splits and balancing ---------------------------------------------
 
+    def ensure_primaries(self) -> None:
+        """Make every replicated shard's primary usable (electing if needed).
+
+        Maintenance scans and migrations touch every shard directly (not
+        through the router's per-operation retry), so they heal first.
+        """
+        if not self.replicated:
+            return
+        for shard_id in range(self.shard_count):
+            replica_set = self.replica_set(shard_id)
+            try:
+                replica_set.require_primary()
+            except NotPrimaryError:
+                replica_set.elect()
+
     def maintain(self, database: str, collection: str) -> dict[str, Any]:
         """Run one maintenance round: split oversized chunks, then balance.
 
         Returns a summary with the splits performed and migrations run.
         """
+        self.ensure_primaries()
         state = self.sharding_state(database, collection)
         splits = self.split_chunks(database, collection)
         migrations = self.balance(database, collection)

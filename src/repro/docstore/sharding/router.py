@@ -34,6 +34,16 @@ Cost accounting: all multi-shard latency merging goes through
 :func:`combine_shard_costs` -- fan-outs run in parallel (cost of the slowest
 shard), sequential probes accumulate every probed shard.  The per-shard
 breakdown always flows into ``OperationResult.shard_costs``.
+
+Failover handling: when shards are replica sets
+(``ShardedCluster(replicas=M)``) the sets do not elect on their own -- a
+shard whose primary died raises
+:class:`~repro.errors.NotPrimaryError` and the *router* reacts, exactly once
+per operation: it triggers the shard's election
+(:meth:`ShardedCluster.ensure_shard_primary`) and retries the operation on
+the new primary, counting the event in ``failover_retries``.  If no majority
+is reachable the election raises :class:`~repro.errors.NoPrimaryError` and
+the operation fails loudly instead of silently dropping writes.
 """
 
 from __future__ import annotations
@@ -46,7 +56,7 @@ from repro.docstore.documents import get_path, with_id
 from repro.docstore.matching import equality_value
 from repro.docstore.predicates import query_intervals
 from repro.docstore.update_ops import is_update_document
-from repro.errors import DocumentStoreError
+from repro.errors import DocumentStoreError, NotPrimaryError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.docstore.collection import Collection
@@ -77,6 +87,7 @@ class QueryRouter:
         self.cluster = cluster
         self.targeted_operations = 0
         self.scatter_operations = 0
+        self.failover_retries = 0
 
     # -- writes -----------------------------------------------------------------
 
@@ -91,7 +102,8 @@ class QueryRouter:
                 f"of {database}.{collection}"
             )
         shard_id = state.manager.shard_for(value)
-        result = self._collection(database, collection, shard_id).insert_one(stored)
+        result = self._run_on_shard(database, collection, shard_id,
+                                    "insert_one", stored)
         self.targeted_operations += 1
         result.shard_costs = {self._shard_name(shard_id): result.simulated_seconds}
         state.note_insert()
@@ -163,8 +175,8 @@ class QueryRouter:
         self._note(targeted)
         merged = OperationResult()
         for shard_id in shard_ids:
-            result = self._collection(database, collection, shard_id).find_with_cost(
-                query, limit=limit)
+            result = self._run_on_shard(database, collection, shard_id,
+                                        "find_with_cost", query, limit=limit)
             merged.documents.extend(result.documents)
             merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
         merged.simulated_seconds = combine_shard_costs(merged.shard_costs,
@@ -180,7 +192,8 @@ class QueryRouter:
         shard_ids, targeted = self._shards_for_query(state, query)
         self._note(targeted)
         return sum(
-            self._collection(database, collection, shard_id).count_documents(query)
+            self._run_on_shard(database, collection, shard_id,
+                               "count_documents", query)
             for shard_id in shard_ids
         )
 
@@ -190,8 +203,8 @@ class QueryRouter:
         state = self.cluster.sharding_state(database, collection)
         shard_ids, targeted = self._shards_for_query(state, query)
         shard_plans = {
-            self._shard_name(shard_id): self._collection(
-                database, collection, shard_id).explain(query, limit=limit)
+            self._shard_name(shard_id): self._run_on_shard(
+                database, collection, shard_id, "explain", query, limit=limit)
             for shard_id in shard_ids
         }
         return {
@@ -223,19 +236,37 @@ class QueryRouter:
                 f"shards; the shard key is {state.key!r}"
             )
         for shard_id in range(self.cluster.shard_count):
-            self._collection(database, collection, shard_id).create_index(
-                field_path, unique=unique
-            )
+            self._run_on_shard(database, collection, shard_id, "create_index",
+                               field_path, unique=unique)
         return field_path
 
     def drop_index(self, database: str, collection: str, field_path: str) -> bool:
         dropped = False
         for shard_id in range(self.cluster.shard_count):
-            if self._collection(database, collection, shard_id).drop_index(field_path):
+            if self._run_on_shard(database, collection, shard_id,
+                                  "drop_index", field_path):
                 dropped = True
         return dropped
 
     # -- internals -------------------------------------------------------------------------
+
+    def _run_on_shard(self, database: str, collection: str, shard_id: int,
+                      operation: str, *arguments: Any, **keywords: Any) -> Any:
+        """Run one collection operation on one shard, with failover retry.
+
+        On a replicated shard whose primary died, the first attempt raises
+        ``NotPrimaryError``; the router elects a new primary and retries the
+        operation exactly once (oplog replay made member state idempotent,
+        and the failed attempt never reached a primary, so the retry is
+        safe).
+        """
+        target = self._collection(database, collection, shard_id)
+        try:
+            return getattr(target, operation)(*arguments, **keywords)
+        except NotPrimaryError:
+            self.failover_retries += 1
+            self.cluster.ensure_shard_primary(shard_id)
+            return getattr(target, operation)(*arguments, **keywords)
 
     def _shards_for_query(self, state: "ShardingState",
                           query: dict[str, Any]) -> tuple[list[int], bool]:
@@ -287,8 +318,8 @@ class QueryRouter:
     def _single_shard(self, database: str, collection: str, shard_id: int,
                       operation: str, *arguments: Any) -> OperationResult:
         """Run ``operation`` on exactly one shard, keeping its cost unchanged."""
-        target = self._collection(database, collection, shard_id)
-        result = getattr(target, operation)(*arguments)
+        result = self._run_on_shard(database, collection, shard_id,
+                                    operation, *arguments)
         result.shard_costs = {self._shard_name(shard_id): result.simulated_seconds}
         return result
 
@@ -297,8 +328,8 @@ class QueryRouter:
         """Run a single-document write shard by shard until one matches."""
         merged = OperationResult()
         for shard_id in shard_ids:
-            target = self._collection(database, collection, shard_id)
-            result = getattr(target, operation)(*arguments)
+            result = self._run_on_shard(database, collection, shard_id,
+                                        operation, *arguments)
             merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
             if result.matched_count or result.deleted_count:
                 merged.matched_count = result.matched_count
@@ -314,8 +345,8 @@ class QueryRouter:
         """Run a multi-document write on the shards in parallel and merge."""
         merged = OperationResult()
         for shard_id in shard_ids:
-            target = self._collection(database, collection, shard_id)
-            result = getattr(target, operation)(*arguments)
+            result = self._run_on_shard(database, collection, shard_id,
+                                        operation, *arguments)
             merged.matched_count += result.matched_count
             merged.modified_count += result.modified_count
             merged.deleted_count += result.deleted_count

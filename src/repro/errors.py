@@ -51,6 +51,26 @@ class DuplicateKeyError(DocumentStoreError):
     """A unique index constraint was violated in the document store."""
 
 
+class ReplicationError(DocumentStoreError):
+    """A replica-set operation could not be performed."""
+
+
+class NotPrimaryError(ReplicationError):
+    """The member addressed as primary is not (or no longer) the primary.
+
+    Callers holding a routing layer (e.g. the sharded query router) react by
+    triggering an election and retrying the operation once.
+    """
+
+
+class NoPrimaryError(ReplicationError):
+    """No primary exists and none can be elected (majority unavailable)."""
+
+
+class WriteConcernError(ReplicationError):
+    """A write could not be acknowledged by enough replica-set members."""
+
+
 class AgentError(ChronosError):
     """A Chronos agent failed while executing a job."""
 

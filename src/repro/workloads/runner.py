@@ -22,6 +22,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.docstore.client import CollectionHandle, DocumentClient
+from repro.docstore.replication.replica_set import (
+    READ_PREFERENCES,
+    ReplicaSet,
+    resolve_write_concern,
+)
 from repro.docstore.server import DocumentServer
 from repro.docstore.sharding.chunks import STRATEGIES
 from repro.docstore.sharding.cluster import ShardedCluster
@@ -51,6 +56,11 @@ class WorkloadSpec:
             cluster (1 means a single server).
         shard_key: shard key of the benchmark collection.
         shard_strategy: chunk placement strategy (``"hash"`` or ``"range"``).
+        replicas: replica-set members per deployment (1 means unreplicated;
+            with ``shards > 1`` every shard becomes a replica set).
+        write_concern: ``1`` .. ``replicas`` or ``"majority"``.
+        read_preference: ``"primary"`` / ``"secondary"`` / ``"nearest"``.
+        replication_lag: oplog entries secondaries may trail behind.
     """
 
     record_count: int = 1000
@@ -66,6 +76,10 @@ class WorkloadSpec:
     shards: int = 1
     shard_key: str = "_id"
     shard_strategy: str = "hash"
+    replicas: int = 1
+    write_concern: int | str = 1
+    read_preference: str = "primary"
+    replication_lag: int = 0
 
     def __post_init__(self) -> None:
         if self.record_count <= 0 or self.operation_count <= 0:
@@ -78,6 +92,19 @@ class WorkloadSpec:
             raise ValidationError(
                 f"shard_strategy must be one of {STRATEGIES}, got {self.shard_strategy!r}"
             )
+        if self.replicas <= 0:
+            raise ValidationError("replicas must be positive")
+        if self.read_preference not in READ_PREFERENCES:
+            raise ValidationError(
+                f"read_preference must be one of {READ_PREFERENCES}, "
+                f"got {self.read_preference!r}"
+            )
+        if self.replication_lag < 0:
+            raise ValidationError("replication_lag cannot be negative")
+        try:
+            resolve_write_concern(self.write_concern, self.replicas)
+        except Exception as error:
+            raise ValidationError(str(error)) from error
 
 
 @dataclass
@@ -87,6 +114,7 @@ class BenchmarkResult:
     engine: str
     threads: int
     shards: int
+    replicas: int
     operations: int
     simulated_seconds: float
     throughput_ops_per_sec: float
@@ -103,6 +131,7 @@ class BenchmarkResult:
             "engine": self.engine,
             "threads": self.threads,
             "shards": self.shards,
+            "replicas": self.replicas,
             "operations": self.operations,
             "simulated_seconds": self.simulated_seconds,
             "throughput_ops_per_sec": self.throughput_ops_per_sec,
@@ -118,15 +147,22 @@ class BenchmarkResult:
 class DocumentBenchmark:
     """Loads, warms up and measures one document deployment with one workload.
 
-    The deployment may be a single :class:`DocumentServer` or a
-    :class:`~repro.docstore.sharding.cluster.ShardedCluster`; both expose the
+    The deployment may be a single :class:`DocumentServer`, a
+    :class:`~repro.docstore.replication.replica_set.ReplicaSet` or a
+    :class:`~repro.docstore.sharding.cluster.ShardedCluster`; all expose the
     surface :class:`~repro.docstore.client.DocumentClient` needs.
+
+    ``operation_hook`` (when set) fires with the operation index before each
+    measured operation -- failure-injection drivers use it to kill or
+    partition replica-set members at a precise point of the run.
     """
 
-    def __init__(self, server: DocumentServer | ShardedCluster, spec: WorkloadSpec,
+    def __init__(self, server: "DocumentServer | ShardedCluster | ReplicaSet",
+                 spec: WorkloadSpec,
                  database: str = "benchmark", collection: str = "usertable"):
         self.server = server
         self.spec = spec
+        self.operation_hook: Any = None
         self.client = DocumentClient(server)
         self.database = database
         self.collection = collection
@@ -144,18 +180,30 @@ class DocumentBenchmark:
                  **engine_options) -> "DocumentBenchmark":
         """Build the benchmark and its deployment from the spec alone.
 
-        ``spec.shards == 1`` yields a plain :class:`DocumentServer`;
-        anything larger yields a :class:`ShardedCluster` sharded with the
-        spec's ``shard_key``/``shard_strategy``.
+        ``shards == replicas == 1`` yields a plain :class:`DocumentServer`;
+        ``replicas > 1`` alone a :class:`ReplicaSet`; ``shards > 1`` a
+        :class:`ShardedCluster` (whose shards are replica sets when
+        ``replicas > 1``), sharded with ``shard_key``/``shard_strategy``.
         """
-        if spec.shards == 1:
-            server: DocumentServer | ShardedCluster = DocumentServer(
+        if spec.shards == 1 and spec.replicas == 1:
+            server: DocumentServer | ShardedCluster | ReplicaSet = DocumentServer(
                 storage_engine, **engine_options
+            )
+        elif spec.shards == 1:
+            server = ReplicaSet(
+                members=spec.replicas, storage_engine=storage_engine,
+                write_concern=spec.write_concern,
+                read_preference=spec.read_preference,
+                replication_lag=spec.replication_lag,
+                **engine_options,
             )
         else:
             server = ShardedCluster(
                 shards=spec.shards, storage_engine=storage_engine,
                 shard_key=spec.shard_key, strategy=spec.shard_strategy,
+                replicas=spec.replicas, write_concern=spec.write_concern,
+                read_preference=spec.read_preference,
+                replication_lag=spec.replication_lag,
                 **engine_options,
             )
         return cls(server, spec, database=database, collection=collection)
@@ -189,7 +237,9 @@ class DocumentBenchmark:
         """Measured phase: execute the operation mix and compute the metrics."""
         latencies: list[float] = []
         counts = {"read": 0, "update": 0, "insert": 0, "scan": 0, "read_modify_write": 0}
-        for _ in range(self.spec.operation_count):
+        for index in range(self.spec.operation_count):
+            if self.operation_hook is not None:
+                self.operation_hook(index)
             operation = self._choose_operation()
             latencies.append(self._execute(operation))
             counts[operation] += 1
@@ -251,11 +301,15 @@ class DocumentBenchmark:
         engine = self.handle.engine
         threads = self.spec.threads
         write_ratio = self.spec.mix.write_fraction
-        if isinstance(self.server, ShardedCluster):
-            shards = self.server.shard_count
-            speedup = self.server.speedup(threads, write_ratio)
+        # Clusters and replica sets model their own concurrency; a plain
+        # server falls back to its engine's profile.
+        shards = getattr(self.server, "shard_count", 1)
+        replicas = getattr(self.server, "replica_count",
+                           getattr(self.server, "replicas", 1))
+        speedup_model = getattr(self.server, "speedup", None)
+        if speedup_model is not None:
+            speedup = speedup_model(threads, write_ratio)
         else:
-            shards = 1
             speedup = engine.concurrency.speedup(threads, write_ratio)
 
         total_service = sum(latencies)
@@ -269,6 +323,7 @@ class DocumentBenchmark:
             engine=engine.name,
             threads=threads,
             shards=shards,
+            replicas=replicas,
             operations=len(latencies),
             simulated_seconds=wall_clock,
             throughput_ops_per_sec=throughput,

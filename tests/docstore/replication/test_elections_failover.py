@@ -1,0 +1,196 @@
+"""Elections, failover, rollback, partitions and the router's retry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.client import DocumentClient
+from repro.docstore.replication import (
+    ROLE_PRIMARY,
+    ROLE_SECONDARY,
+    FailureInjector,
+    ReplicaSet,
+)
+from repro.docstore.sharding.cluster import ShardedCluster
+from repro.errors import NoPrimaryError, NotPrimaryError
+
+
+def loaded_set(**overrides) -> tuple[ReplicaSet, object]:
+    options = {"members": 3, "write_concern": "majority"}
+    options.update(overrides)
+    replica_set = ReplicaSet(**options)
+    handle = DocumentClient(replica_set).collection("app", "docs")
+    for index in range(20):
+        handle.insert_one({"_id": f"d{index}", "n": index})
+    return replica_set, handle
+
+
+class TestElections:
+    def test_kill_primary_elects_the_freshest_secondary(self):
+        replica_set, handle = loaded_set()
+        injector = FailureInjector(replica_set)
+        victim = injector.kill_primary()
+        # Nothing happens until an operation needs the primary.
+        assert replica_set.failovers == 0
+        handle.insert_one({"_id": "after", "n": 99})
+        assert replica_set.failovers == 1
+        assert replica_set.term == 2
+        new_primary = replica_set.primary
+        assert new_primary.member_id != victim
+        assert new_primary.role == ROLE_PRIMARY
+        # The winner had the highest applied optime among the survivors.
+        assert all(new_primary.applied >= member.applied
+                   for member in replica_set.reachable_members())
+        assert len(replica_set.elections) == 1
+        record = replica_set.elections[0]
+        assert record.votes == 2 and record.member_count == 3
+        assert record.simulated_seconds > 0
+
+    def test_majority_writes_survive_failover_without_rollback(self):
+        replica_set, handle = loaded_set(replication_lag=5)
+        FailureInjector(replica_set).kill_primary()
+        handle.insert_one({"_id": "after", "n": 99})
+        assert replica_set.rolled_back_entries == 0
+        surviving = {document["_id"]
+                     for document in handle.find_with_cost({}).documents}
+        assert {f"d{index}" for index in range(20)} <= surviving
+
+    def test_w1_failover_rolls_back_the_unreplicated_tail(self):
+        replica_set, handle = loaded_set(write_concern=1, replication_lag=4)
+        FailureInjector(replica_set).kill_primary()
+        handle.insert_one({"_id": "after", "n": 99})
+        assert replica_set.rolled_back_entries == 4
+        surviving = {document["_id"]
+                     for document in handle.find_with_cost({}).documents}
+        # The last 4 acknowledged inserts died with the primary.
+        assert surviving == {f"d{index}" for index in range(16)} | {"after"}
+
+    def test_no_majority_means_no_primary(self):
+        replica_set, handle = loaded_set()
+        injector = FailureInjector(replica_set)
+        injector.kill(1)
+        injector.kill(2)
+        with pytest.raises(NoPrimaryError):
+            replica_set.elect()
+        with pytest.raises(NoPrimaryError):
+            handle.insert_one({"_id": "nope"})
+
+    def test_step_down_hands_over_to_another_member(self):
+        replica_set, __ = loaded_set()
+        old_primary = replica_set.primary.member_id
+        response = replica_set.run_command({"replSetStepDown": 1})
+        assert response["ok"] == 1
+        assert replica_set.primary.member_id != old_primary
+        assert replica_set.members[old_primary].role == ROLE_SECONDARY
+
+
+class TestRestartAndResync:
+    def test_restarted_secondary_catches_up(self):
+        replica_set, handle = loaded_set(write_concern=1)
+        injector = FailureInjector(replica_set)
+        injector.kill(2)
+        for index in range(20, 30):
+            handle.insert_one({"_id": f"d{index}", "n": index})
+        injector.restart(2)
+        member = replica_set.members[2]
+        assert member.applied == replica_set.oplog.last_optime()
+        assert len(member.server.database("app").collection("docs")) == 30
+
+    def test_dead_primary_resyncs_after_rollback(self):
+        """The old primary's data ran ahead of the truncated oplog: on
+        restart it must rebuild from scratch, dropping the rolled-back tail."""
+        replica_set, handle = loaded_set(write_concern=1, replication_lag=4)
+        injector = FailureInjector(replica_set)
+        victim = injector.kill_primary()
+        handle.insert_one({"_id": "after", "n": 99})  # election + rollback
+        assert replica_set.members[victim].needs_resync
+        injector.restart(victim)
+        member = replica_set.members[victim]
+        assert member.role == ROLE_SECONDARY
+        assert not member.needs_resync
+        assert member.resyncs == 1
+        documents = {record_id for record_id, __, __cost
+                     in member.server.database("app").collection("docs").engine.scan()}
+        assert "d19" not in documents  # rolled back everywhere, resync included
+        assert "after" in documents
+
+    def test_injector_keeps_an_event_log(self):
+        replica_set, handle = loaded_set()
+        injector = FailureInjector(replica_set)
+        injector.kill_primary()
+        handle.insert_one({"_id": "x"})
+        injector.restart_all()
+        events = [event["event"] for event in injector.events]
+        assert events == ["kill", "restart"]
+
+
+class TestPartitions:
+    def test_partitioned_primary_steps_down_for_the_majority_side(self):
+        replica_set, handle = loaded_set()
+        injector = FailureInjector(replica_set)
+        victim = injector.partition_primary()
+        handle.insert_one({"_id": "after", "n": 99})
+        assert replica_set.primary.member_id != victim
+        assert replica_set.failovers == 1
+
+    def test_minority_cannot_elect(self):
+        replica_set, __ = loaded_set()
+        injector = FailureInjector(replica_set)
+        injector.partition([0, 1])  # two of three members isolated
+        with pytest.raises(NoPrimaryError):
+            replica_set.elect()
+
+    def test_heal_rejoins_and_catches_up(self):
+        replica_set, handle = loaded_set(write_concern=1)
+        injector = FailureInjector(replica_set)
+        victim = injector.partition_primary()
+        handle.insert_one({"_id": "after", "n": 99})
+        injector.heal()
+        member = replica_set.members[victim]
+        assert member.role == ROLE_SECONDARY
+        assert member.applied == replica_set.oplog.last_optime()
+        assert handle.count_documents({}) == 21
+
+
+class TestRouterFailover:
+    def make_cluster(self) -> tuple[ShardedCluster, object]:
+        cluster = ShardedCluster(shards=2, replicas=3, write_concern="majority",
+                                 split_threshold=16)
+        handle = DocumentClient(cluster).collection("app", "docs")
+        for index in range(40):
+            handle.insert_one({"_id": f"d{index}", "n": index})
+        return cluster, handle
+
+    def test_cluster_replica_sets_do_not_self_elect(self):
+        cluster, __ = self.make_cluster()
+        replica_set = cluster.replica_set(0)
+        assert replica_set.auto_elect is False
+        FailureInjector(replica_set).kill_primary()
+        with pytest.raises(NotPrimaryError):
+            replica_set.require_primary()
+
+    def test_router_elects_and_retries_on_failover(self):
+        cluster, handle = self.make_cluster()
+        FailureInjector.for_shard(cluster, 0).kill_primary()
+        FailureInjector.for_shard(cluster, 1).kill_primary()
+        # A scatter read touches both shards: each fails over exactly once.
+        assert handle.count_documents({}) == 40
+        assert cluster.router.failover_retries == 2
+        assert cluster.server_status()["failovers"] == 2
+
+    def test_workload_continues_after_shard_failover(self):
+        cluster, handle = self.make_cluster()
+        FailureInjector.for_shard(cluster, 0).kill_primary()
+        for index in range(40, 80):
+            handle.insert_one({"_id": f"d{index}", "n": index})
+        assert handle.count_documents({}) == 80
+        assert cluster.router.failover_retries >= 1
+        assert cluster.server_status()["rolled_back_entries"] == 0
+
+    def test_unelectable_shard_raises_loudly(self):
+        cluster, handle = self.make_cluster()
+        injector = FailureInjector.for_shard(cluster, 0)
+        injector.kill(0)
+        injector.kill(1)
+        with pytest.raises(NoPrimaryError):
+            handle.count_documents({})

@@ -1,0 +1,171 @@
+"""Differential tests: a replica set must behave like a single server.
+
+With ``w=majority`` and primary reads, a :class:`ReplicaSet` is
+document-for-document equal to a single :class:`DocumentServer` for the same
+seeded operation sequence -- *including when the primary is killed mid-run*:
+every acknowledged write reached a majority, so the elected successor holds
+exactly the state the dead primary acknowledged, and the sequence continues
+without observable divergence (zero acknowledged-write loss, the acceptance
+criterion of the replication PR).
+
+The weaker configurations are exercised for their *documented* divergence:
+``w=1`` plus a crash legitimately loses the unreplicated tail (that is the
+durability trade-off the write concern buys back).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.docstore.client import CollectionHandle, DocumentClient
+from repro.docstore.replication import FailureInjector, ReplicaSet
+from repro.docstore.server import DocumentServer
+from repro.docstore.sharding.cluster import ShardedCluster
+from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+from repro.workloads.ycsb import CORE_WORKLOADS
+
+
+def make_handle(deployment: str, members: int = 3) -> CollectionHandle:
+    if deployment == "single":
+        server: DocumentServer | ReplicaSet = DocumentServer()
+    else:
+        server = ReplicaSet(members=members, write_concern="majority",
+                            replication_lag=3)
+    return DocumentClient(server).collection("app", "users")
+
+
+def run_sequence(handle: CollectionHandle, seed: int = 5,
+                 kill_primary_at: int | None = None):
+    """A seeded CRUD mix; optionally crashes the primary at one step.
+
+    Returns (sorted documents, operation outcomes).  Only order-independent
+    multi-match operations are used (same caveat as the sharded differential
+    suite).
+    """
+    injector = None
+    if kill_primary_at is not None:
+        injector = FailureInjector(handle._client.server)
+    rng = random.Random(seed)
+    outcomes = []
+    inserted = 0
+    for step in range(300):
+        if injector is not None and step == kill_primary_at:
+            injector.kill_primary()
+        roll = rng.random()
+        key = f"user{rng.randrange(max(inserted, 1))}"
+        if roll < 0.4 or inserted < 10:
+            result = handle.insert_one(
+                {"_id": f"user{inserted}", "n": inserted, "group": inserted % 5})
+            outcomes.append(("insert", tuple(result.inserted_ids)))
+            inserted += 1
+        elif roll < 0.6:
+            result = handle.update_one({"_id": key}, {"$set": {"n": step}})
+            outcomes.append(("update", result.matched_count, result.modified_count))
+        elif roll < 0.7:
+            result = handle.update_many({"group": rng.randrange(5)},
+                                        {"$inc": {"touched": 1}})
+            outcomes.append(("update_many", result.matched_count))
+        elif roll < 0.8:
+            result = handle.delete_one({"_id": key})
+            outcomes.append(("delete", result.deleted_count))
+        elif roll < 0.9:
+            documents = handle.find({"group": rng.randrange(5)})
+            outcomes.append(("find", sorted(d["_id"] for d in documents)))
+        else:
+            outcomes.append(("count", handle.count_documents()))
+    documents = sorted(handle.find_with_cost({}).documents,
+                       key=lambda document: document["_id"])
+    return documents, outcomes
+
+
+class TestReplicatedEquivalence:
+    @pytest.mark.parametrize("members", [3, 5])
+    def test_replicated_sequence_matches_single_server(self, members):
+        single_documents, single_outcomes = run_sequence(make_handle("single"))
+        replicated_documents, replicated_outcomes = run_sequence(
+            make_handle("replicated", members))
+        assert replicated_outcomes == single_outcomes
+        assert replicated_documents == single_documents
+
+    @pytest.mark.parametrize("kill_at", [60, 150, 250])
+    def test_mid_run_primary_kill_is_invisible_at_majority(self, kill_at):
+        """Acceptance: failover mid-sequence, zero acknowledged-write loss."""
+        single_documents, single_outcomes = run_sequence(make_handle("single"))
+        handle = make_handle("replicated")
+        replica_set: ReplicaSet = handle._client.server
+        replicated_documents, replicated_outcomes = run_sequence(
+            handle, kill_primary_at=kill_at)
+        assert replica_set.failovers == 1  # the kill really caused an election
+        assert replica_set.rolled_back_entries == 0
+        assert replicated_outcomes == single_outcomes
+        assert replicated_documents == single_documents
+
+    def test_acknowledged_inserts_all_survive_a_primary_kill(self):
+        """Every insert acknowledged at w=majority is readable after failover."""
+        handle = make_handle("replicated")
+        replica_set: ReplicaSet = handle._client.server
+        injector = FailureInjector(replica_set)
+        acknowledged: list[str] = []
+        for index in range(120):
+            if index == 60:
+                injector.kill_primary()
+            result = handle.insert_one({"_id": f"event{index}", "n": index})
+            acknowledged.extend(result.inserted_ids)
+        surviving = {document["_id"]
+                     for document in handle.find_with_cost({}).documents}
+        assert len(acknowledged) == 120
+        assert surviving == set(acknowledged)
+        assert replica_set.rolled_back_entries == 0
+
+    def test_w1_crash_loses_exactly_the_lag_window(self):
+        """The documented contrast: w=1 durability is bounded by the lag."""
+        replica_set = ReplicaSet(members=3, write_concern=1, replication_lag=5)
+        handle = DocumentClient(replica_set).collection("app", "users")
+        for index in range(50):
+            handle.insert_one({"_id": f"event{index}", "n": index})
+        FailureInjector(replica_set).kill_primary()
+        handle.insert_one({"_id": "after", "n": 999})
+        assert replica_set.rolled_back_entries == 5
+        surviving = {document["_id"]
+                     for document in handle.find_with_cost({}).documents}
+        assert surviving == {f"event{index}" for index in range(45)} | {"after"}
+
+
+class TestReplicatedClusterEquivalence:
+    def test_replicated_cluster_matches_single_server_through_failover(self):
+        single_documents, single_outcomes = run_sequence(make_handle("single"))
+        cluster = ShardedCluster(shards=2, replicas=3, write_concern="majority",
+                                 split_threshold=16)
+        handle = DocumentClient(cluster).collection("app", "users")
+        replicated_documents, replicated_outcomes = run_sequence(handle)
+        assert replicated_outcomes == single_outcomes
+        assert replicated_documents == single_documents
+        FailureInjector.for_shard(cluster, 0).kill_primary()
+        FailureInjector.for_shard(cluster, 1).kill_primary()
+        after = sorted(handle.find_with_cost({}).documents,
+                       key=lambda document: document["_id"])
+        assert after == single_documents
+        assert cluster.router.failover_retries >= 1
+        assert cluster.server_status()["rolled_back_entries"] == 0
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("workload", ["A", "B"])
+    def test_ycsb_run_leaves_identical_collections(self, workload):
+        core = CORE_WORKLOADS[workload]
+
+        def final_documents(replicas: int):
+            spec = WorkloadSpec(record_count=120, operation_count=240, threads=4,
+                                mix=core.mix, distribution=core.distribution,
+                                seed=13, replicas=replicas,
+                                write_concern="majority" if replicas > 1 else 1)
+            benchmark = DocumentBenchmark.for_spec(spec, "wiredtiger")
+            benchmark.execute_full()
+            return sorted(benchmark.handle.find_with_cost({}).documents,
+                          key=lambda document: document["_id"])
+
+        baseline = final_documents(1)
+        for replicas in (3, 5):
+            assert final_documents(replicas) == baseline

@@ -38,7 +38,8 @@ class TestCommands:
     def test_info_command(self, capsys):
         assert main(["info"]) == 0
         output = capsys.readouterr().out
-        assert "Chronos" in output and "E1-E10" in output
+        assert "Chronos" in output and "E1-E11" in output
+        assert "docstore.replication" in output
 
     def test_demo_command_prints_table_and_winner(self, capsys):
         exit_code = main(["demo", "--threads", "1", "4", "--records", "60",
@@ -82,6 +83,24 @@ class TestCommands:
     def test_sharded_command_rejects_unknown_strategy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sharded", "--strategy", "random"])
+
+    def test_replicated_command_sweeps_concerns_and_preferences(self, capsys):
+        exit_code = main(["replicated", "--records", "60", "--operations", "120",
+                          "--write-concerns", "1", "majority",
+                          "--read-preferences", "primary", "secondary",
+                          "--kill-primary"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "| majority | secondary |" in output
+        assert "killing the primary mid-run" in output
+        # Every majority row reports zero lost writes despite the crash.
+        for line in output.splitlines():
+            if line.startswith("| majority"):
+                assert line.rstrip().endswith("| 0 |")
+
+    def test_replicated_command_rejects_unknown_preference(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replicated", "--read-preferences", "backup"])
 
 
 class TestExplainCommand:
