@@ -2,8 +2,10 @@
 
 Walks through the full replication story:
 
-* start a three-member :class:`~repro.docstore.replication.replica_set.ReplicaSet`
-  behind the unchanged :class:`~repro.docstore.client.DocumentClient`,
+* declare a three-member :class:`~repro.docstore.topology.TopologySpec` and
+  let the topology layer build the
+  :class:`~repro.docstore.replication.replica_set.ReplicaSet` behind the
+  unchanged :class:`~repro.docstore.client.DocumentClient`,
 * write with ``w=majority`` so every acknowledged write reaches a majority
   before the client continues,
 * read from secondaries and watch them trail the primary (real eventual
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 from repro.docstore.client import DocumentClient
 from repro.docstore.replication import FailureInjector, ReplicaSet
+from repro.docstore.topology import TopologySpec, build_topology
 
 MEMBERS = 3
 LAG = 4
@@ -31,10 +34,18 @@ WRITES_BEFORE_KILL = 40
 WRITES_AFTER_KILL = 20
 
 
+def build_replica_set(write_concern, read_preference: str = "primary") -> ReplicaSet:
+    """The deployment shape is declared data; the topology layer builds it."""
+    replica_set = build_topology(TopologySpec(
+        replicas=MEMBERS, write_concern=write_concern,
+        read_preference=read_preference, replication_lag=LAG))
+    assert isinstance(replica_set, ReplicaSet)
+    return replica_set
+
+
 def run_crash_scenario(write_concern) -> tuple[ReplicaSet, int, int]:
     """Insert, crash the primary, fail over, keep going; count survivors."""
-    replica_set = ReplicaSet(members=MEMBERS, write_concern=write_concern,
-                             replication_lag=LAG)
+    replica_set = build_replica_set(write_concern)
     handle = DocumentClient(replica_set).collection("app", "events")
     acknowledged = []
     for index in range(WRITES_BEFORE_KILL):
@@ -60,8 +71,7 @@ def main() -> None:
     print()
 
     print("== Status and staleness (w=1, secondary reads) ==")
-    replica_set = ReplicaSet(members=MEMBERS, write_concern=1,
-                             read_preference="secondary", replication_lag=LAG)
+    replica_set = build_replica_set(1, read_preference="secondary")
     handle = DocumentClient(replica_set).collection("app", "events")
     for index in range(30):
         handle.insert_one({"_id": f"event{index:03d}", "sequence": index})

@@ -2,8 +2,10 @@
 
 Walks through the full sharding story:
 
-* start a :class:`~repro.docstore.sharding.cluster.ShardedCluster` with four
-  shards behind a ``mongos``-style query router,
+* declare a four-shard :class:`~repro.docstore.topology.TopologySpec` and let
+  the topology layer build the
+  :class:`~repro.docstore.sharding.cluster.ShardedCluster` behind a
+  ``mongos``-style query router,
 * run YCSB workload B against it through the unchanged
   :class:`~repro.docstore.client.DocumentClient` machinery,
 * inspect the chunk table, split and migration bookkeeping,
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 from repro.docstore.server import DocumentServer
 from repro.docstore.sharding import ShardedCluster
+from repro.docstore.topology import TopologySpec
 from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
 from repro.workloads.ycsb import CORE_WORKLOADS
 
@@ -35,6 +38,12 @@ def build_spec(shards: int) -> WorkloadSpec:
                         seed=11, shards=shards)
 
 
+def build_benchmark(shards: int) -> DocumentBenchmark:
+    """The deployment shape is declared data; the topology layer builds it."""
+    topology = TopologySpec(shards=shards, storage_engine="wiredtiger")
+    return DocumentBenchmark.for_topology(topology, build_spec(shards))
+
+
 def collection_documents(benchmark: DocumentBenchmark) -> list[dict]:
     documents = benchmark.handle.find_with_cost({}).documents
     return sorted(documents, key=lambda document: document["_id"])
@@ -46,8 +55,10 @@ def main() -> None:
     print(f"cluster: {SHARDS} shards, single server baseline, {THREADS} threads")
     print()
 
-    sharded = DocumentBenchmark.for_spec(build_spec(SHARDS), "wiredtiger")
-    single = DocumentBenchmark.for_spec(build_spec(1), "wiredtiger")
+    sharded = build_benchmark(SHARDS)
+    single = build_benchmark(1)
+    print(f"declared topology: {sharded.topology.as_dict()}")
+    print()
     sharded_result = sharded.execute_full()
     single_result = single.execute_full()
 

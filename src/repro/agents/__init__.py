@@ -1,14 +1,20 @@
 """Concrete Chronos Agents for the Systems under Evaluation of this repository.
 
-* :class:`~repro.agents.mongodb_agent.MongoDbAgent` -- the paper's demo: the
-  comparative evaluation of the wiredTiger and mmapv1 storage engines.
-* :class:`~repro.agents.sharded_agent.ShardedMongoAgent` -- the scale-out
-  scenario: YCSB workloads against a sharded cluster behind a query router,
-  sweeping shard count and placement strategy.
-* :class:`~repro.agents.replicated_agent.ReplicatedMongoAgent` -- the
-  durability/availability scenario: YCSB workloads against a replica set,
-  sweeping write concern and read preference, optionally killing the
-  primary mid-run.
+* :class:`~repro.agents.mongo_agent.MongoAgent` -- the one document-store
+  agent, parameterized by a deployment
+  :class:`~repro.docstore.topology.TopologySpec`.  The three mongo system
+  names are thin registrations over it:
+
+  * ``mongodb`` (:mod:`~repro.agents.mongodb_agent`) -- the paper's demo:
+    the comparative evaluation of the wiredTiger and mmapv1 storage engines.
+  * ``mongodb-sharded`` (:mod:`~repro.agents.sharded_agent`) -- the
+    scale-out scenario: YCSB workloads against a sharded cluster behind a
+    query router, sweeping shard count and placement strategy.
+  * ``mongodb-replicated`` (:mod:`~repro.agents.replicated_agent`) -- the
+    durability/availability scenario: YCSB workloads against a replica set,
+    sweeping write concern and read preference, optionally killing the
+    primary mid-run.
+
 * :class:`~repro.agents.kvstore_agent.KeyValueStoreAgent` -- a second SuE
   demonstrating that multiple systems can be evaluated through the same
   Chronos Control instance.
@@ -17,6 +23,7 @@
 """
 
 from repro.agents.kvstore_agent import KeyValueStoreAgent, register_kvstore_system
+from repro.agents.mongo_agent import MongoAgent
 from repro.agents.mongodb_agent import MongoDbAgent, register_mongodb_system
 from repro.agents.replicated_agent import (
     ReplicatedMongoAgent,
@@ -29,6 +36,7 @@ from repro.agents.sharded_agent import (
 from repro.agents.testing import FlakyAgent, SleepAgent, register_sleep_system
 
 __all__ = [
+    "MongoAgent",
     "MongoDbAgent",
     "register_mongodb_system",
     "ShardedMongoAgent",

@@ -1,32 +1,20 @@
-"""The MongoDB Chronos Agent: the paper's demonstration scenario.
+"""The ``mongodb`` system: the paper's storage-engine demonstration scenario.
 
-The demo compares the two MongoDB storage engines *wiredTiger* and *mmapv1*.
-This agent is the Chronos integration of the document-store evaluation
-client: for every job it
-
-1. starts (simulates) a server with the storage engine the job's parameters
-   ask for and loads the benchmark collection (``set_up``),
-2. warms the caches (``warm_up``),
-3. runs the operation mix for the job's thread count (``execute``), and
-4. reports throughput / latency as the result JSON (``analyze``).
-
-The system registration helper defines exactly the parameters the demo's
-experiment sweeps (storage engine, number of client threads, record and
-operation counts, read/write ratio, key distribution) plus the diagrams shown
-in Fig. 3d.
+The demo compares the two MongoDB storage engines *wiredTiger* and *mmapv1*
+on a standalone server.  Since the topology refactor the lifecycle lives in
+:class:`~repro.agents.mongo_agent.MongoAgent`; this module only keeps the
+system registration (the parameters the demo's experiment sweeps plus the
+diagrams of Fig. 3d) and the backwards-compatible agent name.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
-from repro.agent.base import ChronosAgent, JobContext
+from repro.agents.mongo_agent import MongoAgent
 from repro.core.enums import DiagramKind
 from repro.core.parameters import checkbox, interval, ratio, value
 from repro.core.systems import diagram_spec, result_config
-from repro.docstore.server import DocumentServer
-from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
-from repro.workloads.ycsb import mix_from_ratio, ycsb_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.control import ChronosControl
@@ -74,79 +62,11 @@ def register_mongodb_system(control: "ChronosControl", owner_id: str = "") -> "S
     )
 
 
-class MongoDbAgent(ChronosAgent):
-    """Chronos Agent wrapping the document-store evaluation client."""
+class MongoDbAgent(MongoAgent):
+    """The ``mongodb`` registration: a standalone server unless the
+    deployment (or the job) declares another topology."""
 
     system_name = MONGODB_SYSTEM_NAME
 
-    def __init__(self, server_factory=DocumentServer):
-        self._server_factory = server_factory
-
-    # -- lifecycle -----------------------------------------------------------------------
-
-    def set_up(self, context: JobContext) -> None:
-        parameters = context.parameters
-        engine = parameters.get("storage_engine", "wiredtiger")
-        spec = self._workload_spec(parameters)
-        server = self._server_factory(storage_engine=engine)
-        benchmark = DocumentBenchmark(server, spec)
-        context.state["benchmark"] = benchmark
-        context.log(f"starting {engine} deployment, loading {spec.record_count} records")
-        load_seconds = benchmark.load()
-        context.metrics.set("load_simulated_seconds", load_seconds)
-        context.metrics.set("records_loaded", spec.record_count)
-
-    def warm_up(self, context: JobContext) -> None:
-        benchmark: DocumentBenchmark = context.state["benchmark"]
-        warm_seconds = benchmark.warm_up()
-        context.metrics.set("warmup_simulated_seconds", warm_seconds)
-        context.log("warm-up finished")
-
-    def execute(self, context: JobContext) -> dict[str, Any]:
-        benchmark: DocumentBenchmark = context.state["benchmark"]
-        context.log(
-            f"running {benchmark.spec.operation_count} operations with "
-            f"{benchmark.spec.threads} threads"
-        )
-        result = benchmark.run()
-        context.metrics.set("operations", result.operations)
-        context.metrics.set("throughput_ops_per_sec", result.throughput_ops_per_sec)
-        return result.as_dict()
-
-    def analyze(self, context: JobContext, raw: dict[str, Any]) -> dict[str, Any]:
-        """Attach the job parameters so every result is self-describing."""
-        analysed = dict(raw)
-        analysed["parameters"] = dict(context.parameters)
-        analysed["storage_bytes"] = raw.get("engine_statistics", {}).get("storage_bytes", 0)
-        return analysed
-
-    def clean_up(self, context: JobContext) -> None:
-        context.state.pop("benchmark", None)
-
-    def extra_result_files(self, context: JobContext,
-                           result: dict[str, Any]) -> dict[str, str] | None:
-        """Store the raw engine statistics in the result archive."""
-        statistics = result.get("engine_statistics", {})
-        lines = [f"{key}: {statistics[key]}" for key in sorted(statistics)]
-        return {"engine_statistics.txt": "\n".join(lines)}
-
-    # -- helpers -----------------------------------------------------------------------------
-
-    @staticmethod
-    def _workload_spec(parameters: dict[str, Any]) -> WorkloadSpec:
-        workload_name = parameters.get("ycsb_workload") or ""
-        if workload_name:
-            workload = ycsb_workload(workload_name)
-            mix = workload.mix
-            distribution = workload.distribution
-        else:
-            mix = mix_from_ratio(parameters.get("query_mix", "95:5"))
-            distribution = parameters.get("distribution", "zipfian")
-        return WorkloadSpec(
-            record_count=int(parameters.get("record_count", 500)),
-            operation_count=int(parameters.get("operation_count", 1000)),
-            threads=int(parameters.get("threads", 1)),
-            mix=mix,
-            distribution=distribution,
-            seed=int(parameters.get("seed", 42)),
-        )
+    def __init__(self, server_factory: Any = None):
+        super().__init__(server_factory=server_factory)

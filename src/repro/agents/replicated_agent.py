@@ -1,46 +1,29 @@
-"""The replicated-deployment Chronos Agent: durability/availability scenario.
+"""The ``mongodb-replicated`` system: the durability/availability scenario.
 
-Where :class:`~repro.agents.sharded_agent.ShardedMongoAgent` evaluates
-scale-out, this agent evaluates a *replicated* document-store deployment:
-for every job it starts a
-:class:`~repro.docstore.replication.replica_set.ReplicaSet` with the
-requested member count, write concern, read preference and replication lag,
-optionally kills the primary mid-run through a
-:class:`~repro.docstore.replication.failures.FailureInjector`, and reports
-the usual throughput/latency metrics plus the replication statistics the
-scenario is about: failovers, elections, rolled-back (lost) acknowledged
-writes and secondary-read staleness.
-
-The registered system sweeps the consistency/availability axis the other
-demos cannot express: write concern x read preference x member count, with
-and without a primary failure.
+Registers the replicated document-store SuE (write concern x read preference
+x member count, with and without a primary failure) and binds the shared
+:class:`~repro.agents.mongo_agent.MongoAgent` to it with a three-member
+default topology and replication statistics in the results.  Failure
+injection (``kill_primary_at``) lives in the shared agent, so every
+registration -- and every deployment-declared replica-set topology -- can
+use it.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
-from repro.agent.base import ChronosAgent, JobContext
+from repro.agents.mongo_agent import FACET_REPLICATION, MongoAgent
 from repro.core.enums import DiagramKind
 from repro.core.parameters import checkbox, interval, ratio, value
 from repro.core.systems import diagram_spec, result_config
-from repro.docstore.replication.failures import FailureInjector
-from repro.docstore.replication.replica_set import ReplicaSet
-from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
-from repro.workloads.ycsb import mix_from_ratio, ycsb_workload
+from repro.docstore.topology import parse_write_concern  # noqa: F401 - re-export
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.control import ChronosControl
     from repro.core.entities import System
 
 REPLICATED_MONGODB_SYSTEM_NAME = "mongodb-replicated"
-
-
-def parse_write_concern(raw: Any) -> int | str:
-    """``"majority"`` stays a string, anything else becomes an int."""
-    if raw == "majority":
-        return "majority"
-    return int(raw)
 
 
 def register_replicated_mongodb_system(control: "ChronosControl",
@@ -96,128 +79,9 @@ def register_replicated_mongodb_system(control: "ChronosControl",
     )
 
 
-class ReplicatedMongoAgent(ChronosAgent):
-    """Chronos Agent driving YCSB workloads against a replica set."""
+class ReplicatedMongoAgent(MongoAgent):
+    """The ``mongodb-replicated`` registration: three members unless specified."""
 
     system_name = REPLICATED_MONGODB_SYSTEM_NAME
-
-    # -- lifecycle -----------------------------------------------------------------------
-
-    def set_up(self, context: JobContext) -> None:
-        parameters = context.parameters
-        engine = parameters.get("storage_engine", "wiredtiger")
-        spec = self._workload_spec(parameters)
-        benchmark = DocumentBenchmark.for_spec(spec, storage_engine=engine)
-        context.state["benchmark"] = benchmark
-        context.log(
-            f"starting {engine} replica set with {spec.replicas} member(s), "
-            f"w={spec.write_concern!r}, reads={spec.read_preference}, "
-            f"lag={spec.replication_lag}; loading {spec.record_count} records"
-        )
-        load_seconds = benchmark.load()
-        context.metrics.set("load_simulated_seconds", load_seconds)
-        context.metrics.set("records_loaded", spec.record_count)
-
-    def warm_up(self, context: JobContext) -> None:
-        benchmark: DocumentBenchmark = context.state["benchmark"]
-        warm_seconds = benchmark.warm_up()
-        context.metrics.set("warmup_simulated_seconds", warm_seconds)
-        context.log("warm-up finished")
-
-    def execute(self, context: JobContext) -> dict[str, Any]:
-        benchmark: DocumentBenchmark = context.state["benchmark"]
-        spec = benchmark.spec
-        kill_fraction = float(context.parameters.get("kill_primary_at", 0.0) or 0.0)
-        injector = self._arm_failure_injection(context, benchmark, kill_fraction)
-        context.log(
-            f"running {spec.operation_count} operations with "
-            f"{spec.threads} threads on {spec.replicas} member(s)"
-        )
-        result = benchmark.run()
-        context.metrics.set("operations", result.operations)
-        context.metrics.set("throughput_ops_per_sec", result.throughput_ops_per_sec)
-        raw = result.as_dict()
-        if injector is not None:
-            raw["failure_events"] = list(injector.events)
-        return raw
-
-    def analyze(self, context: JobContext, raw: dict[str, Any]) -> dict[str, Any]:
-        """Attach parameters plus replication statistics."""
-        analysed = dict(raw)
-        statistics = raw.get("engine_statistics", {})
-        replication = statistics.get("replication", {})
-        analysed["parameters"] = dict(context.parameters)
-        analysed["storage_bytes"] = statistics.get("storage_bytes", 0)
-        analysed["failovers"] = replication.get("failovers", 0)
-        analysed["rolled_back_entries"] = replication.get("rolled_back_entries", 0)
-        analysed["staleness_mean"] = replication.get("staleness_mean", 0.0)
-        analysed["staleness_max"] = replication.get("staleness_max", 0)
-        analysed["oplog_entries"] = replication.get("oplog_entries", 0)
-        analysed["elections"] = replication.get("elections", [])
-        return analysed
-
-    def clean_up(self, context: JobContext) -> None:
-        context.state.pop("benchmark", None)
-
-    def extra_result_files(self, context: JobContext,
-                           result: dict[str, Any]) -> dict[str, str] | None:
-        """Archive the replication status next to the result JSON."""
-        statistics = result.get("engine_statistics", {})
-        replication = statistics.get("replication", {})
-        lines = [f"set: {replication.get('set', 'rs0')}",
-                 f"replicas: {replication.get('replicas', 1)}",
-                 f"write_concern: {replication.get('write_concern', 1)}",
-                 f"read_preference: {replication.get('read_preference', 'primary')}",
-                 f"oplog_entries: {replication.get('oplog_entries', 0)}",
-                 f"failovers: {replication.get('failovers', 0)}",
-                 f"rolled_back_entries: {replication.get('rolled_back_entries', 0)}",
-                 f"staleness_mean: {replication.get('staleness_mean', 0.0)}",
-                 f"failure_events: {result.get('failure_events', [])}"]
-        return {"replication_status.txt": "\n".join(lines)}
-
-    # -- helpers -----------------------------------------------------------------------------
-
-    @staticmethod
-    def _arm_failure_injection(context: JobContext, benchmark: DocumentBenchmark,
-                               kill_fraction: float) -> FailureInjector | None:
-        """Install an operation hook killing the primary mid-run."""
-        if kill_fraction <= 0:
-            return None
-        server = benchmark.server
-        if not isinstance(server, ReplicaSet):
-            context.log("kill_primary_at ignored: deployment is not a replica set")
-            return None
-        injector = FailureInjector(server)
-        kill_at = int(benchmark.spec.operation_count * min(kill_fraction, 1.0))
-
-        def hook(index: int) -> None:
-            if index == kill_at:
-                victim = injector.kill_primary()
-                context.log(f"failure injection: killed primary member{victim} "
-                            f"at operation {index}")
-
-        benchmark.operation_hook = hook
-        return injector
-
-    @staticmethod
-    def _workload_spec(parameters: dict[str, Any]) -> WorkloadSpec:
-        workload_name = parameters.get("ycsb_workload") or ""
-        if workload_name:
-            workload = ycsb_workload(workload_name)
-            mix = workload.mix
-            distribution = workload.distribution
-        else:
-            mix = mix_from_ratio(parameters.get("query_mix", "95:5"))
-            distribution = parameters.get("distribution", "zipfian")
-        return WorkloadSpec(
-            record_count=int(parameters.get("record_count", 500)),
-            operation_count=int(parameters.get("operation_count", 1000)),
-            threads=int(parameters.get("threads", 1)),
-            mix=mix,
-            distribution=distribution,
-            seed=int(parameters.get("seed", 42)),
-            replicas=int(parameters.get("replicas", 3)),
-            write_concern=parse_write_concern(parameters.get("write_concern", 1)),
-            read_preference=parameters.get("read_preference", "primary"),
-            replication_lag=int(parameters.get("replication_lag", 0)),
-        )
+    topology_defaults = {"replicas": 3}
+    result_facets = (FACET_REPLICATION,)

@@ -1,28 +1,19 @@
-"""The sharded-deployment Chronos Agent: scale-out evaluation scenario.
+"""The ``mongodb-sharded`` system: the scale-out evaluation scenario.
 
-Where :class:`~repro.agents.mongodb_agent.MongoDbAgent` compares storage
-engines on one server, this agent evaluates a *sharded* document-store
-deployment: for every job it starts a
-:class:`~repro.docstore.sharding.cluster.ShardedCluster` with the requested
-shard count, key strategy and storage engine, loads and balances the
-benchmark collection, runs the operation mix through the query router, and
-reports the usual throughput/latency metrics plus the cluster's chunk and
-migration statistics.
-
-The registered system sweeps a new evaluation axis the single-server demo
-cannot express: shard count x placement strategy x engine.
+Registers the sharded document-store SuE (shard count x placement strategy x
+engine) and binds the shared :class:`~repro.agents.mongo_agent.MongoAgent`
+to it with a two-shard default topology and cluster statistics in the
+results.  The deployment itself is built by the topology layer.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
-from repro.agent.base import ChronosAgent, JobContext
+from repro.agents.mongo_agent import FACET_CLUSTER, MongoAgent
 from repro.core.enums import DiagramKind
 from repro.core.parameters import checkbox, interval, ratio, value
 from repro.core.systems import diagram_spec, result_config
-from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
-from repro.workloads.ycsb import mix_from_ratio, ycsb_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.control import ChronosControl
@@ -76,90 +67,9 @@ def register_sharded_mongodb_system(control: "ChronosControl",
     )
 
 
-class ShardedMongoAgent(ChronosAgent):
-    """Chronos Agent driving YCSB workloads against a sharded cluster."""
+class ShardedMongoAgent(MongoAgent):
+    """The ``mongodb-sharded`` registration: two shards unless specified."""
 
     system_name = SHARDED_MONGODB_SYSTEM_NAME
-
-    # -- lifecycle -----------------------------------------------------------------------
-
-    def set_up(self, context: JobContext) -> None:
-        parameters = context.parameters
-        engine = parameters.get("storage_engine", "wiredtiger")
-        spec = self._workload_spec(parameters)
-        benchmark = DocumentBenchmark.for_spec(spec, storage_engine=engine)
-        context.state["benchmark"] = benchmark
-        context.log(
-            f"starting {engine} cluster with {spec.shards} shard(s) "
-            f"({spec.shard_strategy} strategy), loading {spec.record_count} records"
-        )
-        load_seconds = benchmark.load()
-        context.metrics.set("load_simulated_seconds", load_seconds)
-        context.metrics.set("records_loaded", spec.record_count)
-
-    def warm_up(self, context: JobContext) -> None:
-        benchmark: DocumentBenchmark = context.state["benchmark"]
-        warm_seconds = benchmark.warm_up()
-        context.metrics.set("warmup_simulated_seconds", warm_seconds)
-        context.log("warm-up finished")
-
-    def execute(self, context: JobContext) -> dict[str, Any]:
-        benchmark: DocumentBenchmark = context.state["benchmark"]
-        context.log(
-            f"running {benchmark.spec.operation_count} operations with "
-            f"{benchmark.spec.threads} threads on {benchmark.spec.shards} shard(s)"
-        )
-        result = benchmark.run()
-        context.metrics.set("operations", result.operations)
-        context.metrics.set("throughput_ops_per_sec", result.throughput_ops_per_sec)
-        return result.as_dict()
-
-    def analyze(self, context: JobContext, raw: dict[str, Any]) -> dict[str, Any]:
-        """Attach parameters plus cluster-level chunk/balancer statistics."""
-        analysed = dict(raw)
-        statistics = raw.get("engine_statistics", {})
-        analysed["parameters"] = dict(context.parameters)
-        analysed["storage_bytes"] = statistics.get("storage_bytes", 0)
-        analysed["chunks"] = statistics.get("chunks", 1)
-        analysed["migrations"] = statistics.get("migrations", 0)
-        analysed["chunk_distribution"] = statistics.get("chunk_distribution", {})
-        return analysed
-
-    def clean_up(self, context: JobContext) -> None:
-        context.state.pop("benchmark", None)
-
-    def extra_result_files(self, context: JobContext,
-                           result: dict[str, Any]) -> dict[str, str] | None:
-        """Archive the cluster's chunk table next to the result JSON."""
-        statistics = result.get("engine_statistics", {})
-        lines = [f"shard_key: {statistics.get('shard_key', '_id')}",
-                 f"strategy: {statistics.get('strategy', 'hash')}",
-                 f"chunks: {statistics.get('chunks', 1)}",
-                 f"splits: {statistics.get('splits', 0)}",
-                 f"migrations: {statistics.get('migrations', 0)}",
-                 f"chunk_distribution: {statistics.get('chunk_distribution', {})}"]
-        return {"cluster_statistics.txt": "\n".join(lines)}
-
-    # -- helpers -----------------------------------------------------------------------------
-
-    @staticmethod
-    def _workload_spec(parameters: dict[str, Any]) -> WorkloadSpec:
-        workload_name = parameters.get("ycsb_workload") or ""
-        if workload_name:
-            workload = ycsb_workload(workload_name)
-            mix = workload.mix
-            distribution = workload.distribution
-        else:
-            mix = mix_from_ratio(parameters.get("query_mix", "95:5"))
-            distribution = parameters.get("distribution", "zipfian")
-        return WorkloadSpec(
-            record_count=int(parameters.get("record_count", 500)),
-            operation_count=int(parameters.get("operation_count", 1000)),
-            threads=int(parameters.get("threads", 1)),
-            mix=mix,
-            distribution=distribution,
-            seed=int(parameters.get("seed", 42)),
-            shards=int(parameters.get("shards", 2)),
-            shard_key=parameters.get("shard_key", "_id") or "_id",
-            shard_strategy=parameters.get("shard_strategy", "hash"),
-        )
+    topology_defaults = {"shards": 2}
+    result_facets = (FACET_CLUSTER,)

@@ -8,6 +8,7 @@ the same workflows from the command line::
     python -m repro workloads            # YCSB A-F on both engines
     python -m repro sharded --shards 1 2 4   # scale-out: YCSB on sharded clusters
     python -m repro replicated --kill-primary    # replica sets: durability demo
+    python -m repro topologies           # one workload across every topology
     python -m repro explain --query '{"counter": {"$gte": 500}}'   # query plans
     python -m repro serve --port 8080    # serve the REST API over HTTP
     python -m repro info                 # package / experiment overview
@@ -99,6 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
     replicated.add_argument("--operations", type=int, default=400)
     replicated.add_argument("--threads", type=int, default=8)
 
+    topologies = subparsers.add_parser(
+        "topologies",
+        help="evaluate one workload across deployment topologies through "
+             "the control plane")
+    topologies.add_argument("--engine", default="mmapv1",
+                            choices=["wiredtiger", "mmapv1"])
+    topologies.add_argument("--records", type=int, default=200)
+    topologies.add_argument("--operations", type=int, default=400)
+    topologies.add_argument("--threads", type=int, default=8)
+    topologies.add_argument("--query-mix", default="50:50",
+                            help="read:update ratio")
+
     explain = subparsers.add_parser(
         "explain", help="show the access path a document-store query uses")
     explain.add_argument("--query", default='{"counter": {"$gte": 500}}',
@@ -138,6 +151,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_sharded(arguments)
     if arguments.command == "replicated":
         return _command_replicated(arguments)
+    if arguments.command == "topologies":
+        return _command_topologies(arguments)
     if arguments.command == "explain":
         return _command_explain(arguments)
     if arguments.command == "serve":
@@ -252,9 +267,46 @@ def _command_sharded(arguments) -> int:
     return 0
 
 
+def _command_topologies(arguments) -> int:
+    from repro.demo import (
+        TOPOLOGY_COMPARISON,
+        run_topology_comparison,
+        topology_comparison_rows,
+    )
+
+    parameters = {
+        "storage_engine": arguments.engine,
+        "threads": arguments.threads,
+        "record_count": arguments.records,
+        "operation_count": arguments.operations,
+        "query_mix": arguments.query_mix,
+        "distribution": "zipfian",
+        "seed": 42,
+    }
+    print(f"evaluating one workload ({arguments.engine}, "
+          f"{arguments.threads} threads, {arguments.query_mix} mix) across "
+          f"{len(TOPOLOGY_COMPARISON)} deployment topologies "
+          f"through the control plane")
+    setup = run_topology_comparison(parameters=parameters)
+    rows = topology_comparison_rows(setup)
+    print()
+    print("| deployment | topology | throughput (ops/s) | avg latency (ms) "
+          "| documents |")
+    print("| --- | --- | --- | --- | --- |")
+    for name, row in rows.items():
+        print(f"| {name} | {row['reported_kind'] or 'failed'} "
+              f"| {row['throughput']:,.0f} "
+              f"| {row['latency_avg_ms']:.4f} "
+              f"| {row['documents']:g} |")
+    failed = sum(row["jobs_failed"] for row in rows.values())
+    print()
+    print(f"evaluations: {len(setup.evaluations)}, failed jobs: {failed}")
+    return 1 if failed else 0
+
+
 def _command_replicated(arguments) -> int:
-    from repro.agents.replicated_agent import parse_write_concern
     from repro.docstore.replication import FailureInjector, ReplicaSet
+    from repro.docstore.topology import parse_write_concern
     from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
     from repro.workloads.ycsb import ycsb_workload
 
@@ -303,8 +355,7 @@ def _command_explain(arguments) -> int:
     import random
 
     from repro.docstore.client import DocumentClient
-    from repro.docstore.server import DocumentServer
-    from repro.docstore.sharding.cluster import ShardedCluster
+    from repro.docstore.topology import TopologySpec, build_topology
     from repro.workloads.generator import RecordGenerator
 
     try:
@@ -316,12 +367,9 @@ def _command_explain(arguments) -> int:
         print("--query must be a JSON object", file=sys.stderr)
         return 2
 
-    if arguments.shards > 1:
-        server: DocumentServer | ShardedCluster = ShardedCluster(
-            shards=arguments.shards, storage_engine=arguments.engine,
-            shard_key=arguments.shard_key, strategy=arguments.strategy)
-    else:
-        server = DocumentServer(arguments.engine)
+    server = build_topology(TopologySpec(
+        shards=arguments.shards, shard_key=arguments.shard_key,
+        shard_strategy=arguments.strategy, storage_engine=arguments.engine))
     handle = DocumentClient(server).collection("benchmark", "usertable")
     generator = RecordGenerator(field_count=2, field_length=8)
     rng = random.Random(7)
@@ -373,10 +421,11 @@ def _command_info() -> int:
     print("  (wiredTiger/mmapv1 SuE with a cost-based query planner), docstore.sharding")
     print("  (sharded cluster + range-aware query router), docstore.replication")
     print("  (replica sets: oplog, elections, write/read concern, failure injection),")
-    print("  kvstore (second SuE), storage (embedded RDBMS), rest (versioned API),")
-    print("  workloads (YCSB), analysis (metrics + diagrams)")
+    print("  docstore.topology (serializable deployment shapes + the build_topology")
+    print("  factory), kvstore (second SuE), storage (embedded RDBMS), rest")
+    print("  (versioned API), workloads (YCSB), analysis (metrics + diagrams)")
     print()
-    print("experiments: E1-E11, see DESIGN.md and EXPERIMENTS.md; regenerate with")
+    print("experiments: E1-E12, see DESIGN.md and EXPERIMENTS.md; regenerate with")
     print("  pytest benchmarks/")
     return 0
 

@@ -3,6 +3,13 @@
 Deployments serve two purposes (Section 2.1): evaluating a system in
 different environments/versions simultaneously, and parallelising an
 evaluation over multiple identical deployments.
+
+A deployment may declare its *topology* -- the deployment shape of the
+document store it runs (shards, replicas, quorum configuration; see
+:mod:`repro.docstore.topology`).  The control plane stores it as plain data
+under ``environment["topology"]``, validated at registration time, so an
+evaluation can compare standalone, sharded and replicated deployments of the
+same SuE without encoding the shape into every job's parameters.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from typing import Any
 
 from repro.core.entities import Deployment
 from repro.core.repository import Repository
+from repro.errors import ValidationError
 from repro.storage.database import Database
 from repro.storage.query import and_, eq
 from repro.util.clock import Clock
@@ -29,14 +37,23 @@ class DeploymentService:
         )
 
     def register(self, system_id: str, name: str, environment: dict[str, Any] | None = None,
-                 version: str = "") -> Deployment:
-        """Register a deployment of ``system_id`` called ``name``."""
+                 version: str = "", topology: Any = None) -> Deployment:
+        """Register a deployment of ``system_id`` called ``name``.
+
+        ``topology`` (a :class:`~repro.docstore.topology.TopologySpec` or its
+        dictionary form) declares the deployment shape; it is validated and
+        stored under ``environment["topology"]``.  A topology already present
+        in ``environment`` is validated the same way.  A spec object declares
+        *every* field; a dictionary pins only the fields it names, leaving
+        the rest to the evaluation's job parameters (so ``{"shards": 4}``
+        declares a four-shard cluster without freezing the storage engine).
+        """
         ensure_non_empty(name, "deployment name")
         deployment = Deployment(
             id=self._ids.next("deployment"),
             system_id=system_id,
             name=name,
-            environment=dict(environment or {}),
+            environment=_with_validated_topology(environment, topology),
             version=version,
             active=True,
             created_at=self._clock.now(),
@@ -70,7 +87,45 @@ class DeploymentService:
         return self._deployments.update(deployment_id, {"active": True})
 
     def update_environment(self, deployment_id: str, environment: dict[str, Any]) -> Deployment:
-        return self._deployments.update(deployment_id, {"environment": environment})
+        return self._deployments.update(
+            deployment_id, {"environment": _with_validated_topology(environment, None)}
+        )
 
     def delete(self, deployment_id: str) -> None:
         self._deployments.delete(deployment_id)
+
+
+def _with_validated_topology(environment: dict[str, Any] | None,
+                             topology: Any) -> dict[str, Any]:
+    """Merge a declared topology into the environment, normalised to a dict.
+
+    Declaring a topology both ways (the ``topology`` argument *and*
+    ``environment["topology"]``) is rejected rather than silently resolved:
+    evaluating the wrong cluster shape must fail loudly.
+
+    The control plane stays system-agnostic: topologies are stored as plain
+    data, and the docstore layer (which owns the schema) is only imported
+    when one is actually declared.
+    """
+    environment = dict(environment or {})
+    if topology is not None and "topology" in environment:
+        raise ValidationError(
+            "deployment topology declared both in the environment and via "
+            "the topology argument; declare it once"
+        )
+    declared = topology if topology is not None else environment.get("topology")
+    if declared is None:
+        return environment
+    from repro.docstore.topology import TopologySpec
+
+    if isinstance(declared, TopologySpec):
+        # A spec object is a complete shape: every field is declared.
+        environment["topology"] = declared.as_dict()
+    else:
+        # A dictionary declaration stays sparse: validate it but store
+        # (normalised) only the fields it names, so the declaration pins
+        # exactly what the operator wrote -- serializing materialized
+        # defaults would silently freeze fields like the storage engine
+        # against job-parameter sweeps.
+        environment["topology"] = TopologySpec.normalise_partial(declared)
+    return environment

@@ -117,6 +117,22 @@ class Deployment:
     active: bool = True
     created_at: float = 0.0
 
+    def topology_spec(self):
+        """The declared deployment topology, or ``None`` when undeclared.
+
+        Returns a :class:`~repro.docstore.topology.TopologySpec` parsed from
+        ``environment["topology"]`` (stored as plain data so the control
+        plane stays system-agnostic).  Sparse declarations are completed to
+        the minimal spec satisfying them -- the realized shape may differ
+        for fields the declaration left to job parameters.
+        """
+        raw = self.environment.get("topology")
+        if raw is None:
+            return None
+        from repro.docstore.topology import TopologySpec
+
+        return TopologySpec.from_partial(raw)
+
     def to_row(self) -> dict[str, Any]:
         return asdict(self)
 

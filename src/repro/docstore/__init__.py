@@ -27,7 +27,13 @@ same externally visible behaviour the demo depends on:
   writes into an idempotent oplog that secondaries tail and replay, with
   write concern, read preference, replication lag, majority-vote elections
   and failure injection -- also behind the same client, and usable as the
-  shards of a cluster (``ShardedCluster(shards=N, replicas=M)``).
+  shards of a cluster (``ShardedCluster(shards=N, replicas=M)``), and
+* the topology layer (:mod:`repro.docstore.topology`): a serializable
+  :class:`~repro.docstore.topology.TopologySpec` describing a deployment
+  shape (shards, replicas, quorum configuration, engine) and the single
+  :func:`~repro.docstore.topology.build_topology` factory every consumer --
+  benchmarks, agents, CLI and the control plane -- builds deployments
+  through.
 """
 
 from repro.docstore.client import DocumentClient
@@ -35,9 +41,10 @@ from repro.docstore.replication.failures import FailureInjector
 from repro.docstore.replication.replica_set import ReplicaSet
 from repro.docstore.server import DocumentServer
 from repro.docstore.sharding.cluster import ShardedCluster
+from repro.docstore.topology import TopologySpec, build_topology, topology_of
 
 __all__ = ["DocumentServer", "DocumentClient", "ShardedCluster", "ReplicaSet",
-           "FailureInjector"]
+           "FailureInjector", "TopologySpec", "build_topology", "topology_of"]
 
 ENGINE_WIREDTIGER = "wiredtiger"
 ENGINE_MMAPV1 = "mmapv1"

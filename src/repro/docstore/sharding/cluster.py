@@ -457,14 +457,22 @@ class ShardedCluster:
     def maintain(self, database: str, collection: str) -> dict[str, Any]:
         """Run one maintenance round: split oversized chunks, then balance.
 
-        Returns a summary with the splits performed and migrations run.
+        Returns a summary with the splits performed, the migrations run and
+        their total ``simulated_seconds`` (each migration physically inserts
+        and deletes its documents, so the time is real and callers must
+        charge it -- the router bills it to the insert that triggered the
+        round, the benchmark's load phase to the load total).
         """
         self.ensure_primaries()
         state = self.sharding_state(database, collection)
         splits = self.split_chunks(database, collection)
         migrations = self.balance(database, collection)
         state.inserts_since_maintenance = 0
-        return {"splits": splits, "migrations": [m.as_dict() for m in migrations]}
+        return {
+            "splits": splits,
+            "migrations": [m.as_dict() for m in migrations],
+            "simulated_seconds": sum(m.simulated_seconds for m in migrations),
+        }
 
     def split_chunks(self, database: str, collection: str) -> int:
         """Split every oversized chunk of a namespace; returns the split count."""
@@ -488,7 +496,7 @@ class ShardedCluster:
         return state.balancer.balance(f"{database}.{collection}", state.key,
                                       state.manager, collections)
 
-    def auto_maintain(self, database: str, collection: str) -> None:
+    def auto_maintain(self, database: str, collection: str) -> float:
         """Maintenance trigger the router fires after inserts.
 
         Each maintenance round scans the namespace, so the trigger backs
@@ -496,13 +504,18 @@ class ShardedCluster:
         ``split_threshold`` inserts at first, then only once the namespace
         has grown by another ~50%.  That keeps the total maintenance cost
         O(N log N) over a load of N documents instead of O(N^2 / threshold).
+
+        Returns the simulated seconds the round's chunk migrations cost
+        (0.0 when no round ran), which the router charges to the insert
+        that triggered it.
         """
         if not self.auto_maintenance:
-            return
+            return 0.0
         state = self.sharding_state(database, collection)
         trigger = max(self.split_threshold, state.documents_routed // 2)
         if state.inserts_since_maintenance >= trigger:
-            self.maintain(database, collection)
+            return self.maintain(database, collection)["simulated_seconds"]
+        return 0.0
 
     # -- statistics ---------------------------------------------------------------------
 
@@ -524,9 +537,17 @@ class ShardedCluster:
             "storage_bytes": sum(stats["storage_bytes"] for stats in per_shard),
             "simulated_seconds": sum(stats["simulated_seconds"] for stats in per_shard),
             "chunks": len(state.manager.chunks()),
-            "chunk_distribution": state.manager.chunk_counts(),
+            # JSON-friendly keys: results carrying these stats are uploaded
+            # to the control plane, where object keys must be strings.
+            "chunk_distribution": {
+                f"shard{shard_id}": count
+                for shard_id, count in state.manager.chunk_counts().items()
+            },
             "splits": state.manager.splits_performed,
             "migrations": len(state.balancer.migrations),
+            "migration_seconds": sum(
+                m.simulated_seconds for m in state.balancer.migrations
+            ),
             "indexes": per_shard[0]["indexes"] if per_shard else [],
             "per_shard": per_shard,
         }

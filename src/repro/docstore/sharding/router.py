@@ -88,6 +88,7 @@ class QueryRouter:
         self.targeted_operations = 0
         self.scatter_operations = 0
         self.failover_retries = 0
+        self.maintenance_seconds = 0.0
 
     # -- writes -----------------------------------------------------------------
 
@@ -107,7 +108,14 @@ class QueryRouter:
         self.targeted_operations += 1
         result.shard_costs = {self._shard_name(shard_id): result.simulated_seconds}
         state.note_insert()
-        self.cluster.auto_maintain(database, collection)
+        maintenance_seconds = self.cluster.auto_maintain(database, collection)
+        if maintenance_seconds:
+            # The insert that pushed a chunk past its threshold pays for the
+            # migrations of the maintenance round it triggered -- balancing
+            # during a measured phase is not free.
+            result.simulated_seconds += maintenance_seconds
+            result.shard_costs["balancer"] = maintenance_seconds
+            self.maintenance_seconds += maintenance_seconds
         return result
 
     def insert_many(self, database: str, collection: str,

@@ -22,14 +22,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.docstore.client import CollectionHandle, DocumentClient
-from repro.docstore.replication.replica_set import (
-    READ_PREFERENCES,
-    ReplicaSet,
-    resolve_write_concern,
+from repro.docstore.topology import (
+    DocumentDeployment,
+    TopologySpec,
+    build_topology,
+    topology_of,
 )
-from repro.docstore.server import DocumentServer
-from repro.docstore.sharding.chunks import STRATEGIES
-from repro.docstore.sharding.cluster import ShardedCluster
 from repro.errors import ValidationError
 from repro.util.stats import mean, percentile
 from repro.workloads.distributions import KeyDistribution, make_distribution
@@ -86,25 +84,20 @@ class WorkloadSpec:
             raise ValidationError("record_count and operation_count must be positive")
         if self.threads <= 0:
             raise ValidationError("threads must be positive")
-        if self.shards <= 0:
-            raise ValidationError("shards must be positive")
-        if self.shard_strategy not in STRATEGIES:
-            raise ValidationError(
-                f"shard_strategy must be one of {STRATEGIES}, got {self.shard_strategy!r}"
-            )
-        if self.replicas <= 0:
-            raise ValidationError("replicas must be positive")
-        if self.read_preference not in READ_PREFERENCES:
-            raise ValidationError(
-                f"read_preference must be one of {READ_PREFERENCES}, "
-                f"got {self.read_preference!r}"
-            )
-        if self.replication_lag < 0:
-            raise ValidationError("replication_lag cannot be negative")
-        try:
-            resolve_write_concern(self.write_concern, self.replicas)
-        except Exception as error:
-            raise ValidationError(str(error)) from error
+        self.topology()  # the topology layer validates every deployment field
+
+    def topology(self, storage_engine: str = "wiredtiger") -> TopologySpec:
+        """The deployment shape this workload targets, as first-class data."""
+        return TopologySpec(
+            shards=self.shards,
+            shard_key=self.shard_key,
+            shard_strategy=self.shard_strategy,
+            replicas=self.replicas,
+            write_concern=self.write_concern,
+            read_preference=self.read_preference,
+            replication_lag=self.replication_lag,
+            storage_engine=storage_engine,
+        )
 
 
 @dataclass
@@ -112,6 +105,7 @@ class BenchmarkResult:
     """Measurements of one benchmark run."""
 
     engine: str
+    topology: str
     threads: int
     shards: int
     replicas: int
@@ -129,6 +123,7 @@ class BenchmarkResult:
         """JSON-compatible form (what the MongoDB agent uploads to Chronos)."""
         return {
             "engine": self.engine,
+            "topology": self.topology,
             "threads": self.threads,
             "shards": self.shards,
             "replicas": self.replicas,
@@ -157,11 +152,15 @@ class DocumentBenchmark:
     partition replica-set members at a precise point of the run.
     """
 
-    def __init__(self, server: "DocumentServer | ShardedCluster | ReplicaSet",
-                 spec: WorkloadSpec,
-                 database: str = "benchmark", collection: str = "usertable"):
+    def __init__(self, server: DocumentDeployment, spec: WorkloadSpec,
+                 database: str = "benchmark", collection: str = "usertable",
+                 topology: TopologySpec | None = None):
         self.server = server
         self.spec = spec
+        # Topology reporting always comes from the topology layer: either the
+        # spec the deployment was built from, or one derived from the object
+        # when a caller hands in a hand-built server.
+        self.topology = topology or topology_of(server)
         self.operation_hook: Any = None
         self.client = DocumentClient(server)
         self.database = database
@@ -180,33 +179,27 @@ class DocumentBenchmark:
                  **engine_options) -> "DocumentBenchmark":
         """Build the benchmark and its deployment from the spec alone.
 
-        ``shards == replicas == 1`` yields a plain :class:`DocumentServer`;
-        ``replicas > 1`` alone a :class:`ReplicaSet`; ``shards > 1`` a
-        :class:`ShardedCluster` (whose shards are replica sets when
-        ``replicas > 1``), sharded with ``shard_key``/``shard_strategy``.
+        Delegates to the topology layer: the spec's deployment fields become
+        a :class:`TopologySpec` and :func:`build_topology` decides which
+        deployment class that shape maps onto.
         """
-        if spec.shards == 1 and spec.replicas == 1:
-            server: DocumentServer | ShardedCluster | ReplicaSet = DocumentServer(
-                storage_engine, **engine_options
-            )
-        elif spec.shards == 1:
-            server = ReplicaSet(
-                members=spec.replicas, storage_engine=storage_engine,
-                write_concern=spec.write_concern,
-                read_preference=spec.read_preference,
-                replication_lag=spec.replication_lag,
-                **engine_options,
-            )
-        else:
-            server = ShardedCluster(
-                shards=spec.shards, storage_engine=storage_engine,
-                shard_key=spec.shard_key, strategy=spec.shard_strategy,
-                replicas=spec.replicas, write_concern=spec.write_concern,
-                read_preference=spec.read_preference,
-                replication_lag=spec.replication_lag,
-                **engine_options,
-            )
-        return cls(server, spec, database=database, collection=collection)
+        return cls.for_topology(spec.topology(storage_engine), spec,
+                                database=database, collection=collection,
+                                **engine_options)
+
+    @classmethod
+    def for_topology(cls, topology: TopologySpec, spec: WorkloadSpec,
+                     database: str = "benchmark", collection: str = "usertable",
+                     **engine_options) -> "DocumentBenchmark":
+        """Build the benchmark against the deployment ``topology`` describes.
+
+        ``topology`` alone decides the deployment shape; ``spec``'s mirrored
+        deployment fields (``shards``, ``replicas``, ...) are not consulted
+        for construction or reporting and need not agree with it.
+        """
+        server = build_topology(topology, **engine_options)
+        return cls(server, spec, database=database, collection=collection,
+                   topology=topology)
 
     # -- phases ------------------------------------------------------------------------
 
@@ -217,9 +210,11 @@ class DocumentBenchmark:
             record = self.generator.record(index, self._rng)
             total += self.handle.insert_one(record).simulated_seconds
         self.handle.create_index("category")
-        if isinstance(self.server, ShardedCluster):
-            # Settle chunk splits and balancing before the measured phase.
-            self.server.maintain(self.database, self.collection)
+        if self.topology.is_sharded:
+            # Settle chunk splits and balancing before the measured phase;
+            # the migrations this round performs are charged to the load.
+            summary = self.server.maintain(self.database, self.collection)
+            total += summary.get("simulated_seconds", 0.0)
         return total
 
     def warm_up(self) -> float:
@@ -303,9 +298,7 @@ class DocumentBenchmark:
         write_ratio = self.spec.mix.write_fraction
         # Clusters and replica sets model their own concurrency; a plain
         # server falls back to its engine's profile.
-        shards = getattr(self.server, "shard_count", 1)
-        replicas = getattr(self.server, "replica_count",
-                           getattr(self.server, "replicas", 1))
+        topology = self.topology
         speedup_model = getattr(self.server, "speedup", None)
         if speedup_model is not None:
             speedup = speedup_model(threads, write_ratio)
@@ -321,9 +314,10 @@ class DocumentBenchmark:
         adjusted = sorted(value * contention_factor for value in latencies)
         return BenchmarkResult(
             engine=engine.name,
+            topology=topology.kind,
             threads=threads,
-            shards=shards,
-            replicas=replicas,
+            shards=topology.shards,
+            replicas=topology.replicas,
             operations=len(latencies),
             simulated_seconds=wall_clock,
             throughput_ops_per_sec=throughput,

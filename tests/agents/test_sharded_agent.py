@@ -75,6 +75,43 @@ class TestShardedMongoAgent:
         assert (sharded["engine_statistics"]["documents"]
                 == single["engine_statistics"]["documents"])
 
+    def test_deployment_declared_topology_outranks_parameter_defaults(self):
+        # Job parameter sets materialize the registration's defaults for
+        # every parameter an experiment leaves unset (shard_key="_id",
+        # shards=2 here); a topology declared on the deployment must not be
+        # reshaped by them.
+        agent = ShardedMongoAgent()
+        context = JobContext(
+            job_id="job-declared",
+            parameters={"storage_engine": "wiredtiger", "shards": 2,
+                        "shard_key": "_id", "shard_strategy": "hash",
+                        "threads": 2, "record_count": 40,
+                        "operation_count": 60, "query_mix": "80:20",
+                        "distribution": "uniform", "seed": 1},
+            deployment={"host": "test", "topology": {
+                "shards": 4, "shard_key": "region",
+                "shard_strategy": "range"}},
+            metrics=AgentMetrics(SimulatedClock()),
+        )
+        topology = agent.topology_for(context)
+        assert topology.shards == 4
+        assert topology.shard_key == "region"
+        assert topology.shard_strategy == "range"
+
+    def test_sparse_declaration_leaves_undeclared_fields_to_the_job(self):
+        # A shape-only declaration ({"shards": 4}) must not pin the storage
+        # engine: an experiment sweeping it still works on that deployment.
+        agent = ShardedMongoAgent()
+        context = JobContext(
+            job_id="job-sparse",
+            parameters={"storage_engine": "mmapv1", "shards": 2},
+            deployment={"host": "test", "topology": {"shards": 4}},
+            metrics=AgentMetrics(SimulatedClock()),
+        )
+        topology = agent.topology_for(context)
+        assert topology.shards == 4
+        assert topology.storage_engine == "mmapv1"
+
     def test_extra_result_files_render_cluster_statistics(self):
         agent, context, result = self.run_agent(self.PARAMETERS)
         files = agent.extra_result_files(context, result)

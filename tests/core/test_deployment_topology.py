@@ -1,0 +1,97 @@
+"""Tests for topology-carrying deployments in the control plane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.topology import TopologySpec
+from repro.errors import ValidationError
+
+
+class TestDeploymentTopology:
+    def test_register_with_spec_stores_its_dict_form(self, control, mongodb_system):
+        spec = TopologySpec(shards=4, shard_strategy="range")
+        deployment = control.deployments.register(
+            mongodb_system.id, name="sharded", topology=spec)
+        assert deployment.environment["topology"] == spec.as_dict()
+        assert deployment.environment["topology"]["kind"] == "sharded_cluster"
+
+    def test_register_with_dict_validates_and_normalises(self, control,
+                                                         mongodb_system):
+        deployment = control.deployments.register(
+            mongodb_system.id, name="replicated",
+            topology={"replicas": 3, "write_concern": "majority"})
+        assert deployment.topology_spec() == TopologySpec(
+            replicas=3, write_concern="majority")
+
+    def test_dict_declarations_stay_sparse(self, control, mongodb_system):
+        # A dictionary declaration pins exactly the fields it names --
+        # storing materialized defaults would freeze e.g. the storage
+        # engine against job-parameter sweeps.
+        deployment = control.deployments.register(
+            mongodb_system.id, name="sparse",
+            topology={"shards": 4, "write_concern": "2", "replicas": 3})
+        assert deployment.environment["topology"] == {
+            "shards": 4, "write_concern": 2, "replicas": 3}
+
+    def test_sparse_declaration_validated_without_default_cross_checks(
+            self, control, mongodb_system):
+        # {"write_concern": 2} implies at least two members once job
+        # parameters complete the shape; it must not be rejected against
+        # the one-member class default.
+        deployment = control.deployments.register(
+            mongodb_system.id, name="w2", topology={"write_concern": 2})
+        assert deployment.environment["topology"] == {"write_concern": 2}
+        assert deployment.topology_spec() == TopologySpec(replicas=2,
+                                                          write_concern=2)
+
+    def test_conflicting_declarations_rejected(self, control, mongodb_system):
+        with pytest.raises(ValidationError):
+            control.deployments.register(
+                mongodb_system.id, name="conflict",
+                environment={"topology": {"shards": 4}},
+                topology=TopologySpec(replicas=3))
+
+    def test_register_rejects_invalid_topologies(self, control, mongodb_system):
+        with pytest.raises(ValidationError):
+            control.deployments.register(mongodb_system.id, name="bad",
+                                         topology={"shards": 0})
+        with pytest.raises(ValidationError):
+            control.deployments.register(mongodb_system.id, name="bad",
+                                         topology={"sharding": "hash"})
+
+    def test_environment_embedded_topology_is_validated(self, control,
+                                                        mongodb_system):
+        deployment = control.deployments.register(
+            mongodb_system.id, name="embedded",
+            environment={"host": "node1", "topology": {"shards": 2}})
+        assert deployment.environment["host"] == "node1"
+        assert deployment.topology_spec() == TopologySpec(shards=2)
+        with pytest.raises(ValidationError):
+            control.deployments.register(
+                mongodb_system.id, name="bad",
+                environment={"topology": {"replicas": -1}})
+
+    def test_topology_spec_round_trips_through_storage(self, control,
+                                                       mongodb_system):
+        spec = TopologySpec(shards=2, replicas=3, write_concern="majority",
+                            replication_lag=2)
+        deployment = control.deployments.register(
+            mongodb_system.id, name="full", topology=spec)
+        reloaded = control.deployments.get(deployment.id)
+        assert reloaded.topology_spec() == spec
+
+    def test_deployment_without_topology_reports_none(self, control,
+                                                      mongodb_system):
+        deployment = control.deployments.register(
+            mongodb_system.id, name="plain", environment={"host": "node1"})
+        assert deployment.topology_spec() is None
+
+    def test_update_environment_validates_topology(self, control, mongodb_system):
+        deployment = control.deployments.register(mongodb_system.id, name="d")
+        updated = control.deployments.update_environment(
+            deployment.id, {"topology": {"replicas": 3}})
+        assert updated.topology_spec() == TopologySpec(replicas=3)
+        with pytest.raises(ValidationError):
+            control.deployments.update_environment(
+                deployment.id, {"topology": {"replicas": 0}})

@@ -108,3 +108,66 @@ class TestBalancing:
         assert state.balancer.migrations
         counts = state.manager.chunk_counts()
         assert max(counts.values()) - min(counts.values()) <= 1
+
+
+class TestMigrationCostAccounting:
+    """Chunk migrations are charged to the operations that trigger them."""
+
+    def test_maintain_reports_the_migrations_simulated_cost(self):
+        cluster = ShardedCluster(shards=4, strategy="range", split_threshold=16,
+                                 auto_maintenance=False)
+        load(cluster, 200)
+        summary = cluster.maintain("app", "users")
+        assert summary["migrations"]
+        expected = sum(m["simulated_seconds"] for m in summary["migrations"])
+        assert expected > 0
+        assert summary["simulated_seconds"] == pytest.approx(expected)
+
+    def test_triggering_insert_pays_for_the_maintenance_round(self):
+        cluster = ShardedCluster(shards=4, strategy="range", split_threshold=16)
+        handle = DocumentClient(cluster).collection("app", "users")
+        state = cluster.sharding_state("app", "users")
+        charged = 0.0
+        for index in range(200):
+            migrations_before = len(state.balancer.migrations)
+            result = handle.insert_one({"_id": f"user{index:04d}", "n": index})
+            new_migrations = state.balancer.migrations[migrations_before:]
+            if new_migrations:
+                round_cost = sum(m.simulated_seconds for m in new_migrations)
+                assert result.simulated_seconds >= round_cost
+                assert result.shard_costs["balancer"] == pytest.approx(round_cost)
+                charged += round_cost
+        assert state.balancer.migrations, "expected migrations during the load"
+        assert charged > 0
+        assert cluster.router.maintenance_seconds == pytest.approx(charged)
+
+    def test_migration_seconds_surface_in_collection_stats(self):
+        cluster = ShardedCluster(shards=4, strategy="range", split_threshold=16)
+        load(cluster, 200)
+        statistics = cluster.collection_stats("app", "users")
+        assert statistics["migrations"] > 0
+        assert statistics["migration_seconds"] > 0
+
+    def test_free_migrations_regression_benchmark_charges_measured_phase(self):
+        """An insert-heavy measured phase must include its balancing cost."""
+        from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+        from repro.workloads.ycsb import OperationMix
+
+        spec = WorkloadSpec(record_count=60, operation_count=240, seed=5,
+                            shards=4, shard_strategy="range",
+                            mix=OperationMix(insert=1.0), distribution="uniform")
+        benchmark = DocumentBenchmark.for_spec(spec, "wiredtiger")
+        benchmark.load()
+        cluster = benchmark.server
+        state = cluster.sharding_state("benchmark", "usertable")
+        migrations_before = len(state.balancer.migrations)
+        charged_before = cluster.router.maintenance_seconds
+        result = benchmark.run()
+        migrated = state.balancer.migrations[migrations_before:]
+        assert migrated, "expected the insert stream to trigger migrations"
+        charged = cluster.router.maintenance_seconds - charged_before
+        assert charged == pytest.approx(
+            sum(m.simulated_seconds for m in migrated))
+        # The measured latencies include the charge (simulated_seconds of the
+        # run is at least the migration cost scaled by the speedup model).
+        assert result.simulated_seconds > 0

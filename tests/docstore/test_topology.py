@@ -1,0 +1,272 @@
+"""Tests for the topology layer: spec validation, serialization, factory.
+
+The differential suite at the bottom is the refactor's safety net: for every
+deployment shape, :func:`build_topology` must produce a deployment whose
+seeded workload results are document-for-document equal to the hand-built
+construction the pre-refactor ``DocumentBenchmark.for_spec`` performed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.replication.replica_set import ReplicaSet
+from repro.docstore.server import DocumentServer
+from repro.docstore.sharding.cluster import ShardedCluster
+from repro.docstore.topology import (
+    KIND_REPLICA_SET,
+    KIND_REPLICATED_CLUSTER,
+    KIND_SHARDED,
+    KIND_STANDALONE,
+    TopologySpec,
+    build_topology,
+    parse_write_concern,
+    topology_of,
+)
+from repro.errors import ValidationError
+from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+from repro.workloads.ycsb import OperationMix
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = TopologySpec()
+        assert spec.kind == KIND_STANDALONE
+
+    @pytest.mark.parametrize("overrides", [
+        {"shards": 0},
+        {"shards": -1},
+        {"replicas": 0},
+        {"shard_key": ""},
+        {"shard_strategy": "round-robin"},
+        {"read_preference": "leader"},
+        {"replication_lag": -1},
+        {"storage_engine": "rocksdb"},
+        {"write_concern": 0},
+        {"write_concern": 4},                      # > replicas
+        {"write_concern": "quorum"},
+        {"replicas": 3, "write_concern": 5},
+    ])
+    def test_invalid_specs_rejected(self, overrides):
+        with pytest.raises(ValidationError):
+            TopologySpec(**overrides)
+
+    def test_parse_write_concern(self):
+        assert parse_write_concern("majority") == "majority"
+        assert parse_write_concern("2") == 2
+        assert parse_write_concern(1) == 1
+        with pytest.raises(ValidationError):
+            parse_write_concern("most")
+
+
+class TestKinds:
+    @pytest.mark.parametrize("overrides,kind", [
+        ({}, KIND_STANDALONE),
+        ({"replicas": 3}, KIND_REPLICA_SET),
+        ({"shards": 4}, KIND_SHARDED),
+        ({"shards": 2, "replicas": 3}, KIND_REPLICATED_CLUSTER),
+    ])
+    def test_kind_derived_from_shape(self, overrides, kind):
+        assert TopologySpec(**overrides).kind == kind
+
+    def test_describe_names_the_engine_and_shape(self):
+        assert "standalone" in TopologySpec().describe()
+        assert "replica set" in TopologySpec(replicas=3).describe()
+        sharded = TopologySpec(shards=4, storage_engine="mmapv1").describe()
+        assert "mmapv1" in sharded and "4 shards" in sharded
+        replicated = TopologySpec(shards=2, replicas=3).describe()
+        assert "3-member shards" in replicated
+
+
+class TestSerialization:
+    SPECS = [
+        TopologySpec(),
+        TopologySpec(replicas=3, write_concern="majority",
+                     read_preference="secondary", replication_lag=4),
+        TopologySpec(shards=4, shard_key="region", shard_strategy="range",
+                     storage_engine="mmapv1"),
+        TopologySpec(shards=2, replicas=3, write_concern=2),
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_dict_round_trip(self, spec):
+        data = spec.as_dict()
+        assert data["kind"] == spec.kind
+        assert TopologySpec.from_dict(data) == spec
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_json_round_trip(self, spec):
+        assert TopologySpec.from_json(spec.to_json()) == spec
+
+    def test_missing_fields_fall_back_to_defaults(self):
+        assert TopologySpec.from_dict({"shards": 4}) == TopologySpec(shards=4)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            TopologySpec.from_dict({"shards": 2, "sharding": "hash"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValidationError):
+            TopologySpec.from_dict([("shards", 2)])
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValidationError):
+            TopologySpec.from_json("{not json")
+
+    def test_invalid_values_rejected_on_parse(self):
+        with pytest.raises(ValidationError):
+            TopologySpec.from_dict({"shard_strategy": "round-robin"})
+
+    def test_from_parameters_coerces_and_layers(self):
+        spec = TopologySpec.from_parameters(
+            {"shards": "4", "write_concern": "majority", "shard_key": "",
+             "storage_engine": "mmapv1", "threads": 8, "record_count": 100},
+            defaults={"replicas": 3, "shard_key": "region"},
+        )
+        assert spec.shards == 4
+        assert spec.replicas == 3
+        assert spec.write_concern == "majority"
+        assert spec.shard_key == "region"  # empty parameter falls through
+        assert spec.storage_engine == "mmapv1"
+
+    def test_from_parameters_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            TopologySpec.from_parameters({"shards": "many"})
+
+    def test_from_partial_completes_minimally(self):
+        assert TopologySpec.from_partial({"write_concern": 2}) == TopologySpec(
+            replicas=2, write_concern=2)
+        assert TopologySpec.from_partial({"write_concern": "majority"}) == (
+            TopologySpec(write_concern="majority"))
+        assert TopologySpec.from_partial({"shards": 4}) == TopologySpec(shards=4)
+        with pytest.raises(ValidationError):
+            TopologySpec.from_partial({"write_concern": 0})
+        with pytest.raises(ValidationError):
+            TopologySpec.from_partial({"replicas": 3, "write_concern": 5})
+        with pytest.raises(ValidationError):
+            TopologySpec.from_partial({"sharding": "hash"})
+
+    def test_normalise_partial_keeps_only_named_fields(self):
+        assert TopologySpec.normalise_partial(
+            {"shards": 4, "write_concern": "2"}) == {
+                "shards": 4, "write_concern": 2}
+
+
+class TestBuildTopology:
+    def test_standalone(self):
+        server = build_topology(TopologySpec(storage_engine="mmapv1"))
+        assert isinstance(server, DocumentServer)
+        assert server.storage_engine == "mmapv1"
+
+    def test_replica_set(self):
+        spec = TopologySpec(replicas=3, write_concern="majority",
+                            read_preference="nearest", replication_lag=2)
+        server = build_topology(spec)
+        assert isinstance(server, ReplicaSet)
+        assert server.replica_count == 3
+        assert server.write_concern == "majority"
+        assert server.read_preference == "nearest"
+        assert server.replication_lag == 2
+
+    def test_sharded_cluster(self):
+        spec = TopologySpec(shards=4, shard_key="region", shard_strategy="range")
+        server = build_topology(spec)
+        assert isinstance(server, ShardedCluster)
+        assert server.shard_count == 4
+        assert server.default_shard_key == "region"
+        assert server.default_strategy == "range"
+        assert all(isinstance(shard, DocumentServer) for shard in server.shards)
+
+    def test_replicated_cluster_runs_replica_set_shards(self):
+        spec = TopologySpec(shards=2, replicas=3, write_concern="majority")
+        server = build_topology(spec)
+        assert isinstance(server, ShardedCluster)
+        assert server.replicated
+        for shard in server.shards:
+            assert isinstance(shard, ReplicaSet)
+            assert shard.replica_count == 3
+            assert not shard.auto_elect  # failover is the router's job
+
+    @pytest.mark.parametrize("spec", TestSerialization.SPECS)
+    def test_topology_of_inverts_build(self, spec):
+        assert topology_of(build_topology(spec)) == spec
+
+    def test_topology_of_unknown_object_reports_standalone(self):
+        class Fake:
+            storage_engine = "mmapv1"
+
+        assert topology_of(Fake()) == TopologySpec(storage_engine="mmapv1")
+
+    def test_spec_build_method_delegates(self):
+        assert isinstance(TopologySpec(replicas=3).build(), ReplicaSet)
+
+
+class TestBenchmarkTopologyReporting:
+    """BenchmarkResult shape fields come from the topology layer (not probing)."""
+
+    def test_result_reports_the_built_topology(self):
+        spec = WorkloadSpec(record_count=40, operation_count=60,
+                            shards=2, replicas=3, write_concern="majority")
+        result = DocumentBenchmark.for_spec(spec, "wiredtiger").execute_full()
+        assert result.topology == KIND_REPLICATED_CLUSTER
+        assert result.shards == 2
+        assert result.replicas == 3
+        assert result.as_dict()["topology"] == KIND_REPLICATED_CLUSTER
+
+    def test_hand_built_server_reports_its_real_shape(self):
+        # The workload spec says nothing about replication; the reported
+        # topology still describes the actual deployment object.
+        spec = WorkloadSpec(record_count=40, operation_count=60)
+        benchmark = DocumentBenchmark(ReplicaSet(members=3), spec)
+        result = benchmark.execute_full()
+        assert result.topology == KIND_REPLICA_SET
+        assert result.replicas == 3
+
+
+class TestDifferentialEquivalence:
+    """build_topology == the pre-refactor hand construction, document for document."""
+
+    MIX = OperationMix(read=0.5, update=0.3, insert=0.2)
+
+    def make_spec(self, **overrides) -> WorkloadSpec:
+        return WorkloadSpec(record_count=80, operation_count=160, seed=13,
+                            mix=self.MIX, distribution="zipfian", **overrides)
+
+    @staticmethod
+    def run(server, spec) -> tuple[list[dict], dict]:
+        benchmark = DocumentBenchmark(server, spec)
+        result = benchmark.execute_full()
+        documents = benchmark.handle.find_with_cost({}).documents
+        return (sorted(documents, key=lambda d: d["_id"]),
+                result.operation_counts)
+
+    def assert_equivalent(self, spec: WorkloadSpec, legacy_server) -> None:
+        built = build_topology(spec.topology("wiredtiger"))
+        built_documents, built_counts = self.run(built, spec)
+        legacy_documents, legacy_counts = self.run(legacy_server, spec)
+        assert built_counts == legacy_counts
+        assert built_documents == legacy_documents
+
+    def test_standalone_matches_hand_built_server(self):
+        self.assert_equivalent(self.make_spec(), DocumentServer("wiredtiger"))
+
+    def test_replica_set_matches_hand_built_replica_set(self):
+        spec = self.make_spec(replicas=3, write_concern="majority",
+                              replication_lag=2)
+        self.assert_equivalent(spec, ReplicaSet(
+            members=3, storage_engine="wiredtiger", write_concern="majority",
+            read_preference="primary", replication_lag=2))
+
+    def test_sharded_cluster_matches_hand_built_cluster(self):
+        for strategy in ("hash", "range"):
+            spec = self.make_spec(shards=4, shard_strategy=strategy)
+            self.assert_equivalent(spec, ShardedCluster(
+                shards=4, storage_engine="wiredtiger", shard_key="_id",
+                strategy=strategy))
+
+    def test_replicated_cluster_matches_hand_built_cluster(self):
+        spec = self.make_spec(shards=2, replicas=3, write_concern="majority")
+        self.assert_equivalent(spec, ShardedCluster(
+            shards=2, storage_engine="wiredtiger", shard_key="_id",
+            strategy="hash", replicas=3, write_concern="majority",
+            read_preference="primary", replication_lag=0))

@@ -1,0 +1,77 @@
+"""End-to-end: a control-plane evaluation comparing deployment topologies.
+
+The acceptance criterion of the topology refactor: project -> system ->
+deployments carrying topology specs -> scheduled jobs -> uploaded results,
+for the standalone, replica-set, sharded and replicated-cluster shapes --
+with the deployment's declared :class:`TopologySpec` (not job parameters)
+deciding what the agent builds, and every deployment built through
+``build_topology``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.demo import TOPOLOGY_COMPARISON, run_topology_comparison
+from repro.docstore.topology import TopologySpec
+
+SMALL_PARAMETERS = {
+    "storage_engine": "wiredtiger",
+    "threads": 2,
+    "record_count": 60,
+    "operation_count": 120,
+    "query_mix": "50:50",
+    "distribution": "zipfian",
+    "seed": 9,
+}
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_topology_comparison(parameters=dict(SMALL_PARAMETERS))
+
+
+class TestTopologyComparison:
+    def test_every_topology_runs_to_uploaded_results(self, comparison):
+        assert set(comparison.results) == set(TOPOLOGY_COMPARISON)
+        for name, report in comparison.reports.items():
+            assert report.jobs_failed == 0, f"{name} failed jobs"
+            assert report.jobs_finished == 1
+            assert len(comparison.results[name]) == 1
+
+    def test_deployments_carry_their_declared_topology(self, comparison):
+        for name, spec in TOPOLOGY_COMPARISON.items():
+            deployment = comparison.control.deployments.get(
+                comparison.deployment_ids[name])
+            assert deployment.topology_spec() == spec
+
+    def test_results_report_the_declared_topology(self, comparison):
+        for name, spec in TOPOLOGY_COMPARISON.items():
+            result = comparison.results[name][0]
+            assert result["topology"] == spec.kind
+            assert result["shards"] == spec.shards
+            assert result["replicas"] == spec.replicas
+
+    def test_jobs_contain_no_topology_parameters(self, comparison):
+        """The shape lives on the deployment, not in the parameter space."""
+        topology_fields = set(TopologySpec().as_dict()) - {"storage_engine", "kind"}
+        for name, evaluation in comparison.evaluations.items():
+            for job in comparison.control.evaluations.jobs(evaluation.id):
+                assert not topology_fields & set(job.parameters), name
+
+    def test_identical_seeded_workload_converges_across_topologies(self, comparison):
+        counts = {name: results[0]["engine_statistics"]["documents"]
+                  for name, results in comparison.results.items()}
+        assert len(set(counts.values())) == 1, counts
+
+    def test_replication_majority_costs_latency(self, comparison):
+        standalone = comparison.results["standalone"][0]
+        replicated = comparison.results["replica-set"][0]
+        assert replicated["latency_avg_ms"] > standalone["latency_avg_ms"]
+
+    def test_results_archived_per_evaluation(self, comparison):
+        for name, evaluation in comparison.evaluations.items():
+            jobs = comparison.control.evaluations.jobs(evaluation.id)
+            results = comparison.control.results.for_jobs([j.id for j in jobs])
+            assert len(results) == 1
+            assert results[0].data["operations"] == SMALL_PARAMETERS["operation_count"]

@@ -38,8 +38,9 @@ class TestCommands:
     def test_info_command(self, capsys):
         assert main(["info"]) == 0
         output = capsys.readouterr().out
-        assert "Chronos" in output and "E1-E11" in output
+        assert "Chronos" in output and "E1-E12" in output
         assert "docstore.replication" in output
+        assert "docstore.topology" in output
 
     def test_demo_command_prints_table_and_winner(self, capsys):
         exit_code = main(["demo", "--threads", "1", "4", "--records", "60",
@@ -101,6 +102,16 @@ class TestCommands:
     def test_replicated_command_rejects_unknown_preference(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["replicated", "--read-preferences", "backup"])
+
+    def test_topologies_command_compares_every_shape(self, capsys):
+        exit_code = main(["topologies", "--records", "60", "--operations", "120",
+                          "--threads", "4"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for kind in ("standalone", "replica_set", "sharded_cluster",
+                     "replicated_cluster"):
+            assert kind in output
+        assert "failed jobs: 0" in output
 
 
 class TestExplainCommand:
