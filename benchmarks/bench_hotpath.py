@@ -1,0 +1,211 @@
+"""E13 -- the document hot path: real wall-clock ops/sec after the overhaul.
+
+Every earlier benchmark reports *simulated* seconds -- the cost model the
+engines charge.  E13 measures the opposite axis: how many operations per
+second of **real wall-clock time** the reproduction executes, which is what
+the copy-on-write document protocol, the compiled/cached query matchers and
+the cached size accounting were built to raise.  The paper's scenario matrix
+funnels every experiment through this path, so its constant factors bound how
+large a scenario the harness can run (ScalienDB makes the same argument for
+real engines).
+
+Phases per deployment shape (standalone / sharded / replicated, built through
+``TopologySpec`` like every other scenario):
+
+* ``load``     -- batch ``insert_many`` of the YCSB table (the E13 floor
+  guards >= 2x over the pre-overhaul implementation on this phase),
+* ``read``     -- YCSB-C: 100% zipfian point reads (>= 3x floor),
+* ``update``   -- YCSB-A-style 50/50 read/update mix,
+* ``scan``     -- YCSB-E-style limited ordered range scans,
+* ``count``    -- the streaming count path on an indexed predicate.
+
+The run emits machine-readable JSON (``benchmarks/results/E13_hotpath.json``
+by default) so the perf trajectory has wall-clock data from this PR on.
+
+Run standalone for the CI smoke check (fails below conservative ops/sec
+floors -- a perf regression guard, set far under developer-laptop numbers to
+absorb slow CI runners)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.docstore.client import DocumentClient  # noqa: E402
+from repro.docstore.topology import TopologySpec, build_topology  # noqa: E402
+from repro.workloads.distributions import make_distribution  # noqa: E402
+from repro.workloads.generator import RecordGenerator  # noqa: E402
+
+LOAD_BATCH = 1000
+SCAN_LIMIT = 10
+
+TOPOLOGIES: dict[str, TopologySpec] = {
+    "standalone": TopologySpec(),
+    "sharded": TopologySpec(shards=4, shard_key="_id", shard_strategy="hash"),
+    "replicated": TopologySpec(replicas=3, write_concern="majority"),
+}
+
+# Conservative wall-clock floors for the smoke check, in ops/sec on the
+# *standalone* shape (sharded/replicated pay routing/replication work on the
+# same hot path and are reported, not gated).  Developer-laptop numbers are
+# ~15-40x higher; CI runners get a wide margin before this trips.
+SMOKE_FLOORS = {"load": 2_000.0, "read": 4_000.0, "update": 1_500.0,
+                "scan": 1_000.0}
+
+
+def _phase(operations: int, seconds: float) -> dict[str, float]:
+    return {
+        "operations": operations,
+        "wall_seconds": round(seconds, 6),
+        "ops_per_sec": round(operations / seconds, 1) if seconds > 0 else 0.0,
+    }
+
+
+def _timed(operations: int, body: Callable[[], None]) -> dict[str, float]:
+    start = time.perf_counter()
+    body()
+    return _phase(operations, time.perf_counter() - start)
+
+
+def run_scenario(name: str, spec: TopologySpec, records: int,
+                 operations: int, seed: int = 42) -> dict[str, Any]:
+    """Load one deployment and drive every phase, timing real seconds."""
+    server = build_topology(spec)
+    client = DocumentClient(server)
+    handle = client.collection("benchmark", "usertable")
+    generator = RecordGenerator(field_count=10, field_length=100)
+    rng = random.Random(seed)
+    distribution = make_distribution("zipfian", records)
+    phases: dict[str, Any] = {}
+
+    # Pre-generate everything: the phases time *database* work, not the
+    # workload generator's random payload construction.
+    batches = [[generator.record(index, rng)
+                for index in range(start, min(start + LOAD_BATCH, records))]
+               for start in range(0, records, LOAD_BATCH)]
+
+    def load() -> None:
+        for batch in batches:
+            handle.insert_many(batch)
+        handle.create_index("category")
+
+    phases["load"] = _timed(records, load)
+
+    read_keys = [generator.key(distribution.next_key(rng))
+                 for __ in range(operations)]
+
+    def read() -> None:
+        for key in read_keys:
+            handle.find_with_cost({"_id": key})
+
+    phases["read"] = _timed(operations, read)
+
+    update_plan = [(generator.key(distribution.next_key(rng)),
+                    generator.update_fragment(rng) if index % 2 else None)
+                   for index in range(operations)]
+
+    def update() -> None:
+        for key, fragment in update_plan:
+            if fragment is None:
+                handle.find_with_cost({"_id": key})
+            else:
+                handle.update_one({"_id": key}, fragment)
+
+    phases["update"] = _timed(operations, update)
+
+    scan_operations = max(1, operations // 10)
+    scan_keys = [generator.key(distribution.next_key(rng))
+                 for __ in range(scan_operations)]
+
+    def scan() -> None:
+        for key in scan_keys:
+            handle.find_with_cost({"_id": {"$gte": key}}, limit=SCAN_LIMIT)
+
+    phases["scan"] = _timed(scan_operations, scan)
+
+    count_operations = max(1, operations // 100)
+
+    def count() -> None:
+        for index in range(count_operations):
+            handle.count_documents({"category": f"cat{index % 10}"})
+
+    phases["count"] = _timed(count_operations, count)
+
+    documents = handle.count_documents({})
+    assert documents == records, (name, documents, records)
+    return {"topology": spec.kind, "records": records,
+            "operations": operations, "phases": phases}
+
+
+def run(records: int, operations: int, shapes: list[str]) -> dict[str, Any]:
+    scenarios: dict[str, Any] = {}
+    for name in shapes:
+        scenarios[name] = run_scenario(name, TOPOLOGIES[name], records, operations)
+        summary = ", ".join(
+            f"{phase}={data['ops_per_sec']:,.0f} ops/s"
+            for phase, data in scenarios[name]["phases"].items())
+        print(f"[{name:>11}] {summary}")
+    return {"benchmark": "E13_hotpath", "records": records,
+            "operations": operations, "scenarios": scenarios}
+
+
+def check_floors(report: dict[str, Any]) -> list[str]:
+    """The perf regression guard: standalone phases must clear their floors."""
+    failures = []
+    phases = report["scenarios"]["standalone"]["phases"]
+    for phase, floor in SMOKE_FLOORS.items():
+        achieved = phases[phase]["ops_per_sec"]
+        if achieved < floor:
+            failures.append(
+                f"standalone {phase}: {achieved:,.0f} ops/s is below the "
+                f"regression floor of {floor:,.0f} ops/s")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small run with ops/sec regression floors (CI)")
+    parser.add_argument("--records", type=int, default=None,
+                        help="documents loaded per scenario")
+    parser.add_argument("--operations", type=int, default=None,
+                        help="measured operations per phase")
+    parser.add_argument("--json", type=Path,
+                        default=Path(__file__).parent / "results" / "E13_hotpath.json",
+                        help="where to write the machine-readable report")
+    arguments = parser.parse_args()
+
+    records = arguments.records or (2_000 if arguments.smoke else 20_000)
+    operations = arguments.operations or (2_000 if arguments.smoke else 20_000)
+    shapes = (["standalone", "sharded", "replicated"] if not arguments.smoke
+              else ["standalone", "sharded"])
+
+    report = run(records, operations, shapes)
+    report["mode"] = "smoke" if arguments.smoke else "full"
+
+    arguments.json.parent.mkdir(parents=True, exist_ok=True)
+    arguments.json.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {arguments.json}")
+
+    if arguments.smoke:
+        failures = check_floors(report)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("smoke ok: all standalone phases above their regression floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.docstore.collection import OperationResult
+from repro.docstore.documents import clone_document
 from repro.docstore.server import DocumentServer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,12 +46,14 @@ class CollectionHandle:
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
         result = self._target.find_with_cost(query or {}, limit=1)
         self._record(_read_label(query), result)
-        return result.documents[0] if result.documents else None
+        if not result.documents:
+            return None
+        return clone_document(result.documents[0])
 
     def find(self, query: dict[str, Any] | None = None) -> list[dict[str, Any]]:
         result = self._target.find_with_cost(query or {})
         self._record(_read_label(query), result)
-        return result.documents
+        return [clone_document(document) for document in result.documents]
 
     def find_with_cost(self, query: dict[str, Any] | None = None,
                        limit: int | None = None) -> OperationResult:
@@ -58,11 +61,13 @@ class CollectionHandle:
 
         ``limit`` is pushed down into the query planner (and, on a cluster,
         into every contacted shard), so a limited range scan stops early.
+        The returned documents are defensive copies -- the client surface's
+        single copy in the copy-on-write protocol.
         """
-        return self._record(
-            _read_label(query),
-            self._target.find_with_cost(query or {}, limit=limit),
-        )
+        result = self._target.find_with_cost(query or {}, limit=limit)
+        result.documents = [clone_document(document)
+                            for document in result.documents]
+        return self._record(_read_label(query), result)
 
     def explain(self, query: dict[str, Any] | None = None,
                 limit: int | None = None) -> dict[str, Any]:

@@ -13,6 +13,19 @@ A collection combines
 
 Every operation returns an :class:`OperationResult` carrying the simulated
 cost so workload drivers can account latency without real sleeping.
+
+**Copy-on-write document protocol.**  The write boundary
+(:meth:`insert_one` / :meth:`insert_many` / the update paths) freezes one
+canonical stored document per write -- validated, deep-copied and sized in a
+single walk (:func:`~repro.docstore.documents.freeze_document`) -- and the
+engines store that object as-is.  Reads hand the stored object back by
+reference to *internal* consumers (planner re-checks, index maintenance,
+oplog capture, router merging); only the client surface
+(:class:`~repro.docstore.cursor.Cursor`, :meth:`find_one`,
+:class:`~repro.docstore.client.DocumentClient`) materialises a defensive
+copy, exactly once per returned document.  Callers of the internal read
+paths (:meth:`find_with_cost` / ``_find_all``) must treat the documents they
+receive as immutable.
 """
 
 from __future__ import annotations
@@ -22,16 +35,20 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.docstore.cursor import Cursor
-from repro.docstore.documents import validate_document, with_id
+from repro.docstore.documents import (
+    clone_document,
+    freeze_document,
+    measure_document,
+    with_id,
+)
 from repro.docstore.engine_base import StorageEngine
 from repro.docstore.indexes import IndexCatalog, OrderedSecondaryIndex, SecondaryIndex
-from repro.docstore.matching import matches
 from repro.docstore.planner import QueryPlanner
 from repro.docstore.update_ops import apply_update
 from repro.errors import DocumentStoreError, DuplicateKeyError
 
 
-@dataclass
+@dataclass(slots=True)
 class OperationResult:
     """Outcome of a single collection operation.
 
@@ -40,7 +57,10 @@ class OperationResult:
         matched_count / modified_count / deleted_count / inserted_ids: the
             usual driver-level counters.
         simulated_seconds: total simulated service time charged by the engine.
-        documents: result documents for read operations.
+        documents: result documents for read operations.  On results returned
+            by the internal ``find_with_cost`` path these are the stored
+            objects themselves (treat as immutable); the client surface
+            replaces them with defensive copies.
         shard_costs: per-shard cost breakdown, filled in by the sharding
             router when the operation ran against a cluster (empty for
             single-server operations).
@@ -70,42 +90,113 @@ class Collection:
         # cost (the engines already charge for their own key structures).
         self._id_index = OrderedSecondaryIndex("_id")
         self.planner = QueryPlanner(self)
+        # True once any live document carried a non-string ``_id`` -- the
+        # planner's exact id-lookup fast path is only sound for all-string
+        # collections (record ids are ``str(_id)``).  Conservatively sticky:
+        # deleting the offending document does not reset it.
+        self._has_non_string_ids = False
         # Optional write observer ``(operation, record_id, post_image)`` fired
         # after every successful document change.  The replication subsystem
         # attaches one to a primary's collections to capture the exact
-        # post-images its oplog replays on secondaries; ``None`` costs nothing.
+        # post-images its oplog replays on secondaries; ``None`` costs
+        # nothing.  Post-images are the frozen stored documents -- listeners
+        # may keep references but must never mutate them.
         self.change_listener: Any = None
 
     # -- writes -----------------------------------------------------------------
 
     def insert_one(self, document: dict[str, Any]) -> OperationResult:
         """Insert a single document (an ``_id`` is generated when missing)."""
-        validate_document(document)
-        stored = with_id(document)
-        record_id = str(stored["_id"])
-        if record_id in self._ids:
-            raise DuplicateKeyError(
-                f"duplicate _id {record_id!r} in collection {self.name!r}"
-            )
-        self.indexes.add_document(record_id, stored)
-        self._id_index.add(record_id, stored)
+        record_id, frozen, size = self._prepare_insert(document)
+        self._index_new_document(record_id, frozen)
         with self.engine.locks.write(record_id):
-            cost = self.engine.insert(record_id, stored)
+            cost = self.engine.insert(record_id, frozen, size)
             cost += self.engine.index_maintenance_cost(len(self.indexes))
         self._ids.add(record_id)
-        self._notify("insert", record_id, stored)
+        self._notify("insert", record_id, frozen)
         return OperationResult(
             inserted_ids=[record_id], modified_count=0, simulated_seconds=cost
         )
 
     def insert_many(self, documents: list[dict[str, Any]]) -> OperationResult:
-        """Insert several documents; cost is the sum of the individual inserts."""
-        combined = OperationResult()
+        """Insert several documents as one batch.
+
+        Documents are frozen and index-maintained in order up to the first
+        failing one, then the valid prefix is handed to the engine's
+        :meth:`~repro.docstore.engine_base.StorageEngine.insert_batch` under
+        a single batch-wide lock round.  On failure the prefix stays inserted
+        and the error is re-raised -- exactly the semantics of looping
+        :meth:`insert_one` (MongoDB's ordered inserts), which also keeps the
+        sharded router's per-document loop equivalent to this path.  The
+        simulated cost equals the sum of the individual inserts; batching
+        only amortises the real-world bookkeeping.
+        """
+        if not documents:
+            return OperationResult()
+        records: list[tuple[str, dict[str, Any], int]] = []
+        seen: set[str] = set()
+        error: Exception | None = None
         for document in documents:
-            result = self.insert_one(document)
-            combined.inserted_ids.extend(result.inserted_ids)
-            combined.simulated_seconds += result.simulated_seconds
-        return combined
+            try:
+                record_id, frozen, size = self._prepare_insert(document)
+                if record_id in seen:
+                    raise DuplicateKeyError(
+                        f"duplicate _id {record_id!r} in collection {self.name!r}"
+                    )
+                self._index_new_document(record_id, frozen)
+            except Exception as failure:  # keep the valid prefix, re-raise below
+                error = failure
+                break
+            seen.add(record_id)
+            records.append((record_id, frozen, size))
+        cost = 0.0
+        inserted: list[str] = []
+        if records:
+            with self.engine.locks.write_batch():
+                cost = self.engine.insert_batch(records)
+                cost += self.engine.index_maintenance_cost(len(self.indexes),
+                                                           operations=len(records))
+            for record_id, frozen, __ in records:
+                self._ids.add(record_id)
+                inserted.append(record_id)
+                self._notify("insert", record_id, frozen)
+        if error is not None:
+            raise error
+        return OperationResult(inserted_ids=inserted, simulated_seconds=cost)
+
+    def _index_new_document(self, record_id: str, frozen: dict[str, Any]) -> None:
+        """Add one document to every index, rolling back on failure.
+
+        A unique-index violation can strike after some catalog indexes were
+        already updated; removing the document again (removal tolerates
+        absent entries) guarantees a failed insert leaves no phantom index
+        entries behind.
+        """
+        try:
+            self.indexes.add_document(record_id, frozen)
+            self._id_index.add(record_id, frozen)
+        except Exception:
+            self.indexes.remove_document(record_id, frozen)
+            self._id_index.remove(record_id, frozen)
+            raise
+
+    def _prepare_insert(self, document: dict[str, Any]) -> tuple[str, dict[str, Any], int]:
+        """Freeze one incoming document: id it, validate+copy+size in one walk."""
+        if not isinstance(document, dict):
+            raise DocumentStoreError(
+                f"documents must be dictionaries, got {type(document).__name__}"
+            )
+        stored = with_id(document)
+        frozen, size = freeze_document(stored)
+        identifier = frozen["_id"]
+        if type(identifier) is not str:
+            self._has_non_string_ids = True
+        record_id = str(identifier)
+        if record_id in self._ids:
+            raise DuplicateKeyError(
+                f"duplicate _id {record_id!r} in collection {self.name!r}"
+            )
+        return record_id, frozen, size
 
     def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
         """Apply ``update`` to the first document matching ``query``."""
@@ -113,11 +204,11 @@ class Collection:
         if record_id is None:
             return OperationResult(matched_count=0, simulated_seconds=find_cost)
         new_document = apply_update(document, update)
-        validate_document(new_document)
+        size = measure_document(new_document)
         self.indexes.remove_document(record_id, document)
         self.indexes.add_document(record_id, new_document)
         with self.engine.locks.write(record_id):
-            cost = self.engine.update(record_id, new_document)
+            cost = self.engine.update(record_id, new_document, size)
             cost += self.engine.index_maintenance_cost(len(self.indexes))
         self._notify("update", record_id, new_document)
         return OperationResult(
@@ -134,11 +225,11 @@ class Collection:
         for document in matches_found.documents:
             record_id = str(document["_id"])
             new_document = apply_update(document, update)
-            validate_document(new_document)
+            size = measure_document(new_document)
             self.indexes.remove_document(record_id, document)
             self.indexes.add_document(record_id, new_document)
             with self.engine.locks.write(record_id):
-                total_cost += self.engine.update(record_id, new_document)
+                total_cost += self.engine.update(record_id, new_document, size)
                 total_cost += self.engine.index_maintenance_cost(len(self.indexes))
             self._notify("update", record_id, new_document)
             if new_document != document:
@@ -192,6 +283,7 @@ class Collection:
 
         The cursor pushes its ``limit`` down into the planner when no sort
         is requested, so a limited range scan stops after enough matches.
+        Returned documents are defensive copies (made once, by the cursor).
         """
         query = query or {}
         return Cursor(
@@ -200,13 +292,18 @@ class Collection:
         )
 
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
-        """Return the first matching document or ``None``."""
+        """Return a copy of the first matching document or ``None``."""
         __, document, __cost = self._find_first(query or {})
-        return document
+        return clone_document(document) if document is not None else None
 
     def find_with_cost(self, query: dict[str, Any] | None = None,
                        limit: int | None = None) -> OperationResult:
-        """Like :meth:`find` but returns documents *and* the simulated cost."""
+        """Like :meth:`find` but returns documents *and* the simulated cost.
+
+        This is the internal read path: the result documents are the stored
+        objects themselves and must not be mutated.  The client surface
+        (:class:`~repro.docstore.client.CollectionHandle`) copies them.
+        """
         return self._find_all(query or {}, limit=limit)
 
     def explain(self, query: dict[str, Any] | None = None,
@@ -215,10 +312,24 @@ class Collection:
         return self.planner.explain(query or {}, limit=limit)
 
     def count_documents(self, query: dict[str, Any] | None = None) -> int:
-        """Number of documents matching ``query``."""
+        """Number of documents matching ``query``.
+
+        Counting never materialises a result list: candidates stream from
+        the plan and are tallied against the compiled matcher in place.
+        """
         if not query:
             return self.engine.count()
-        return len(self._find_all(query).documents)
+        plan = self.planner.plan(query)
+        matcher = plan.matcher
+        locks = self.engine.locks
+        read = self.engine.read
+        count = 0
+        for record_id in plan.iter_candidates():
+            with locks.read(record_id):
+                document, __ = read(record_id)
+            if document is not None and (matcher is None or matcher(document)):
+                count += 1
+        return count
 
     # -- index management -------------------------------------------------------------
 
@@ -227,10 +338,14 @@ class Collection:
         index = self.indexes.create(field_path, unique=unique)
         for record_id, document, __ in self.engine.scan():
             index.add(record_id, document)
+        self.planner.invalidate_cache()
         return field_path
 
     def drop_index(self, field_path: str) -> bool:
-        return self.indexes.drop(field_path)
+        dropped = self.indexes.drop(field_path)
+        if dropped:
+            self.planner.invalidate_cache()
+        return dropped
 
     # -- statistics ----------------------------------------------------------------------
 
@@ -239,6 +354,7 @@ class Collection:
         engine_stats = self.engine.statistics()
         engine_stats["collection"] = self.name
         engine_stats["indexes"] = self.indexes.names()
+        engine_stats["plan_cache"] = self.planner.cache_stats()
         return engine_stats
 
     # -- internals -------------------------------------------------------------------------
@@ -258,16 +374,23 @@ class Collection:
         """The live record-id set (planner plumbing for ``ID_LOOKUP``)."""
         return self._ids
 
+    def has_non_string_ids(self) -> bool:
+        """Whether any document ever stored here carried a non-string ``_id``."""
+        return self._has_non_string_ids
+
     def _find_all(self, query: dict[str, Any],
                   limit: int | None = None) -> OperationResult:
         plan = self.planner.plan(query, limit=limit)
+        matcher = plan.matcher
+        locks = self.engine.locks
+        read = self.engine.read
         documents: list[dict[str, Any]] = []
         read_cost = 0.0
         for record_id in plan.iter_candidates():
-            with self.engine.locks.read(record_id):
-                document, cost = self.engine.read(record_id)
+            with locks.read(record_id):
+                document, cost = read(record_id)
             read_cost += cost
-            if document is not None and matches(document, query):
+            if document is not None and (matcher is None or matcher(document)):
                 documents.append(document)
                 if limit is not None and len(documents) >= limit:
                     break
@@ -277,12 +400,13 @@ class Collection:
 
     def _find_first(self, query: dict[str, Any]) -> tuple[str | None, dict[str, Any] | None, float]:
         plan = self.planner.plan(query, limit=1)
+        matcher = plan.matcher
         read_cost = 0.0
         for record_id in plan.iter_candidates():
             with self.engine.locks.read(record_id):
                 document, cost = self.engine.read(record_id)
             read_cost += cost
-            if document is not None and matches(document, query):
+            if document is not None and (matcher is None or matcher(document)):
                 return record_id, document, plan.current_lookup_cost() + read_cost
         return None, None, plan.current_lookup_cost() + read_cost
 

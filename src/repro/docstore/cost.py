@@ -58,6 +58,19 @@ class CostAccumulator:
         self.counts[operation] = self.counts.get(operation, 0) + 1
         return seconds
 
+    def charge_many(self, operation: str, seconds: float, count: int) -> float:
+        """Record ``count`` operations worth ``seconds`` in one accumulation.
+
+        Batch paths (``insert_batch``) use this so the per-operation counters
+        stay identical to ``count`` individual :meth:`charge` calls without
+        paying ``count`` dict updates.
+        """
+        if count <= 0:
+            return 0.0
+        self.totals[operation] = self.totals.get(operation, 0.0) + seconds
+        self.counts[operation] = self.counts.get(operation, 0) + count
+        return seconds
+
     @property
     def total_seconds(self) -> float:
         return sum(self.totals.values())

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+from repro.docstore.documents import clone_document
 from repro.docstore.predicates import scalar_rank
 
 
@@ -15,6 +16,12 @@ class Cursor:
     shapes the benchmarks issue).  ``fetch`` takes an optional limit: when no
     sort is requested, the effective limit (``skip + limit``) is pushed down
     into it so the query planner can stop a scan early.
+
+    The cursor is part of the client surface of the copy-on-write document
+    protocol: ``fetch`` returns the stored objects themselves, and the cursor
+    materialises the single defensive copy per emitted document -- after
+    skip/limit cut the result down, so documents that are never returned are
+    never copied.
     """
 
     def __init__(
@@ -81,7 +88,11 @@ class Cursor:
             if self._limit is not None:
                 documents = documents[: self._limit]
             if self._projection:
-                documents = [self._project(doc) for doc in documents]
+                # Projection builds fresh (shallow) dicts; cloning them deep
+                # copies only the projected subset.
+                documents = [clone_document(self._project(doc)) for doc in documents]
+            else:
+                documents = [clone_document(doc) for doc in documents]
             self._materialised = documents
         return self._materialised
 

@@ -5,6 +5,20 @@ subset of BSON the benchmarks use).  Every document carries an ``_id`` field
 which is generated when absent.  :func:`document_size` approximates the BSON
 wire size; both storage engines use it to drive their space and I/O cost
 accounting.
+
+Hot-path helpers (the copy-on-write write/read boundary):
+
+* :func:`freeze_document` validates, deep-copies and sizes a document in a
+  *single* recursive walk.  The collection write boundary calls it once per
+  write to produce the canonical stored document -- engines store that object
+  directly and never copy again.
+* :func:`measure_document` validates and sizes a document the caller already
+  owns exclusively (the update path: :func:`~repro.docstore.update_ops.apply_update`
+  returns a fresh, unaliased document, so re-copying it would be waste).
+* :func:`clone_document` is the defensive copy the *client surface* hands
+  out -- a fast recursive copy specialised to JSON-like values (no ``copy``
+  module dispatch or memoisation), applied exactly once per returned
+  document.
 """
 
 from __future__ import annotations
@@ -93,6 +107,136 @@ def document_size(document: Any) -> int:
             for key, value in document.items()
         )
     raise DocumentStoreError(f"cannot size value of type {type(document).__name__}")
+
+
+def freeze_document(document: dict[str, Any]) -> tuple[dict[str, Any], int]:
+    """Validate, deep-copy and size ``document`` in one recursive walk.
+
+    Returns ``(frozen, size)`` where ``frozen`` is the canonical stored copy
+    (sharing nothing mutable with the input) and ``size`` equals
+    ``document_size(frozen)``.  This is the write boundary of the
+    copy-on-write document protocol: the frozen object is stored by the
+    engine as-is, indexed as-is and captured by the oplog as-is, and is
+    never mutated in place afterwards.
+    """
+    if not isinstance(document, dict):
+        raise DocumentStoreError(
+            f"documents must be dictionaries, got {type(document).__name__}"
+        )
+    return _freeze_dict(document, "")
+
+
+def _freeze_dict(value: dict[str, Any], path: str) -> tuple[dict[str, Any], int]:
+    copied: dict[str, Any] = {}
+    size = 5
+    for key, item in value.items():
+        if not isinstance(key, str):
+            raise DocumentStoreError(
+                f"document keys must be strings (at {path or '<root>'}), got {key!r}"
+            )
+        if key.startswith("$"):
+            raise DocumentStoreError(
+                f"field names may not start with '$' (at {path}.{key})"
+            )
+        child, child_size = _freeze_value(item, f"{path}.{key}" if path else key)
+        copied[key] = child
+        size += len(key.encode("utf-8")) + 2 + child_size
+    return copied, size
+
+
+def _freeze_value(value: Any, path: str) -> tuple[Any, int]:
+    if value is None or value is True or value is False:
+        return value, 1
+    if isinstance(value, str):
+        return value, len(value.encode("utf-8")) + 5
+    if isinstance(value, (int, float)):
+        return value, 8
+    if isinstance(value, list):
+        copied_list: list[Any] = []
+        size = 5
+        for position, item in enumerate(value):
+            child, child_size = _freeze_value(item, f"{path}[{position}]")
+            copied_list.append(child)
+            size += child_size + 2
+        return copied_list, size
+    if isinstance(value, dict):
+        return _freeze_dict(value, path)
+    raise DocumentStoreError(
+        f"unsupported value type {type(value).__name__} at {path or '<root>'}"
+    )
+
+
+def measure_document(document: dict[str, Any]) -> int:
+    """Validate and size a document the caller exclusively owns (one walk).
+
+    Used by the update path: :func:`~repro.docstore.update_ops.apply_update`
+    already returns a fresh, unaliased document, so freezing it again would
+    copy for nothing.  Raises on invalid documents exactly like
+    :func:`validate_document`.
+    """
+    if not isinstance(document, dict):
+        raise DocumentStoreError(
+            f"documents must be dictionaries, got {type(document).__name__}"
+        )
+    return _measure_dict(document, "")
+
+
+def _measure_dict(value: dict[str, Any], path: str) -> int:
+    size = 5
+    for key, item in value.items():
+        if not isinstance(key, str):
+            raise DocumentStoreError(
+                f"document keys must be strings (at {path or '<root>'}), got {key!r}"
+            )
+        if key.startswith("$"):
+            raise DocumentStoreError(
+                f"field names may not start with '$' (at {path}.{key})"
+            )
+        size += len(key.encode("utf-8")) + 2 + _measure_value(
+            item, f"{path}.{key}" if path else key)
+    return size
+
+
+def _measure_value(value: Any, path: str) -> int:
+    if value is None or value is True or value is False:
+        return 1
+    if isinstance(value, str):
+        return len(value.encode("utf-8")) + 5
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, list):
+        size = 5
+        for position, item in enumerate(value):
+            size += _measure_value(item, f"{path}[{position}]") + 2
+        return size
+    if isinstance(value, dict):
+        return _measure_dict(value, path)
+    raise DocumentStoreError(
+        f"unsupported value type {type(value).__name__} at {path or '<root>'}"
+    )
+
+
+def clone_document(value: Any) -> Any:
+    """Fast deep copy specialised to validated JSON-like document values.
+
+    This is the single defensive copy the client surface applies to every
+    document it returns; scalars are immutable and shared.  Frozen documents
+    contain only plain ``dict``/``list`` containers (``freeze_document``
+    rebuilds them), so exact ``type`` checks inlined at each level are safe
+    and markedly faster than ``isinstance`` dispatch per scalar.
+    """
+    tp = type(value)
+    if tp is dict:
+        return {
+            key: (item if type(item) is not dict and type(item) is not list
+                  else clone_document(item))
+            for key, item in value.items()
+        }
+    if tp is list:
+        return [item if type(item) is not dict and type(item) is not list
+                else clone_document(item)
+                for item in value]
+    return value
 
 
 def get_path(document: dict[str, Any], path: str) -> tuple[bool, Any]:

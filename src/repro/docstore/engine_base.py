@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Iterator
 
 from repro.docstore.cost import ConcurrencyProfile, CostAccumulator, CostParameters
+from repro.docstore.documents import document_size
 from repro.docstore.locks import LockGranularity, LockManager
 
 
@@ -22,6 +23,14 @@ class StorageEngine(ABC):
 
     The collection layer handles query matching, secondary indexes and id
     assignment; engines only ever see opaque record identifiers.
+
+    **Copy-on-write document protocol.**  Engines never copy documents.  The
+    caller (the collection write boundary) hands ``insert``/``update`` a
+    *frozen* canonical document it promises never to mutate in place, along
+    with its precomputed ``document_size`` (``size=None`` recomputes it, for
+    direct engine use in tests).  ``read``/``scan`` hand the stored object
+    back by reference; whoever exposes documents to external callers (the
+    client surface) is responsible for the single defensive copy.
     """
 
     name: str = "abstract"
@@ -38,16 +47,22 @@ class StorageEngine(ABC):
     # -- storage operations --------------------------------------------------
 
     @abstractmethod
-    def insert(self, record_id: str, document: dict[str, Any]) -> float:
-        """Store a new document; return the simulated cost in seconds."""
+    def insert(self, record_id: str, document: dict[str, Any],
+               size: int | None = None) -> float:
+        """Store a new frozen document; return the simulated cost in seconds."""
 
     @abstractmethod
     def read(self, record_id: str) -> tuple[dict[str, Any] | None, float]:
-        """Return ``(document, cost)``; document is None when missing."""
+        """Return ``(document, cost)``; document is None when missing.
+
+        The returned document is the stored object itself -- callers must
+        treat it as immutable.
+        """
 
     @abstractmethod
-    def update(self, record_id: str, document: dict[str, Any]) -> float:
-        """Replace the stored document; return the simulated cost."""
+    def update(self, record_id: str, document: dict[str, Any],
+               size: int | None = None) -> float:
+        """Replace the stored document with a new frozen one; return the cost."""
 
     @abstractmethod
     def delete(self, record_id: str) -> float:
@@ -55,7 +70,10 @@ class StorageEngine(ABC):
 
     @abstractmethod
     def scan(self) -> Iterator[tuple[str, dict[str, Any], float]]:
-        """Yield ``(record_id, document, cost)`` for every stored document."""
+        """Yield ``(record_id, document, cost)`` for every stored document.
+
+        Documents are the stored objects themselves (no copies).
+        """
 
     @abstractmethod
     def count(self) -> int:
@@ -64,6 +82,24 @@ class StorageEngine(ABC):
     @abstractmethod
     def storage_bytes(self) -> int:
         """Simulated on-disk footprint in bytes (including padding/compression)."""
+
+    def insert_batch(self, records: list[tuple[str, dict[str, Any], int]]) -> float:
+        """Store many frozen documents in one round; return the total cost.
+
+        ``records`` is a list of ``(record_id, document, size)`` triples.  The
+        default implementation simply loops :meth:`insert`; engines override
+        it to amortise their per-batch bookkeeping.  The simulated cost and
+        per-operation counters stay identical to the equivalent sequence of
+        single inserts -- batching is a wall-clock optimisation, not a change
+        to the cost model.
+        """
+        return sum(self.insert(record_id, document, size)
+                   for record_id, document, size in records)
+
+    @staticmethod
+    def _size_of(document: dict[str, Any], size: int | None) -> int:
+        """The document's precomputed size, recomputed only when absent."""
+        return document_size(document) if size is None else size
 
     # -- planner cost estimates ---------------------------------------------------
 
@@ -82,10 +118,14 @@ class StorageEngine(ABC):
 
     # -- reporting --------------------------------------------------------------
 
-    def index_maintenance_cost(self, index_count: int) -> float:
-        """Cost of updating ``index_count`` secondary indexes for one write."""
-        cost = index_count * self.parameters.index_maintenance
-        return self.costs.charge("index_maintenance", cost) if cost else 0.0
+    def index_maintenance_cost(self, index_count: int, operations: int = 1) -> float:
+        """Cost of updating ``index_count`` secondary indexes per write, for
+        ``operations`` writes (batch paths amortise the accounting into one
+        accumulation without changing the totals or counters)."""
+        cost = index_count * self.parameters.index_maintenance * operations
+        if not cost:
+            return 0.0
+        return self.costs.charge_many("index_maintenance", cost, operations)
 
     def statistics(self) -> dict[str, Any]:
         """A statistics document similar to MongoDB's ``collStats``."""

@@ -11,14 +11,25 @@ The :class:`LockManager` implements both granularities for functional
 correctness (used when agents drive the store from multiple threads), and
 additionally keeps contention counters that the cost model uses to translate
 blocking into simulated latency for the analytic concurrency model.
+
+Hot-path design: this layer is entered twice per document operation, so it is
+built to cost two plain method calls and two counter increments per
+acquisition.  Document-granularity locking uses a fixed array of *lock
+stripes* (record ids hash onto one of :data:`_STRIPE_COUNT` reader/writer
+locks) instead of a per-record lock registry -- no allocation, no registry
+lock, bounded memory, and the same correctness guarantee (two operations on
+the same record always share a stripe; distinct records rarely do).  Guard
+objects are pre-created per stripe and mode, and the reader/writer lock only
+notifies waiters when someone is actually waiting.
 """
 
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
+
+_STRIPE_COUNT = 64
 
 
 class LockGranularity(Enum):
@@ -52,10 +63,13 @@ class LockStats:
 class _RWLock:
     """A simple reader/writer lock (writer preference not required here)."""
 
+    __slots__ = ("_condition", "_readers", "_writer", "_waiting")
+
     def __init__(self) -> None:
         self._condition = threading.Condition()
         self._readers = 0
         self._writer = False
+        self._waiting = 0
 
     def acquire(self, mode: LockMode) -> bool:
         """Acquire the lock; returns True if it had to wait (contention)."""
@@ -64,12 +78,16 @@ class _RWLock:
             if mode is LockMode.SHARED:
                 while self._writer:
                     contended = True
+                    self._waiting += 1
                     self._condition.wait()
+                    self._waiting -= 1
                 self._readers += 1
             else:
                 while self._writer or self._readers:
                     contended = True
+                    self._waiting += 1
                     self._condition.wait()
+                    self._waiting -= 1
                 self._writer = True
         return contended
 
@@ -79,7 +97,58 @@ class _RWLock:
                 self._readers -= 1
             else:
                 self._writer = False
-            self._condition.notify_all()
+            if self._waiting:
+                self._condition.notify_all()
+
+
+class _BatchWriteGuard:
+    """Exclusive access for a whole batch in one acquisition round.
+
+    Document-granularity engines serialise per stripe, so a batch touching
+    many records must hold *every* stripe (plus the collection lock) to
+    exclude concurrent per-document readers and writers.  Stripes are always
+    taken in index order and single-document operations only ever hold one
+    stripe at a time, so no cycle -- hence no deadlock -- is possible.
+    """
+
+    __slots__ = ("_manager", "_locks")
+
+    def __init__(self, manager: "LockManager", locks: list[_RWLock]):
+        self._manager = manager
+        self._locks = locks
+
+    def __enter__(self) -> "_BatchWriteGuard":
+        contended = False
+        for lock in self._locks:
+            contended = lock.acquire(LockMode.EXCLUSIVE) or contended
+        self._manager._record(contended, exclusive=True)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for lock in reversed(self._locks):
+            lock.release(LockMode.EXCLUSIVE)
+
+
+class _LockGuard:
+    """A pre-created context manager: two plain method calls per acquisition
+    (``@contextmanager`` generators cost a frame switch each way).  Guards are
+    stateless, so one shared instance per (lock, mode) serves every thread."""
+
+    __slots__ = ("_manager", "_lock", "_mode", "_exclusive")
+
+    def __init__(self, manager: "LockManager", lock: _RWLock, mode: LockMode):
+        self._manager = manager
+        self._lock = lock
+        self._mode = mode
+        self._exclusive = mode is LockMode.EXCLUSIVE
+
+    def __enter__(self) -> "_LockGuard":
+        contended = self._lock.acquire(self._mode)
+        self._manager._record(contended, exclusive=self._exclusive)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._lock.release(self._mode)
 
 
 @dataclass
@@ -91,40 +160,44 @@ class LockManager:
 
     def __post_init__(self) -> None:
         self._collection_lock = _RWLock()
-        self._document_locks: dict[str, _RWLock] = {}
-        self._registry_lock = threading.Lock()
+        self._collection_read = _LockGuard(self, self._collection_lock,
+                                           LockMode.SHARED)
+        self._collection_write = _LockGuard(self, self._collection_lock,
+                                            LockMode.EXCLUSIVE)
+        if self.granularity is LockGranularity.DOCUMENT:
+            stripes = [_RWLock() for __ in range(_STRIPE_COUNT)]
+            self._stripe_read = [_LockGuard(self, lock, LockMode.SHARED)
+                                 for lock in stripes]
+            self._stripe_write = [_LockGuard(self, lock, LockMode.EXCLUSIVE)
+                                  for lock in stripes]
+            self._batch_write = _BatchWriteGuard(
+                self, [self._collection_lock, *stripes])
+        else:
+            self._stripe_read = None
+            self._stripe_write = None
+            self._batch_write = _BatchWriteGuard(self, [self._collection_lock])
 
-    @contextmanager
-    def read(self, document_id: str | None = None):
-        """Acquire a shared lock for a read."""
-        lock = self._select_lock(document_id)
-        contended = lock.acquire(LockMode.SHARED)
-        self._record(contended, exclusive=False)
-        try:
-            yield
-        finally:
-            lock.release(LockMode.SHARED)
+    def read(self, document_id: str | None = None) -> _LockGuard:
+        """Acquire a shared lock for a read (use as a context manager)."""
+        if self._stripe_read is None or document_id is None:
+            return self._collection_read
+        return self._stripe_read[hash(document_id) % _STRIPE_COUNT]
 
-    @contextmanager
-    def write(self, document_id: str | None = None):
+    def write(self, document_id: str | None = None) -> _LockGuard:
         """Acquire an exclusive lock for a write at the engine's granularity."""
-        lock = self._select_lock(document_id)
-        contended = lock.acquire(LockMode.EXCLUSIVE)
-        self._record(contended, exclusive=True)
-        try:
-            yield
-        finally:
-            lock.release(LockMode.EXCLUSIVE)
+        if self._stripe_write is None or document_id is None:
+            return self._collection_write
+        return self._stripe_write[hash(document_id) % _STRIPE_COUNT]
 
-    def _select_lock(self, document_id: str | None) -> _RWLock:
-        if self.granularity is LockGranularity.COLLECTION or document_id is None:
-            return self._collection_lock
-        with self._registry_lock:
-            return self._document_locks.setdefault(document_id, _RWLock())
+    def write_batch(self) -> _BatchWriteGuard:
+        """One exclusive acquisition round covering every document at once
+        (batch inserts): excludes the collection lock and all stripes."""
+        return self._batch_write
 
     def _record(self, contended: bool, exclusive: bool) -> None:
-        self.stats.acquisitions += 1
+        stats = self.stats
+        stats.acquisitions += 1
         if exclusive:
-            self.stats.exclusive_acquisitions += 1
+            stats.exclusive_acquisitions += 1
         if contended:
-            self.stats.contentions += 1
+            stats.contentions += 1

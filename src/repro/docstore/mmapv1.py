@@ -12,16 +12,24 @@ Mechanisms modelled:
 * updates that outgrow their padding move the document (extra cost), and
 * concurrency control is at *collection* granularity, so concurrent writers
   serialise -- the main reason the engine stops scaling with client threads.
+
+Hot-path properties: documents are stored by reference (the copy-on-write
+protocol of :class:`~repro.docstore.engine_base.StorageEngine`), the total
+extent footprint is a running counter (``storage_bytes`` and the per-read
+page-fault estimate are O(1) instead of a sum over every extent), and
+allocation keeps a *free-space hint* -- an upper bound on the free bytes in
+any non-newest extent -- so the common append-only insert is O(1): the
+first-fit scan only runs when the hint says an older extent might actually
+fit the record, which preserves placement byte-for-byte with the scanning
+implementation.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.docstore.cost import ConcurrencyProfile, CostParameters, kilobytes
-from repro.docstore.documents import document_size
 from repro.docstore.engine_base import StorageEngine
 from repro.docstore.locks import LockGranularity
 
@@ -66,22 +74,43 @@ class MmapV1Engine(StorageEngine):
         self._extents: list[int] = []  # bytes used per extent
         self._extent_capacity: list[int] = []
         self._document_moves = 0
+        # Running totals / hints replacing per-operation scans:
+        # ``_capacity_total`` is ``sum(_extent_capacity)`` (storage_bytes);
+        # ``_older_free_hint`` is an upper bound on the free bytes of any
+        # extent *except the newest* -- when a record is larger than the
+        # hint, first-fit provably lands in the newest extent (or a new one).
+        self._capacity_total = 0
+        self._older_free_hint = 0
 
     # -- StorageEngine interface -------------------------------------------------
 
-    def insert(self, record_id: str, document: dict[str, Any]) -> float:
+    def insert(self, record_id: str, document: dict[str, Any],
+               size: int | None = None) -> float:
         if record_id in self._records:
             raise KeyError(f"record {record_id!r} already exists")
-        size = document_size(document)
+        return self.costs.charge("insert", self._insert_one(record_id, document, size))
+
+    def insert_batch(self, records: list[tuple[str, dict[str, Any], int]]) -> float:
+        """Batched inserts: one cost accumulation for the whole round."""
+        for record_id, __, __size in records:
+            if record_id in self._records:
+                raise KeyError(f"record {record_id!r} already exists")
+        total = 0.0
+        for record_id, document, size in records:
+            total += self._insert_one(record_id, document, size)
+        return self.costs.charge_many("insert", total, len(records))
+
+    def _insert_one(self, record_id: str, document: dict[str, Any],
+                    size: int | None) -> float:
+        size = self._size_of(document, size)
         allocated = int(size * self.padding_factor)
         extent = self._allocate(allocated)
-        self._records[record_id] = _Record(copy.deepcopy(document), allocated, extent)
-        cost = (
+        self._records[record_id] = _Record(document, allocated, extent)
+        return (
             self.parameters.base_operation
             + self.parameters.node_access  # namespace/extent bookkeeping
             + kilobytes(allocated) * self.parameters.disk_write_per_kb
         )
-        return self.costs.charge("insert", cost)
 
     def read(self, record_id: str) -> tuple[dict[str, Any] | None, float]:
         record = self._records.get(record_id)
@@ -89,24 +118,25 @@ class MmapV1Engine(StorageEngine):
         if record is None:
             return None, self.costs.charge("read_miss", cost)
         cost += self._page_fault_cost(record.allocated_bytes)
-        return copy.deepcopy(record.document), self.costs.charge("read", cost)
+        return record.document, self.costs.charge("read", cost)
 
-    def update(self, record_id: str, document: dict[str, Any]) -> float:
+    def update(self, record_id: str, document: dict[str, Any],
+               size: int | None = None) -> float:
         record = self._records.get(record_id)
         if record is None:
             raise KeyError(record_id)
-        new_size = document_size(document)
+        new_size = self._size_of(document, size)
         cost = self.parameters.base_operation + self.parameters.node_access
         if new_size <= record.allocated_bytes:
             # In-place update: only the touched bytes are flushed.
-            record.document = copy.deepcopy(document)
+            record.document = document
             cost += kilobytes(new_size) * self.parameters.disk_write_per_kb
         else:
             # Document outgrew its padding: move it to a fresh allocation.
             allocated = int(new_size * self.padding_factor)
             extent = self._allocate(allocated)
             self._free(record.extent, record.allocated_bytes)
-            self._records[record_id] = _Record(copy.deepcopy(document), allocated, extent)
+            self._records[record_id] = _Record(document, allocated, extent)
             self._document_moves += 1
             cost += (
                 self.parameters.document_move
@@ -130,13 +160,13 @@ class MmapV1Engine(StorageEngine):
         per_document = self.scan_cost_per_document()
         for record_id, record in list(self._records.items()):
             cost = self.costs.charge("scan", per_document)
-            yield record_id, copy.deepcopy(record.document), cost
+            yield record_id, record.document, cost
 
     def count(self) -> int:
         return len(self._records)
 
     def storage_bytes(self) -> int:
-        return sum(self._extent_capacity)
+        return self._capacity_total
 
     # -- engine-specific reporting --------------------------------------------------
 
@@ -153,29 +183,58 @@ class MmapV1Engine(StorageEngine):
     # -- internals ---------------------------------------------------------------------
 
     def _allocate(self, size: int) -> int:
-        """Place ``size`` bytes into an extent, growing the file if needed."""
-        for index, (used, capacity) in enumerate(
-            zip(self._extents, self._extent_capacity)
-        ):
-            if used + size <= capacity:
-                self._extents[index] = used + size
+        """Place ``size`` bytes into an extent, growing the file if needed.
+
+        Placement is first-fit over the extents in order.  The free-space
+        hint makes the common case O(1): when ``size`` exceeds the free bytes
+        of every non-newest extent (hint is an upper bound), the first fit
+        can only be the newest extent, so the scan is skipped entirely.
+        """
+        last = len(self._extents) - 1
+        if size > self._older_free_hint:
+            if last >= 0 and self._extents[last] + size <= self._extent_capacity[last]:
+                self._extents[last] += size
+                return last
+            return self._append_extent(size)
+        for index in range(last + 1):
+            if self._extents[index] + size <= self._extent_capacity[index]:
+                self._extents[index] += size
                 return index
-        next_capacity = (
-            self._extent_capacity[-1] * 2 if self._extent_capacity else _INITIAL_EXTENT_BYTES
-        )
+        # Nothing fit anywhere, so every extent's free space is below ``size``
+        # -- tighten the hint so future records this large skip the scan.
+        if self._older_free_hint >= size:
+            self._older_free_hint = max(0, size - 1)
+        return self._append_extent(size)
+
+    def _append_extent(self, size: int) -> int:
+        """Open a new (doubled) extent; the retired extent's slack joins the
+        older-extent free-space hint."""
+        last = len(self._extent_capacity) - 1
+        if last >= 0:
+            retired_free = self._extent_capacity[last] - self._extents[last]
+            if retired_free > self._older_free_hint:
+                self._older_free_hint = retired_free
+            next_capacity = self._extent_capacity[last] * 2
+        else:
+            next_capacity = _INITIAL_EXTENT_BYTES
         next_capacity = min(max(next_capacity, size), max(_MAX_EXTENT_BYTES, size))
         self._extent_capacity.append(next_capacity)
         self._extents.append(size)
+        self._capacity_total += next_capacity
         return len(self._extents) - 1
 
     def _free(self, extent: int, size: int) -> None:
         if 0 <= extent < len(self._extents):
             self._extents[extent] = max(0, self._extents[extent] - size)
+            if extent < len(self._extents) - 1:
+                free = self._extent_capacity[extent] - self._extents[extent]
+                if free > self._older_free_hint:
+                    self._older_free_hint = free
 
     def _page_fault_cost(self, touched_bytes: int) -> float:
         """Extra read cost once the padded data set exceeds available memory."""
         resident_fraction = min(
-            1.0, self.memory_bytes / max(self.storage_bytes(), 1)
+            1.0, self.memory_bytes / max(self._capacity_total, 1)
         )
         fault_probability = 1.0 - resident_fraction
         return fault_probability * kilobytes(touched_bytes) * self.parameters.disk_read_per_kb

@@ -13,12 +13,26 @@ and picks the cheapest:
 * ``FULL_SCAN``    -- no usable index: every document is examined.
 
 Candidate sets are always supersets of the true matches (the predicate
-analysis over-approximates); the caller re-checks every candidate with
-``matches()``, so planning never changes *what* a query returns, only how
-many documents it examines and what the operation costs.
+analysis over-approximates); the caller re-checks every candidate with the
+plan's compiled matcher, so planning never changes *what* a query returns,
+only how many documents it examines and what the operation costs.
 
-``explain()`` surfaces the decision -- the winning plan plus every
-considered alternative with its estimated cost -- through
+**Plan cache.**  Repeated operations (the YCSB mixes) issue the same query
+*shapes* with different operand values.  :func:`~repro.docstore.matching.query_shape`
+derives a hashable key capturing everything the decision depends on
+(structure, operators, operand type ranks); the planner caches
+``(shape, limit) -> access-path decision + compiled matcher`` and, on a hit,
+rebuilds only the winning plan's concrete candidates and re-binds the cached
+matcher to the new operand values -- no re-enumeration of alternatives, no
+re-compilation, no re-costing of losing paths.  Entries are invalidated on
+index DDL and whenever the collection's document count leaves the power-of-two
+bucket the decision was made in (growth can flip a scan/index choice).
+Correctness never depends on the cache: candidates are re-checked, so a stale
+decision can only cost simulated time, exactly like a stale plan cache entry
+on a real server.
+
+``explain()`` always plans cold (and surfaces the decision -- the winning
+plan plus every considered alternative with its estimated cost) through
 ``Collection.explain`` / ``DocumentClient`` handles and the ``repro
 explain`` CLI subcommand.
 """
@@ -29,7 +43,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.docstore.indexes import OrderedSecondaryIndex
-from repro.docstore.matching import equality_value
+from repro.docstore.matching import (
+    CompiledQuery,
+    Matcher,
+    compile_shape,
+    equality_value,
+    query_shape,
+)
 from repro.docstore.predicates import IntervalSet, query_intervals
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,8 +62,10 @@ FULL_SCAN = "FULL_SCAN"
 
 ACCESS_PATHS = (ID_LOOKUP, INDEX_EQ, INDEX_RANGE, FULL_SCAN)
 
+_PLAN_CACHE_LIMIT = 128
 
-@dataclass
+
+@dataclass(slots=True)
 class QueryPlan:
     """One chosen access path plus the bookkeeping ``explain`` exposes.
 
@@ -61,7 +83,13 @@ class QueryPlan:
             lazy plan is unmaterialised).
         lookup_cost: simulated cost incurred finding the candidates
             (index traversal / full-scan enumeration).
-        considered: summaries of every path that was costed.
+        considered: summaries of every path that was costed (the winner only
+            when the plan came from the cache).
+        matcher: the compiled query matcher the executor re-checks candidates
+            with (None when ``exact`` makes re-checking unnecessary).
+        exact: True when the candidate set provably equals the match set
+            (an empty query matching everything), letting executors skip
+            per-document matching entirely.
     """
 
     access_path: str
@@ -72,6 +100,8 @@ class QueryPlan:
     considered: list[dict[str, Any]] = field(default_factory=list)
     lazy_candidates: Callable[[], Iterator[str]] | None = None
     lazy_lookup_cost: Callable[[], float] | None = None
+    matcher: Callable[[dict[str, Any]], bool] | None = None
+    exact: bool = False
 
     def iter_candidates(self) -> Iterator[str]:
         if self.candidate_ids is not None:
@@ -101,41 +131,85 @@ class QueryPlan:
         }
 
 
+@dataclass
+class _PlanTemplate:
+    """A cached planning decision for one query shape."""
+
+    access_path: str
+    field: str | None
+    compiled: CompiledQuery
+    count_bucket: int
+
+
 class QueryPlanner:
     """Plans every read of one :class:`~repro.docstore.collection.Collection`."""
 
     def __init__(self, collection: "Collection"):
         self.collection = collection
+        self._cache: dict[tuple[Any, int | None], _PlanTemplate] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.fast_id_plans = 0
 
     # -- planning ---------------------------------------------------------------
 
-    def plan(self, query: dict[str, Any], limit: int | None = None) -> QueryPlan:
+    def plan(self, query: dict[str, Any], limit: int | None = None,
+             use_cache: bool = True) -> QueryPlan:
         """Choose and materialise the cheapest access path for ``query``.
 
         ``limit`` caps the estimated number of candidate reads (the executor
         stops after ``limit`` matches), which lets short range scans beat a
-        full scan even on large collections.
+        full scan even on large collections.  ``use_cache=False`` forces a
+        cold plan without consulting or refreshing the plan cache
+        (``explain`` uses it so its output always reflects current costs).
         """
         query = query or {}
-        id_plan = self._id_lookup_plan(query)
-        if id_plan is not None:
-            id_plan.considered = [id_plan.summary()]
-            return id_plan
+        if not query:
+            # An empty query matches every document: full scan, no re-check.
+            plan = QueryPlan(FULL_SCAN, None, self._full_scan_estimate(limit),
+                             exact=True)
+            plan.candidate_ids, plan.lookup_cost = self._scan_candidates()
+            plan.considered = [plan.summary()]
+            return plan
 
-        constraints = query_intervals(query)
-        choices: list[QueryPlan] = []
-        for field_path in sorted(constraints):
-            index_plan = self._index_plan(field_path, constraints[field_path], limit)
-            if index_plan is not None:
-                choices.append(index_plan)
-        full_scan = QueryPlan(FULL_SCAN, None, self._full_scan_estimate(limit))
-        choices.append(full_scan)
+        if use_cache and len(query) == 1:
+            # The YCSB-dominant point read ``{"_id": <string>}`` skips shape
+            # derivation, template lookup and matching entirely.  Only taken
+            # when the candidate provably is the match (all-string-id
+            # collection); anything else uses the cached-template path, which
+            # re-binds a compiled matcher instead of recompiling.
+            condition = query.get("_id")
+            if type(condition) is str and not self.collection.has_non_string_ids():
+                return self._fast_id_plan(condition)
 
-        winner = min(choices, key=lambda plan: plan.estimated_cost)
-        if winner.access_path == FULL_SCAN:
-            winner.candidate_ids, winner.lookup_cost = self._scan_candidates()
-        winner.considered = [plan.summary() for plan in choices]
-        return winner
+        shape, params = query_shape(query)
+        key = (shape, limit)
+        if use_cache:
+            template = self._cache.get(key)
+            if template is not None:
+                plan = self._plan_from_template(template, query, params, limit)
+                if plan is not None:
+                    self.cache_hits += 1
+                    return plan
+                del self._cache[key]  # index dropped / decision went stale
+            self.cache_misses += 1
+        plan, template = self._cold_plan(query, params, limit)
+        if use_cache:
+            if len(self._cache) >= _PLAN_CACHE_LIMIT:
+                self._cache.clear()
+            self._cache[key] = template
+        return plan
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached decision (index DDL changes what is plannable)."""
+        self._cache.clear()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Cache effectiveness counters (``fast_id_plans`` are the sole-
+        ``{"_id": <scalar>}`` reads that skip both cache and compilation)."""
+        return {"entries": len(self._cache), "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "fast_id_plans": self.fast_id_plans}
 
     def explain(self, query: dict[str, Any] | None = None,
                 limit: int | None = None) -> dict[str, Any]:
@@ -143,9 +217,10 @@ class QueryPlanner:
 
         Note that explain materialises the winning plan's candidate set (for
         a winning full scan that enumerates the collection), so it charges
-        the same simulated lookup costs the real query would.
+        the same simulated lookup costs the real query would.  It always
+        plans cold: the output reflects current data, not a cached decision.
         """
-        plan = self.plan(query or {}, limit=limit)
+        plan = self.plan(query or {}, limit=limit, use_cache=False)
         plan.materialize()
         winning = plan.summary()
         winning["lookup_cost"] = plan.lookup_cost
@@ -164,6 +239,79 @@ class QueryPlanner:
         }
 
     # -- internals ---------------------------------------------------------------
+
+    def _count_bucket(self) -> int:
+        return self.collection.engine.count().bit_length()
+
+    def _fast_id_plan(self, value: str) -> QueryPlan:
+        """The dedicated plan for a sole ``{"_id": <string>}`` predicate on an
+        all-string-id collection: the candidate provably *is* the match
+        (record ids are ``str(_id)``), so the plan is exact and the executor
+        skips matching."""
+        self.fast_id_plans += 1
+        if value in self.collection.record_ids():
+            candidates = [value]
+            estimated = self._read_estimate()
+        else:
+            candidates = []
+            estimated = 0.0
+        return QueryPlan(ID_LOOKUP, "_id", estimated, candidate_ids=candidates,
+                         exact=True)
+
+    def _cold_plan(self, query: dict[str, Any], params: list[Any],
+                   limit: int | None) -> tuple[QueryPlan, _PlanTemplate]:
+        compiled = compile_shape(query)
+        matcher = Matcher(compiled, params)
+        bucket = self._count_bucket()
+
+        id_plan = self._id_lookup_plan(query)
+        if id_plan is not None:
+            id_plan.considered = [id_plan.summary()]
+            id_plan.matcher = matcher
+            return id_plan, _PlanTemplate(ID_LOOKUP, "_id", compiled, bucket)
+
+        constraints = query_intervals(query)
+        choices: list[QueryPlan] = []
+        for field_path in sorted(constraints):
+            index_plan = self._index_plan(field_path, constraints[field_path], limit)
+            if index_plan is not None:
+                choices.append(index_plan)
+        full_scan = QueryPlan(FULL_SCAN, None, self._full_scan_estimate(limit))
+        choices.append(full_scan)
+
+        winner = min(choices, key=lambda plan: plan.estimated_cost)
+        if winner.access_path == FULL_SCAN:
+            winner.candidate_ids, winner.lookup_cost = self._scan_candidates()
+        winner.considered = [plan.summary() for plan in choices]
+        winner.matcher = matcher
+        return winner, _PlanTemplate(winner.access_path, winner.field,
+                                     compiled, bucket)
+
+    def _plan_from_template(self, template: _PlanTemplate, query: dict[str, Any],
+                            params: list[Any], limit: int | None) -> QueryPlan | None:
+        """Rebuild the cached decision's concrete plan for this query's values.
+
+        Returns None when the decision no longer applies (index dropped, or
+        the collection left the document-count bucket it was made in) -- the
+        caller then replans cold and refreshes the entry.
+        """
+        if template.count_bucket != self._count_bucket():
+            return None
+        matcher = Matcher(template.compiled, params)
+        if template.access_path == ID_LOOKUP:
+            plan = self._id_lookup_plan(query)
+        elif template.access_path == FULL_SCAN:
+            plan = QueryPlan(FULL_SCAN, None, self._full_scan_estimate(limit))
+            plan.candidate_ids, plan.lookup_cost = self._scan_candidates()
+        else:
+            interval_set = query_intervals(query).get(template.field)
+            if interval_set is None:
+                return None
+            plan = self._index_plan(template.field, interval_set, limit)
+        if plan is None:
+            return None
+        plan.matcher = matcher
+        return plan
 
     def _id_lookup_plan(self, query: dict[str, Any]) -> QueryPlan | None:
         pinned, value = equality_value(query, "_id")

@@ -108,8 +108,17 @@ class Oplog:
 
     def append(self, term: int, operation: str, database: str, collection: str = "",
                record_id: str | None = None, document: dict[str, Any] | None = None,
-               field_path: str | None = None, unique: bool = False) -> OplogEntry:
-        """Stamp the next optime onto a change and append it."""
+               field_path: str | None = None, unique: bool = False,
+               frozen: bool = False) -> OplogEntry:
+        """Stamp the next optime onto a change and append it.
+
+        ``frozen=True`` declares that ``document`` is a canonical stored
+        post-image from the copy-on-write write boundary -- an object that is
+        never mutated in place -- so the log can hold the reference directly.
+        Arbitrary caller documents (the default) are still deep-copied so
+        later mutations can never retroactively change what secondaries
+        replay.
+        """
         if operation in _DOCUMENT_OPS and record_id is None:
             raise DocumentStoreError(f"oplog {operation} entries need a record_id")
         entry = OplogEntry(
@@ -118,9 +127,7 @@ class Oplog:
             database=database,
             collection=collection,
             record_id=record_id,
-            # Deep-copied so later in-place mutations on the primary can
-            # never retroactively change what secondaries replay.
-            document=copy.deepcopy(document),
+            document=document if frozen else copy.deepcopy(document),
             field_path=field_path,
             unique=unique,
         )
@@ -201,11 +208,12 @@ def apply_entry(server: "DocumentServer", entry: OplogEntry) -> float:
             collection.create_index(entry.field_path, unique=entry.unique)
         return 0.0
     if entry.operation in (OP_INSERT, OP_UPDATE):
-        post_image = copy.deepcopy(entry.document)
+        # The member's write boundary freezes (copies) the post-image before
+        # storing it, so the entry can be handed over by reference.
         if entry.record_id in collection.record_ids():
             return collection.replace_one(
-                {"_id": entry.record_id}, post_image).simulated_seconds
-        return collection.insert_one(post_image).simulated_seconds
+                {"_id": entry.record_id}, entry.document).simulated_seconds
+        return collection.insert_one(entry.document).simulated_seconds
     if entry.operation == OP_DELETE:
         if entry.record_id in collection.record_ids():
             return collection.delete_one({"_id": entry.record_id}).simulated_seconds

@@ -43,6 +43,7 @@ from typing import Any, Callable
 
 from repro.docstore.collection import Collection, OperationResult
 from repro.docstore.cost import CostParameters
+from repro.docstore.documents import clone_document
 from repro.docstore.replication.member import (
     ROLE_PRIMARY,
     ROLE_SECONDARY,
@@ -168,7 +169,9 @@ class ReplicatedCollection:
 
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
         result = self.find_with_cost(query or {}, limit=1)
-        return result.documents[0] if result.documents else None
+        if not result.documents:
+            return None
+        return clone_document(result.documents[0])
 
     def count_documents(self, query: dict[str, Any] | None = None) -> int:
         member = self.replica_set.read_member()
@@ -663,8 +666,12 @@ class ReplicaSet:
                      document: dict[str, Any] | None) -> None:
             if self._replaying:
                 return
+            # Post-images arriving here are the primary's frozen stored
+            # documents (copy-on-write write boundary): safe to log by
+            # reference.
             entry = self.oplog.append(self.term, operation, database, collection,
-                                      record_id=record_id, document=document)
+                                      record_id=record_id, document=document,
+                                      frozen=True)
             self._advance_primary(entry.optime)
         return listener
 

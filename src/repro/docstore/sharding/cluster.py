@@ -27,7 +27,7 @@ from typing import Any
 
 from repro.docstore.collection import Collection, OperationResult
 from repro.docstore.cost import CostParameters
-from repro.docstore.documents import get_path
+from repro.docstore.documents import clone_document, get_path
 from repro.docstore.replication.replica_set import READ_PRIMARY, ReplicaSet
 from repro.docstore.server import _ENGINE_FACTORIES, DocumentServer
 from repro.docstore.sharding.balancer import Balancer, Migration
@@ -92,7 +92,9 @@ class RoutedCollection:
 
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
         result = self.find_with_cost(query or {}, limit=1)
-        return result.documents[0] if result.documents else None
+        if not result.documents:
+            return None
+        return clone_document(result.documents[0])
 
     def count_documents(self, query: dict[str, Any] | None = None) -> int:
         return self._router.count_documents(self.database, self.name, query or {})

@@ -8,17 +8,21 @@ Mechanisms modelled (the ones that drive the demo's comparison):
 * writes are journaled (sequential write cost proportional to compressed size),
 * concurrency control is at *document* granularity, so concurrent writers to
   different documents barely serialise.
+
+Hot-path properties (the copy-on-write protocol of
+:class:`~repro.docstore.engine_base.StorageEngine`): the tree stores
+``(document, size)`` records, so reads hand back the stored object without a
+copy and reuse the size computed once at write time -- no per-read
+``document_size`` walk, no ``copy.deepcopy`` anywhere in the engine.
 """
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Iterator
 
 from repro.docstore.btree import BTree
 from repro.docstore.cache import LruCache
 from repro.docstore.cost import ConcurrencyProfile, CostParameters, kilobytes
-from repro.docstore.documents import document_size
 from repro.docstore.engine_base import StorageEngine
 from repro.docstore.locks import LockGranularity
 
@@ -47,36 +51,47 @@ class WiredTigerEngine(StorageEngine):
         if not 0.0 < compression_ratio <= 1.0:
             raise ValueError("compression_ratio must be in (0, 1]")
         self.compression_ratio = compression_ratio
-        self._tree = BTree(order=64)
+        self._tree = BTree(order=64)  # record id -> (document, size)
         self._cache = LruCache(cache_bytes)
         self._disk_bytes = 0
 
     # -- StorageEngine interface ------------------------------------------------
 
-    def insert(self, record_id: str, document: dict[str, Any]) -> float:
-        size = document_size(document)
+    def insert(self, record_id: str, document: dict[str, Any],
+               size: int | None = None) -> float:
+        return self.costs.charge("insert", self._insert_one(record_id, document, size))
+
+    def insert_batch(self, records: list[tuple[str, dict[str, Any], int]]) -> float:
+        """Batched inserts: one cost accumulation for the whole round."""
+        total = 0.0
+        for record_id, document, size in records:
+            total += self._insert_one(record_id, document, size)
+        return self.costs.charge_many("insert", total, len(records))
+
+    def _insert_one(self, record_id: str, document: dict[str, Any],
+                    size: int | None) -> float:
+        size = self._size_of(document, size)
         compressed = int(size * self.compression_ratio)
         accesses_before = self._tree.node_accesses
-        self._tree.insert(record_id, copy.deepcopy(document))
+        self._tree.insert(record_id, (document, size))
         visited = self._tree.node_accesses - accesses_before
         self._disk_bytes += compressed
         self._cache.put(record_id, size)
-        cost = (
+        return (
             self.parameters.base_operation
             + visited * self.parameters.node_access
             + kilobytes(size) * self.parameters.compression_per_kb
             + kilobytes(compressed) * self.parameters.disk_write_per_kb
         )
-        return self.costs.charge("insert", cost)
 
     def read(self, record_id: str) -> tuple[dict[str, Any] | None, float]:
         accesses_before = self._tree.node_accesses
-        found, document = self._tree.get(record_id)
+        found, record = self._tree.get(record_id)
         visited = self._tree.node_accesses - accesses_before
         cost = self.parameters.base_operation + visited * self.parameters.node_access
         if not found:
             return None, self.costs.charge("read_miss", cost)
-        size = document_size(document)
+        document, size = record
         hit, _ = self._cache.get(record_id)
         if not hit:
             compressed = int(size * self.compression_ratio)
@@ -85,18 +100,19 @@ class WiredTigerEngine(StorageEngine):
                 + kilobytes(size) * self.parameters.compression_per_kb
             )
             self._cache.put(record_id, size)
-        return copy.deepcopy(document), self.costs.charge("read", cost)
+        return document, self.costs.charge("read", cost)
 
-    def update(self, record_id: str, document: dict[str, Any]) -> float:
+    def update(self, record_id: str, document: dict[str, Any],
+               size: int | None = None) -> float:
         found, previous = self._tree.get(record_id)
         if not found:
             raise KeyError(record_id)
-        old_size = document_size(previous)
-        new_size = document_size(document)
+        old_size = previous[1]
+        new_size = self._size_of(document, size)
         old_compressed = int(old_size * self.compression_ratio)
         new_compressed = int(new_size * self.compression_ratio)
         accesses_before = self._tree.node_accesses
-        self._tree.insert(record_id, copy.deepcopy(document))
+        self._tree.insert(record_id, (document, new_size))
         visited = self._tree.node_accesses - accesses_before
         # wiredTiger never updates in place: the new version is written out and
         # the old block is reclaimed later, so disk usage tracks the new size.
@@ -114,7 +130,7 @@ class WiredTigerEngine(StorageEngine):
         found, previous = self._tree.get(record_id)
         if not found:
             raise KeyError(record_id)
-        size = document_size(previous)
+        size = previous[1]
         self._tree.delete(record_id)
         self._cache.invalidate(record_id)
         self._disk_bytes -= int(size * self.compression_ratio)
@@ -126,9 +142,9 @@ class WiredTigerEngine(StorageEngine):
 
     def scan(self) -> Iterator[tuple[str, dict[str, Any], float]]:
         per_document = self.scan_cost_per_document()
-        for record_id, document in self._tree.items():
+        for record_id, record in self._tree.items():
             cost = self.costs.charge("scan", per_document)
-            yield record_id, copy.deepcopy(document), cost
+            yield record_id, record[0], cost
 
     def count(self) -> int:
         return len(self._tree)

@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.docstore.documents import (
+    clone_document,
     document_size,
+    freeze_document,
     get_path,
+    measure_document,
     new_object_id,
     set_path,
     unset_path,
@@ -63,6 +69,67 @@ class TestDocumentSize:
     def test_size_rejects_unknown_types(self):
         with pytest.raises(DocumentStoreError):
             document_size({"a": object()})
+
+
+_walker_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(-10**6, 10**6),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+_walker_values = st.recursive(
+    _walker_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(alphabet="abcxyz_", min_size=1, max_size=6),
+                        children, max_size=4),
+    ),
+    max_leaves=12,
+)
+_walker_documents = st.dictionaries(
+    st.text(alphabet="abcxyz_", min_size=1, max_size=6), _walker_values,
+    max_size=5,
+)
+
+
+class TestWalkerAgreement:
+    """``documents.py`` holds several single-walk combinations of the
+    validate/copy/size semantics; this pins them all to ``document_size`` and
+    ``validate_document`` so an edit to one walker cannot silently skew the
+    others (engines mix their outputs: inserts store freeze sizes, updates
+    store measure sizes)."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(_walker_documents)
+    def test_freeze_measure_and_size_agree(self, document):
+        frozen, freeze_size = freeze_document(document)
+        assert frozen == document
+        assert freeze_size == document_size(document)
+        assert measure_document(document) == freeze_size
+        assert measure_document(frozen) == freeze_size
+        cloned = clone_document(frozen)
+        assert cloned == frozen
+        assert document_size(cloned) == freeze_size
+
+    def test_freeze_shares_nothing_mutable(self):
+        document = {"a": {"b": [1, {"c": 2}]}, "d": [3]}
+        frozen, __ = freeze_document(document)
+        document["a"]["b"][1]["c"] = 99
+        document["d"].append(4)
+        assert frozen == {"a": {"b": [1, {"c": 2}]}, "d": [3]}
+
+    @pytest.mark.parametrize("bad", [
+        {"$top": 1},
+        {"nested": {"$op": 1}},
+        {"a": object()},
+        {"a": [object()]},
+    ])
+    def test_freeze_and_measure_reject_like_validate(self, bad):
+        with pytest.raises(DocumentStoreError):
+            validate_document(bad)
+        with pytest.raises(DocumentStoreError):
+            freeze_document(bad)
+        with pytest.raises(DocumentStoreError):
+            measure_document(bad)
 
 
 class TestPaths:

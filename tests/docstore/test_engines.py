@@ -30,11 +30,16 @@ class TestEngineContract:
         assert document["value"] == "x" * 200
         assert cost > 0
 
-    def test_read_returns_copy(self, engine):
-        engine.insert("a", small_doc())
+    def test_read_returns_stored_object_without_copying(self, engine):
+        # Copy-on-write contract: engines never copy.  The write boundary
+        # (Collection) freezes documents before handing them over, and the
+        # client surface makes the single defensive copy on the way out --
+        # so the engine returns the exact stored object by reference.
+        frozen = small_doc()
+        engine.insert("a", frozen)
         document, _ = engine.read("a")
-        document["value"] = "mutated"
-        assert engine.read("a")[0]["value"] == "x" * 200
+        assert document is frozen
+        assert engine.read("a")[0] is frozen
 
     def test_read_missing(self, engine):
         document, cost = engine.read("missing")
@@ -177,6 +182,38 @@ class TestMmapV1Specifics:
         engine.insert("a", small_doc())
         with pytest.raises(KeyError):
             engine.insert("a", small_doc())
+
+    def test_storage_bytes_running_total_matches_sum(self):
+        """The O(1) running footprint equals the summed extent capacities
+        under an insert/update/delete churn (including document moves)."""
+        engine = MmapV1Engine(padding_factor=1.2)
+        for index in range(150):
+            engine.insert(f"d{index}", small_doc(index))
+        for index in range(0, 150, 3):
+            engine.update(f"d{index}",
+                          {"_id": f"d{index}", "value": "y" * (300 + index * 7),
+                           "n": index})
+        for index in range(0, 150, 5):
+            engine.delete(f"d{index}")
+        for index in range(150, 220):
+            engine.insert(f"d{index}", small_doc(index))
+        assert engine.storage_bytes() == sum(engine._extent_capacity)
+        assert engine.statistics()["storage_bytes"] == sum(engine._extent_capacity)
+
+    def test_free_space_hint_reuses_freed_extent_space(self):
+        """Deleting records raises the hint so first-fit reuse still happens."""
+        engine = MmapV1Engine()
+        for index in range(300):
+            engine.insert(f"d{index}", small_doc(index))
+        extents_before = len(engine._extent_capacity)
+        # Free a chunk of early records, then insert same-sized ones: they
+        # must land in the freed space instead of growing new extents.
+        for index in range(100):
+            engine.delete(f"d{index}")
+        for index in range(100):
+            engine.insert(f"r{index}", small_doc(index))
+        assert len(engine._extent_capacity) == extents_before
+        assert engine.storage_bytes() == sum(engine._extent_capacity)
 
 
 class TestEngineDifferential:
