@@ -1,9 +1,27 @@
-"""A B-tree keyed by record identifier, used by the wiredTiger-like engine.
+"""A copy-on-write B-tree keyed by record identifier.
 
 The tree stores ``key -> value`` pairs in order, splits nodes when they exceed
 the configured order and tracks the number of node accesses so the cost model
 can charge for tree depth.  It deliberately implements only what the engine
 needs: insert, point lookup, delete, in-order iteration and range scans.
+
+**Concurrency model (PR 6).**  Mutations never touch published nodes: they
+copy the root-to-leaf path they descend (path copying), build the change on
+the private copies and then publish the new tree with a single atomic
+assignment of ``self._root``.  Readers grab ``self._root`` once and traverse
+a frozen snapshot, so point lookups, iteration and range scans are
+*latch-free* -- they can run concurrently with any number of mutations and
+always observe a consistent tree (the state as of their root load).  Writers
+do NOT serialise each other; the owning engine must hold its own mutation
+latch around ``insert``/``delete`` (concurrent unserialised writers would
+publish over each other and lose updates).
+
+``node_accesses`` is a best-effort cumulative counter: under concurrent
+readers its increments can race, so per-operation costs should use the exact
+per-call counts returned by :meth:`search`, :meth:`insert` and
+:meth:`delete`; the cumulative counter remains for coarse accounting (the
+planner's lazy range-cost estimate), where small drift only perturbs
+simulated time, never results.
 """
 
 from __future__ import annotations
@@ -13,6 +31,9 @@ from typing import Any, Iterator
 
 
 class _Node:
+    """One tree node.  Once reachable from a published root it is immutable;
+    mutation paths only ever modify private copies made by :func:`_clone`."""
+
     __slots__ = ("keys", "values", "children")
 
     def __init__(self) -> None:
@@ -25,8 +46,16 @@ class _Node:
         return not self.children
 
 
+def _clone(node: _Node) -> _Node:
+    copy = _Node()
+    copy.keys = list(node.keys)
+    copy.values = list(node.values)
+    copy.children = list(node.children)
+    return copy
+
+
 class BTree:
-    """An order-``order`` B-tree (max ``order - 1`` keys per node)."""
+    """An order-``order`` copy-on-write B-tree (max ``order - 1`` keys/node)."""
 
     def __init__(self, order: int = 32):
         if order < 4:
@@ -41,56 +70,82 @@ class BTree:
     def __len__(self) -> int:
         return self._size
 
-    def insert(self, key: Any, value: Any) -> None:
-        """Insert or overwrite ``key``."""
+    def insert(self, key: Any, value: Any) -> int:
+        """Insert or overwrite ``key``; returns the nodes visited.
+
+        The mutation is built on path copies and published atomically, so
+        concurrent readers see either the old or the new tree, never a
+        partial one.  Concurrent *writers* must be serialised by the caller.
+        """
         root = self._root
         if len(root.keys) >= self._order - 1:
             new_root = _Node()
             new_root.children.append(root)
             self._split_child(new_root, 0)
-            self._root = new_root
-        replaced = self._insert_non_full(self._root, key, value)
+            root = new_root
+        new_root, replaced, visited = self._insert_cow(root, key, value)
+        self._root = new_root
         if not replaced:
             self._size += 1
+        self.node_accesses += visited
+        return visited
 
     def get(self, key: Any) -> tuple[bool, Any]:
-        """Return ``(found, value)`` and record the nodes touched."""
+        """Return ``(found, value)``; latch-free snapshot lookup."""
+        found, value, __ = self.search(key)
+        return found, value
+
+    def search(self, key: Any) -> tuple[bool, Any, int]:
+        """Return ``(found, value, nodes visited)`` from one root snapshot.
+
+        The per-call visited count is what concurrent readers must use for
+        cost accounting (before/after deltas of ``node_accesses`` are torn
+        by other readers).
+        """
         node = self._root
+        visited = 0
         while True:
-            self.node_accesses += 1
+            visited += 1
             index = bisect.bisect_left(node.keys, key)
             if index < len(node.keys) and node.keys[index] == key:
-                return True, node.values[index]
+                self.node_accesses += visited
+                return True, node.values[index], visited
             if node.is_leaf:
-                return False, None
+                self.node_accesses += visited
+                return False, None, visited
             node = node.children[index]
 
     def delete(self, key: Any) -> bool:
         """Delete ``key``; returns True when it existed.
 
         Deletion uses a simple tombstone-free strategy: the key is removed
-        from its node; under-full nodes are tolerated (the tree never
-        rebalances on delete).  Lookup and iteration remain correct, which is
-        all the engine requires, while keeping the structure easy to verify.
+        from its (path-copied) node; under-full nodes are tolerated (the
+        tree never rebalances on delete).  Lookup and iteration remain
+        correct, which is all the engine requires.  Like :meth:`insert`,
+        the new tree is published atomically; callers serialise writers.
         """
-        removed = self._delete(self._root, key)
-        if removed:
-            self._size -= 1
-            self._collapse_root()
-        return removed
+        new_root, removed, visited = self._delete_cow(self._root, key)
+        self.node_accesses += visited
+        if not removed:
+            return False
+        while not new_root.keys and new_root.children:
+            new_root = new_root.children[0]
+        self._root = new_root
+        self._size -= 1
+        return True
 
     def items(self) -> Iterator[tuple[Any, Any]]:
-        """In-order iteration over ``(key, value)`` pairs."""
+        """In-order iteration over one consistent snapshot of the tree."""
         yield from self._iterate(self._root)
 
     def range(self, low: Any, high: Any) -> Iterator[tuple[Any, Any]]:
         """Yield pairs with ``low <= key <= high`` in order.
 
-        This is a true range scan: it descends from the root to the first
-        key ``>= low`` (recording the node accesses on the way down, as
-        ``get`` does) and walks in order from there, stopping at the first
-        key ``> high`` -- it never touches the part of the tree before
-        ``low``.
+        This is a true range scan: it descends from the root snapshot to the
+        first key ``>= low`` (recording the node accesses on the way down,
+        as ``get`` does) and walks in order from there, stopping at the
+        first key ``> high`` -- it never touches the part of the tree before
+        ``low``.  The whole walk sees the tree as of the initial root load.
         """
         # Descend to the start position, remembering the path.  Each stack
         # entry is (node, index): for a leaf, the next key slot to emit; for
@@ -144,79 +199,105 @@ class BTree:
 
     # -- internals ------------------------------------------------------------
 
-    def _insert_non_full(self, node: _Node, key: Any, value: Any) -> bool:
-        self.node_accesses += 1
-        index = bisect.bisect_left(node.keys, key)
-        if index < len(node.keys) and node.keys[index] == key:
-            node.values[index] = value
-            return True
-        if node.is_leaf:
-            node.keys.insert(index, key)
-            node.values.insert(index, value)
-            return False
-        child = node.children[index]
-        if len(child.keys) >= self._order - 1:
-            self._split_child(node, index)
-            if key > node.keys[index]:
+    def _insert_cow(self, node: _Node, key: Any, value: Any) -> tuple[_Node, bool, int]:
+        """Insert into a private copy of ``node``'s subtree path.
+
+        Returns ``(copied node, replaced existing key, nodes visited)``.
+        ``node`` itself may already be a private copy (the pre-split root);
+        cloning it again is still correct and keeps the logic uniform.
+        """
+        clone = _clone(node)
+        index = bisect.bisect_left(clone.keys, key)
+        if index < len(clone.keys) and clone.keys[index] == key:
+            clone.values[index] = value
+            return clone, True, 1
+        if clone.is_leaf:
+            clone.keys.insert(index, key)
+            clone.values.insert(index, value)
+            return clone, False, 1
+        if len(clone.children[index].keys) >= self._order - 1:
+            self._split_child(clone, index)
+            if key > clone.keys[index]:
                 index += 1
-            elif key == node.keys[index]:
-                node.values[index] = value
-                return True
-        return self._insert_non_full(node.children[index], key, value)
+            elif key == clone.keys[index]:
+                clone.values[index] = value
+                return clone, True, 1
+        child, replaced, visited = self._insert_cow(clone.children[index], key, value)
+        clone.children[index] = child
+        return clone, replaced, visited + 1
 
     def _split_child(self, parent: _Node, index: int) -> None:
+        """Split ``parent.children[index]`` into two fresh halves.
+
+        ``parent`` must be a private (unpublished) copy; the full child is a
+        published node and is never mutated -- both halves are new nodes.
+        """
         child = parent.children[index]
         middle = len(child.keys) // 2
-        sibling = _Node()
-        sibling.keys = child.keys[middle + 1:]
-        sibling.values = child.values[middle + 1:]
+        left = _Node()
+        left.keys = child.keys[:middle]
+        left.values = child.values[:middle]
+        right = _Node()
+        right.keys = child.keys[middle + 1:]
+        right.values = child.values[middle + 1:]
         if not child.is_leaf:
-            sibling.children = child.children[middle + 1:]
-            child.children = child.children[: middle + 1]
+            left.children = child.children[: middle + 1]
+            right.children = child.children[middle + 1:]
         parent.keys.insert(index, child.keys[middle])
         parent.values.insert(index, child.values[middle])
-        parent.children.insert(index + 1, sibling)
-        child.keys = child.keys[:middle]
-        child.values = child.values[:middle]
+        parent.children[index] = left
+        parent.children.insert(index + 1, right)
 
-    def _delete(self, node: _Node, key: Any) -> bool:
-        self.node_accesses += 1
+    def _delete_cow(self, node: _Node, key: Any) -> tuple[_Node, bool, int]:
+        """Delete ``key`` from a private copy of ``node``'s subtree path.
+
+        Returns ``(copied node, removed, nodes visited)``.  When the key is
+        absent the untouched original node is returned so no garbage copies
+        are published.
+        """
         index = bisect.bisect_left(node.keys, key)
         if index < len(node.keys) and node.keys[index] == key:
-            if node.is_leaf:
-                node.keys.pop(index)
-                node.values.pop(index)
-                return True
-            return self._delete_internal(node, index)
+            clone = _clone(node)
+            if clone.is_leaf:
+                clone.keys.pop(index)
+                clone.values.pop(index)
+                return clone, True, 1
+            return self._delete_internal(clone, index), True, 1
         if node.is_leaf:
-            return False
-        return self._delete(node.children[index], key)
+            return node, False, 1
+        child, removed, visited = self._delete_cow(node.children[index], key)
+        if not removed:
+            return node, False, visited + 1
+        clone = _clone(node)
+        clone.children[index] = child
+        return clone, True, visited + 1
 
-    def _delete_internal(self, node: _Node, index: int) -> bool:
-        """Delete ``node.keys[index]`` from an internal node.
+    def _delete_internal(self, node: _Node, index: int) -> _Node:
+        """Delete ``node.keys[index]`` from a private internal-node copy.
 
         The key is replaced by its in-order predecessor (or successor) which
-        is then removed from the corresponding subtree.  When both adjacent
-        subtrees hold no keys at all (possible because deletes never
-        rebalance), the key and one empty child are dropped instead.
+        is then removed from a path-copied version of the corresponding
+        subtree.  When both adjacent subtrees hold no keys at all (possible
+        because deletes never rebalance), the key and one empty child are
+        dropped instead.
         """
         left, right = node.children[index], node.children[index + 1]
         predecessor = _last_entry(self._iterate(left))
         if predecessor is not None:
             node.keys[index], node.values[index] = predecessor
-            return self._delete(left, predecessor[0])
+            new_left, __, __v = self._delete_cow(left, predecessor[0])
+            node.children[index] = new_left
+            return node
         successor = _first_entry(self._iterate(right))
         if successor is not None:
             node.keys[index], node.values[index] = successor
-            return self._delete(right, successor[0])
+            new_right, __, __v = self._delete_cow(right, successor[0])
+            node.children[index + 1] = new_right
+            return node
         node.keys.pop(index)
         node.values.pop(index)
         node.children.pop(index + 1)
-        return True
-
-    def _collapse_root(self) -> None:
-        while not self._root.keys and self._root.children:
-            self._root = self._root.children[0]
+        return node
 
     def _iterate(self, node: _Node) -> Iterator[tuple[Any, Any]]:
         if node.is_leaf:

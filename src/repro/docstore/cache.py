@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
@@ -30,7 +31,14 @@ class CacheStats:
 
 
 class LruCache:
-    """Byte-budgeted LRU cache mapping record ids to (size, payload)."""
+    """Byte-budgeted LRU cache mapping record ids to (size, payload).
+
+    Thread-safe: an internal mutex covers every operation.  ``get`` both
+    reads and reorders (``move_to_end``) and ``put`` interleaves size
+    bookkeeping with eviction, so unsynchronised concurrent access could
+    corrupt the recency list or double-evict; the lock makes each call
+    atomic.
+    """
 
     def __init__(self, capacity_bytes: int):
         if capacity_bytes <= 0:
@@ -39,12 +47,15 @@ class LruCache:
         self.stats = CacheStats()
         self._entries: OrderedDict[Any, tuple[int, Any]] = OrderedDict()
         self._used = 0
+        self._mutex = threading.Lock()
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._entries
+        with self._mutex:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     @property
     def used_bytes(self) -> int:
@@ -52,31 +63,35 @@ class LruCache:
 
     def get(self, key: Any) -> tuple[bool, Any]:
         """Return ``(hit, payload)`` and update recency + statistics."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return True, self._entries[key][1]
-        self.stats.misses += 1
-        return False, None
+        with self._mutex:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return True, self._entries[key][1]
+            self.stats.misses += 1
+            return False, None
 
     def put(self, key: Any, size: int, payload: Any = None) -> None:
         """Insert or refresh an entry, evicting LRU entries to fit the budget."""
-        if key in self._entries:
-            self._used -= self._entries[key][0]
-            del self._entries[key]
-        self._entries[key] = (size, payload)
-        self._used += size
-        while self._used > self.capacity_bytes and self._entries:
-            _, (evicted_size, _) = self._entries.popitem(last=False)
-            self._used -= evicted_size
-            self.stats.evictions += 1
+        with self._mutex:
+            if key in self._entries:
+                self._used -= self._entries[key][0]
+                del self._entries[key]
+            self._entries[key] = (size, payload)
+            self._used += size
+            while self._used > self.capacity_bytes and self._entries:
+                _, (evicted_size, _) = self._entries.popitem(last=False)
+                self._used -= evicted_size
+                self.stats.evictions += 1
 
     def invalidate(self, key: Any) -> None:
         """Drop ``key`` from the cache if present."""
-        if key in self._entries:
-            self._used -= self._entries[key][0]
-            del self._entries[key]
+        with self._mutex:
+            if key in self._entries:
+                self._used -= self._entries[key][0]
+                del self._entries[key]
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._used = 0
+        with self._mutex:
+            self._entries.clear()
+            self._used = 0

@@ -26,11 +26,34 @@ oplog capture, router merging); only the client surface
 copy, exactly once per returned document.  Callers of the internal read
 paths (:meth:`find_with_cost` / ``_find_all``) must treat the documents they
 receive as immutable.
+
+**Concurrency protocol (PR 6).**  Reads are *latch-free*: stored documents
+are frozen, both engines serve point reads from structures a reader can
+never observe torn (a copy-on-write B-tree snapshot / a single dict
+lookup), and index candidate enumeration reads bucket snapshots.  Writes
+follow the lock hierarchy documented in :mod:`repro.docstore.locks`
+(collection -> stripe -> index latch -> engine latch):
+
+* ``insert_one`` freezes the document outside any lock, then under the
+  engine's write lock re-checks the id (the pre-lock duplicate check is
+  only a fast-fail), indexes, inserts and notifies.
+* ``update_one`` / ``delete_one`` use *locate-lock-revalidate*: find a
+  candidate latch-free, take its write lock, re-read the current version
+  and re-check the query against it -- retrying the find when a concurrent
+  writer invalidated the candidate.  The update is applied to the freshest
+  version under the lock, so read-modify-write operators (``$inc``) never
+  lose updates.
+* index mutations happen under a per-collection index latch nested inside
+  the write lock, keeping index writers serialised while index readers
+  stay latch-free.
+* change notification fires inside the write lock, so oplog order always
+  equals apply order.
 """
 
 from __future__ import annotations
 
 import copy
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -43,6 +66,7 @@ from repro.docstore.documents import (
 )
 from repro.docstore.engine_base import StorageEngine
 from repro.docstore.indexes import IndexCatalog, OrderedSecondaryIndex, SecondaryIndex
+from repro.docstore.matching import matches
 from repro.docstore.planner import QueryPlanner
 from repro.docstore.update_ops import apply_update
 from repro.errors import DocumentStoreError, DuplicateKeyError
@@ -102,18 +126,30 @@ class Collection:
         # nothing.  Post-images are the frozen stored documents -- listeners
         # may keep references but must never mutate them.
         self.change_listener: Any = None
+        # Serialises index mutations (catalog + _id index); nested strictly
+        # inside a held write lock (see the module docstring's hierarchy).
+        self._index_latch = threading.Lock()
 
     # -- writes -----------------------------------------------------------------
 
     def insert_one(self, document: dict[str, Any]) -> OperationResult:
         """Insert a single document (an ``_id`` is generated when missing)."""
         record_id, frozen, size = self._prepare_insert(document)
-        self._index_new_document(record_id, frozen)
         with self.engine.locks.write(record_id):
+            # The duplicate check in _prepare_insert ran outside the lock and
+            # is only a fast-fail; identical record ids map to the same
+            # stripe, so this re-check under the write lock is authoritative
+            # -- exactly one of two concurrent same-id inserts succeeds.
+            if record_id in self._ids:
+                raise DuplicateKeyError(
+                    f"duplicate _id {record_id!r} in collection {self.name!r}"
+                )
+            with self._index_latch:
+                self._index_new_document(record_id, frozen)
             cost = self.engine.insert(record_id, frozen, size)
             cost += self.engine.index_maintenance_cost(len(self.indexes))
-        self._ids.add(record_id)
-        self._notify("insert", record_id, frozen)
+            self._ids.add(record_id)
+            self._notify("insert", record_id, frozen)
         return OperationResult(
             inserted_ids=[record_id], modified_count=0, simulated_seconds=cost
         )
@@ -136,30 +172,34 @@ class Collection:
         records: list[tuple[str, dict[str, Any], int]] = []
         seen: set[str] = set()
         error: Exception | None = None
-        for document in documents:
-            try:
-                record_id, frozen, size = self._prepare_insert(document)
-                if record_id in seen:
-                    raise DuplicateKeyError(
-                        f"duplicate _id {record_id!r} in collection {self.name!r}"
-                    )
-                self._index_new_document(record_id, frozen)
-            except Exception as failure:  # keep the valid prefix, re-raise below
-                error = failure
-                break
-            seen.add(record_id)
-            records.append((record_id, frozen, size))
         cost = 0.0
         inserted: list[str] = []
-        if records:
-            with self.engine.locks.write_batch():
+        # The whole batch runs under the collection-exclusive batch lock so
+        # the per-document duplicate checks, index updates and engine inserts
+        # cannot interleave with concurrent single-document writers.
+        with self.engine.locks.write_batch():
+            for document in documents:
+                try:
+                    record_id, frozen, size = self._prepare_insert(document)
+                    if record_id in seen:
+                        raise DuplicateKeyError(
+                            f"duplicate _id {record_id!r} in collection {self.name!r}"
+                        )
+                    with self._index_latch:
+                        self._index_new_document(record_id, frozen)
+                except Exception as failure:  # keep the valid prefix, re-raise below
+                    error = failure
+                    break
+                seen.add(record_id)
+                records.append((record_id, frozen, size))
+            if records:
                 cost = self.engine.insert_batch(records)
                 cost += self.engine.index_maintenance_cost(len(self.indexes),
                                                            operations=len(records))
-            for record_id, frozen, __ in records:
-                self._ids.add(record_id)
-                inserted.append(record_id)
-                self._notify("insert", record_id, frozen)
+                for record_id, frozen, __ in records:
+                    self._ids.add(record_id)
+                    inserted.append(record_id)
+                    self._notify("insert", record_id, frozen)
         if error is not None:
             raise error
         return OperationResult(inserted_ids=inserted, simulated_seconds=cost)
@@ -199,43 +239,70 @@ class Collection:
         return record_id, frozen, size
 
     def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
-        """Apply ``update`` to the first document matching ``query``."""
-        record_id, document, find_cost = self._find_first(query)
-        if record_id is None:
-            return OperationResult(matched_count=0, simulated_seconds=find_cost)
-        new_document = apply_update(document, update)
-        size = measure_document(new_document)
-        self.indexes.remove_document(record_id, document)
-        self.indexes.add_document(record_id, new_document)
-        with self.engine.locks.write(record_id):
-            cost = self.engine.update(record_id, new_document, size)
-            cost += self.engine.index_maintenance_cost(len(self.indexes))
-        self._notify("update", record_id, new_document)
-        return OperationResult(
-            matched_count=1,
-            modified_count=0 if new_document == document else 1,
-            simulated_seconds=find_cost + cost,
-        )
+        """Apply ``update`` to the first document matching ``query``.
+
+        Locate-lock-revalidate: the candidate is found latch-free, then
+        re-validated under its write lock against the *current* stored
+        version; the update is computed from that freshest version, so
+        read-modify-write operators never lose concurrent updates.  When a
+        concurrent writer invalidated the candidate, the find is retried.
+        """
+        total_cost = 0.0
+        while True:
+            record_id, document, find_cost = self._find_first(query)
+            total_cost += find_cost
+            if record_id is None:
+                return OperationResult(matched_count=0, simulated_seconds=total_cost)
+            with self.engine.locks.write(record_id):
+                current = self.engine.peek(record_id)
+                if current is None or (current is not document
+                                       and not matches(current, query)):
+                    continue  # lost the race with a concurrent writer: re-find
+                new_document = apply_update(current, update)
+                size = measure_document(new_document)
+                with self._index_latch:
+                    self.indexes.remove_document(record_id, current)
+                    self.indexes.add_document(record_id, new_document)
+                cost = self.engine.update(record_id, new_document, size)
+                cost += self.engine.index_maintenance_cost(len(self.indexes))
+                self._notify("update", record_id, new_document)
+            return OperationResult(
+                matched_count=1,
+                modified_count=0 if new_document == current else 1,
+                simulated_seconds=total_cost + cost,
+            )
 
     def update_many(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
-        """Apply ``update`` to every matching document."""
+        """Apply ``update`` to every matching document.
+
+        Each snapshot candidate is re-validated under its write lock (as in
+        :meth:`update_one`); candidates a concurrent writer deleted or
+        changed away from the query are skipped rather than re-found.
+        """
         matches_found = self._find_all(query)
         total_cost = matches_found.simulated_seconds
+        matched = 0
         modified = 0
         for document in matches_found.documents:
             record_id = str(document["_id"])
-            new_document = apply_update(document, update)
-            size = measure_document(new_document)
-            self.indexes.remove_document(record_id, document)
-            self.indexes.add_document(record_id, new_document)
             with self.engine.locks.write(record_id):
+                current = self.engine.peek(record_id)
+                if current is None or (current is not document
+                                       and not matches(current, query)):
+                    continue
+                new_document = apply_update(current, update)
+                size = measure_document(new_document)
+                with self._index_latch:
+                    self.indexes.remove_document(record_id, current)
+                    self.indexes.add_document(record_id, new_document)
                 total_cost += self.engine.update(record_id, new_document, size)
                 total_cost += self.engine.index_maintenance_cost(len(self.indexes))
-            self._notify("update", record_id, new_document)
-            if new_document != document:
+                self._notify("update", record_id, new_document)
+            matched += 1
+            if new_document != current:
                 modified += 1
         return OperationResult(
-            matched_count=len(matches_found.documents),
+            matched_count=matched,
             modified_count=modified,
             simulated_seconds=total_cost,
         )
@@ -247,32 +314,47 @@ class Collection:
         return self.update_one(query, replacement)
 
     def delete_one(self, query: dict[str, Any]) -> OperationResult:
-        """Delete the first document matching ``query``."""
-        record_id, document, find_cost = self._find_first(query)
-        if record_id is None:
-            return OperationResult(deleted_count=0, simulated_seconds=find_cost)
-        self.indexes.remove_document(record_id, document)
-        self._id_index.remove(record_id, document)
-        with self.engine.locks.write(record_id):
-            cost = self.engine.delete(record_id)
-        self._ids.discard(record_id)
-        self._notify("delete", record_id, None)
-        return OperationResult(deleted_count=1, simulated_seconds=find_cost + cost)
+        """Delete the first document matching ``query`` (locate-lock-revalidate)."""
+        total_cost = 0.0
+        while True:
+            record_id, document, find_cost = self._find_first(query)
+            total_cost += find_cost
+            if record_id is None:
+                return OperationResult(deleted_count=0, simulated_seconds=total_cost)
+            with self.engine.locks.write(record_id):
+                current = self.engine.peek(record_id)
+                if current is None or (current is not document
+                                       and not matches(current, query)):
+                    continue  # lost the race with a concurrent writer: re-find
+                with self._index_latch:
+                    self.indexes.remove_document(record_id, current)
+                    self._id_index.remove(record_id, current)
+                cost = self.engine.delete(record_id)
+                self._ids.discard(record_id)
+                self._notify("delete", record_id, None)
+            return OperationResult(deleted_count=1, simulated_seconds=total_cost + cost)
 
     def delete_many(self, query: dict[str, Any]) -> OperationResult:
-        """Delete every document matching ``query``."""
+        """Delete every matching document (stale snapshot candidates are skipped)."""
         matches_found = self._find_all(query)
         total_cost = matches_found.simulated_seconds
+        deleted = 0
         for document in matches_found.documents:
             record_id = str(document["_id"])
-            self.indexes.remove_document(record_id, document)
-            self._id_index.remove(record_id, document)
             with self.engine.locks.write(record_id):
+                current = self.engine.peek(record_id)
+                if current is None or (current is not document
+                                       and not matches(current, query)):
+                    continue
+                with self._index_latch:
+                    self.indexes.remove_document(record_id, current)
+                    self._id_index.remove(record_id, current)
                 total_cost += self.engine.delete(record_id)
-            self._ids.discard(record_id)
-            self._notify("delete", record_id, None)
+                self._ids.discard(record_id)
+                self._notify("delete", record_id, None)
+            deleted += 1
         return OperationResult(
-            deleted_count=len(matches_found.documents), simulated_seconds=total_cost
+            deleted_count=deleted, simulated_seconds=total_cost
         )
 
     # -- reads ---------------------------------------------------------------------
@@ -321,12 +403,10 @@ class Collection:
             return self.engine.count()
         plan = self.planner.plan(query)
         matcher = plan.matcher
-        locks = self.engine.locks
-        read = self.engine.read
+        read = self.engine.read  # latch-free (see module docstring)
         count = 0
         for record_id in plan.iter_candidates():
-            with locks.read(record_id):
-                document, __ = read(record_id)
+            document, __ = read(record_id)
             if document is not None and (matcher is None or matcher(document)):
                 count += 1
         return count
@@ -334,15 +414,22 @@ class Collection:
     # -- index management -------------------------------------------------------------
 
     def create_index(self, field_path: str, unique: bool = False) -> str:
-        """Create a secondary index on ``field_path`` and backfill it."""
-        index = self.indexes.create(field_path, unique=unique)
-        for record_id, document, __ in self.engine.scan():
-            index.add(record_id, document)
-        self.planner.invalidate_cache()
+        """Create a secondary index on ``field_path`` and backfill it.
+
+        DDL runs under the collection-exclusive batch lock so the backfill
+        scan cannot interleave with concurrent writers.
+        """
+        with self.engine.locks.write_batch():
+            with self._index_latch:
+                index = self.indexes.create(field_path, unique=unique)
+                for record_id, document, __ in self.engine.scan():
+                    index.add(record_id, document)
+            self.planner.invalidate_cache()
         return field_path
 
     def drop_index(self, field_path: str) -> bool:
-        dropped = self.indexes.drop(field_path)
+        with self._index_latch:
+            dropped = self.indexes.drop(field_path)
         if dropped:
             self.planner.invalidate_cache()
         return dropped
@@ -382,13 +469,13 @@ class Collection:
                   limit: int | None = None) -> OperationResult:
         plan = self.planner.plan(query, limit=limit)
         matcher = plan.matcher
-        locks = self.engine.locks
+        # Latch-free read path: frozen documents + snapshot-consistent engine
+        # structures make torn reads impossible (see module docstring).
         read = self.engine.read
         documents: list[dict[str, Any]] = []
         read_cost = 0.0
         for record_id in plan.iter_candidates():
-            with locks.read(record_id):
-                document, cost = read(record_id)
+            document, cost = read(record_id)
             read_cost += cost
             if document is not None and (matcher is None or matcher(document)):
                 documents.append(document)
@@ -403,8 +490,7 @@ class Collection:
         matcher = plan.matcher
         read_cost = 0.0
         for record_id in plan.iter_candidates():
-            with self.engine.locks.read(record_id):
-                document, cost = self.engine.read(record_id)
+            document, cost = self.engine.read(record_id)  # latch-free
             read_cost += cost
             if document is not None and (matcher is None or matcher(document)):
                 return record_id, document, plan.current_lookup_cost() + read_cost

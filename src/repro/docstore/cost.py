@@ -21,6 +21,8 @@ only the comparative shape.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 
 
@@ -42,6 +44,15 @@ class CostParameters:
     document_move: float = 150e-6
     # Cost of updating one secondary index entry.
     index_maintenance: float = 6e-6
+    # When > 0, every charge actually sleeps ``seconds * real_service_scale``
+    # wall-clock time, turning simulated service time into real service time.
+    # The sleep happens *while the caller's locks are held*, so lock
+    # granularity genuinely drives multi-threaded wall-clock scaling: the
+    # concurrency benchmark (E14) uses this to observe collection-level
+    # writes flatline while document-level writes and latch-free reads
+    # overlap.  Zero (the default) keeps every other benchmark and the test
+    # suite instantaneous.
+    real_service_scale: float = 0.0
 
 
 @dataclass
@@ -52,10 +63,25 @@ class CostAccumulator:
     totals: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Counter updates take this lock so concurrent charges never lose
+        # increments; the optional real-time sleep happens *outside* it so
+        # accounting never serialises the service time it is modelling.
+        self._mutex = threading.Lock()
+
     def charge(self, operation: str, seconds: float) -> float:
-        """Record ``seconds`` of simulated service time for ``operation``."""
-        self.totals[operation] = self.totals.get(operation, 0.0) + seconds
-        self.counts[operation] = self.counts.get(operation, 0) + 1
+        """Record ``seconds`` of simulated service time for ``operation``.
+
+        With ``parameters.real_service_scale > 0`` the call also sleeps the
+        scaled duration, releasing the GIL -- whatever locks the caller holds
+        across this call are what limit concurrent throughput.
+        """
+        with self._mutex:
+            self.totals[operation] = self.totals.get(operation, 0.0) + seconds
+            self.counts[operation] = self.counts.get(operation, 0) + 1
+        scale = self.parameters.real_service_scale
+        if scale > 0.0 and seconds > 0.0:
+            time.sleep(seconds * scale)
         return seconds
 
     def charge_many(self, operation: str, seconds: float, count: int) -> float:
@@ -67,22 +93,28 @@ class CostAccumulator:
         """
         if count <= 0:
             return 0.0
-        self.totals[operation] = self.totals.get(operation, 0.0) + seconds
-        self.counts[operation] = self.counts.get(operation, 0) + count
+        with self._mutex:
+            self.totals[operation] = self.totals.get(operation, 0.0) + seconds
+            self.counts[operation] = self.counts.get(operation, 0) + count
+        scale = self.parameters.real_service_scale
+        if scale > 0.0 and seconds > 0.0:
+            time.sleep(seconds * scale)
         return seconds
 
     @property
     def total_seconds(self) -> float:
-        return sum(self.totals.values())
+        with self._mutex:
+            return sum(self.totals.values())
 
     def snapshot(self) -> dict[str, dict[str, float]]:
-        return {
-            operation: {
-                "count": self.counts[operation],
-                "seconds": self.totals[operation],
+        with self._mutex:
+            return {
+                operation: {
+                    "count": self.counts[operation],
+                    "seconds": self.totals[operation],
+                }
+                for operation in sorted(self.totals)
             }
-            for operation in sorted(self.totals)
-        }
 
 
 def kilobytes(size_bytes: int) -> float:

@@ -83,6 +83,27 @@ class StorageEngine(ABC):
     def storage_bytes(self) -> int:
         """Simulated on-disk footprint in bytes (including padding/compression)."""
 
+    def peek(self, record_id: str) -> dict[str, Any] | None:
+        """Return the stored document without charging any simulated cost.
+
+        Used by write paths that need to revalidate a candidate under their
+        write latch (locate-lock-revalidate) -- the revalidation read is
+        bookkeeping, not a billable client operation.  Engines override this
+        with a direct, charge-free lookup; the default goes through
+        :meth:`read` and therefore *does* charge.
+        """
+        document, __ = self.read(record_id)
+        return document
+
+    def verify_accounting(self) -> None:
+        """Assert internal byte-accounting invariants (no-op by default).
+
+        Engines that keep running totals alongside per-record state override
+        this to check the totals against a recomputation; the concurrency
+        stress suite calls it after multi-threaded mixes to catch lost
+        read-modify-write updates.
+        """
+
     def insert_batch(self, records: list[tuple[str, dict[str, Any], int]]) -> float:
         """Store many frozen documents in one round; return the total cost.
 

@@ -8,24 +8,49 @@ The demo's central comparison hinges on lock granularity:
   when they touch the same document.
 
 The :class:`LockManager` implements both granularities for functional
-correctness (used when agents drive the store from multiple threads), and
-additionally keeps contention counters that the cost model uses to translate
-blocking into simulated latency for the analytic concurrency model.
+correctness (used when client threads drive the store concurrently), and
+additionally keeps contention counters -- including real wall-clock wait
+time -- that the concurrency benchmark (E14) reports as the contended
+hot-path profile.
 
-Hot-path design: this layer is entered twice per document operation, so it is
-built to cost two plain method calls and two counter increments per
-acquisition.  Document-granularity locking uses a fixed array of *lock
-stripes* (record ids hash onto one of :data:`_STRIPE_COUNT` reader/writer
-locks) instead of a per-record lock registry -- no allocation, no registry
-lock, bounded memory, and the same correctness guarantee (two operations on
-the same record always share a stripe; distinct records rarely do).  Guard
-objects are pre-created per stripe and mode, and the reader/writer lock only
-notifies waiters when someone is actually waiting.
+**Latch hierarchy and lock ordering (PR 6).**  Locks form an explicit
+two-level hierarchy per collection and are always acquired top-down:
+
+1. the *collection* reader/writer lock, then
+2. one of :data:`_STRIPE_COUNT` *stripe* reader/writer locks (record ids
+   hash onto stripes).
+
+Acquisition shapes:
+
+* **document-granularity write** (wiredTiger): collection SHARED + the
+  record's stripe EXCLUSIVE.  Writers to different documents overlap; the
+  shared collection hold keeps batch/DDL writers out.
+* **collection-granularity write** (mmapv1): collection EXCLUSIVE only.
+* **batch write** (``write_batch``, both granularities): collection
+  EXCLUSIVE only.  Single-document writers hold the collection lock SHARED,
+  so a batch excludes every one of them without touching any stripe.
+* **read**: collection SHARED (collection granularity) or stripe SHARED
+  (document granularity).  The engines' *point-read* paths are latch-free
+  (immutable copy-on-write documents and a copy-on-write B-tree make torn
+  reads impossible), so the hot read path never enters this layer at all;
+  ``read()`` remains for callers that want explicit read stability.
+
+No acquisition ever takes a second stripe while holding one, and stripes
+are only ever taken *after* the collection lock -- the hierarchy is acyclic,
+hence deadlock-free.  Layers above may nest further latches strictly inside
+a held stripe/collection lock (collection -> stripe -> index latch ->
+engine-internal mutation latch), preserving the total order.
+
+Hot-path design: guard objects are pre-created per stripe and mode, the
+reader/writer lock only notifies waiters when someone is actually waiting,
+and wait time is measured only on the contended path (the uncontended
+acquisition pays two plain method calls and a few counter updates).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -39,25 +64,46 @@ class LockGranularity(Enum):
     DOCUMENT = "document"
 
 
-class LockMode(Enum):
-    SHARED = "shared"
-    EXCLUSIVE = "exclusive"
-
-
 @dataclass
 class LockStats:
-    """Counters describing how much contention the lock manager observed."""
+    """Counters describing how much contention the lock manager observed.
+
+    ``wait_seconds`` is real wall-clock time spent blocked on contended
+    acquisitions -- the direct measure of serialisation the concurrency
+    benchmark profiles.  Updates go through :meth:`record` under an internal
+    lock so concurrent acquisitions never lose counts.
+    """
 
     acquisitions: int = 0
     contentions: int = 0
     exclusive_acquisitions: int = 0
+    wait_seconds: float = 0.0
 
-    def snapshot(self) -> dict[str, int]:
-        return {
-            "acquisitions": self.acquisitions,
-            "contentions": self.contentions,
-            "exclusive_acquisitions": self.exclusive_acquisitions,
-        }
+    def __post_init__(self) -> None:
+        self._mutex = threading.Lock()
+
+    def record(self, waited: float, exclusive: bool) -> None:
+        with self._mutex:
+            self.acquisitions += 1
+            if exclusive:
+                self.exclusive_acquisitions += 1
+            if waited:
+                self.contentions += 1
+                self.wait_seconds += waited
+
+    def snapshot(self) -> dict[str, float]:
+        with self._mutex:
+            return {
+                "acquisitions": self.acquisitions,
+                "contentions": self.contentions,
+                "exclusive_acquisitions": self.exclusive_acquisitions,
+                "wait_seconds": self.wait_seconds,
+            }
+
+
+class LockMode(Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
 
 
 class _RWLock:
@@ -71,25 +117,28 @@ class _RWLock:
         self._writer = False
         self._waiting = 0
 
-    def acquire(self, mode: LockMode) -> bool:
-        """Acquire the lock; returns True if it had to wait (contention)."""
-        contended = False
+    def acquire(self, mode: LockMode) -> float:
+        """Acquire the lock; returns the seconds spent waiting (0.0 when
+        the acquisition was uncontended)."""
+        started = 0.0
         with self._condition:
             if mode is LockMode.SHARED:
                 while self._writer:
-                    contended = True
+                    if not started:
+                        started = time.perf_counter()
                     self._waiting += 1
                     self._condition.wait()
                     self._waiting -= 1
                 self._readers += 1
             else:
                 while self._writer or self._readers:
-                    contended = True
+                    if not started:
+                        started = time.perf_counter()
                     self._waiting += 1
                     self._condition.wait()
                     self._waiting -= 1
                 self._writer = True
-        return contended
+        return time.perf_counter() - started if started else 0.0
 
     def release(self, mode: LockMode) -> None:
         with self._condition:
@@ -99,34 +148,6 @@ class _RWLock:
                 self._writer = False
             if self._waiting:
                 self._condition.notify_all()
-
-
-class _BatchWriteGuard:
-    """Exclusive access for a whole batch in one acquisition round.
-
-    Document-granularity engines serialise per stripe, so a batch touching
-    many records must hold *every* stripe (plus the collection lock) to
-    exclude concurrent per-document readers and writers.  Stripes are always
-    taken in index order and single-document operations only ever hold one
-    stripe at a time, so no cycle -- hence no deadlock -- is possible.
-    """
-
-    __slots__ = ("_manager", "_locks")
-
-    def __init__(self, manager: "LockManager", locks: list[_RWLock]):
-        self._manager = manager
-        self._locks = locks
-
-    def __enter__(self) -> "_BatchWriteGuard":
-        contended = False
-        for lock in self._locks:
-            contended = lock.acquire(LockMode.EXCLUSIVE) or contended
-        self._manager._record(contended, exclusive=True)
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        for lock in reversed(self._locks):
-            lock.release(LockMode.EXCLUSIVE)
 
 
 class _LockGuard:
@@ -143,12 +164,41 @@ class _LockGuard:
         self._exclusive = mode is LockMode.EXCLUSIVE
 
     def __enter__(self) -> "_LockGuard":
-        contended = self._lock.acquire(self._mode)
-        self._manager._record(contended, exclusive=self._exclusive)
+        waited = self._lock.acquire(self._mode)
+        self._manager.stats.record(waited, exclusive=self._exclusive)
         return self
 
     def __exit__(self, *exc_info) -> None:
         self._lock.release(self._mode)
+
+
+class _DocumentWriteGuard:
+    """Collection SHARED + one stripe EXCLUSIVE, in hierarchy order.
+
+    The single-document write shape for document-granularity engines: the
+    shared collection hold lets disjoint writers overlap while excluding
+    batch/DDL writers (who take the collection lock exclusively), and the
+    exclusive stripe serialises writers of the same record.  Stateless, so
+    one pre-created instance per stripe serves every thread.
+    """
+
+    __slots__ = ("_manager", "_collection_lock", "_stripe_lock")
+
+    def __init__(self, manager: "LockManager", collection_lock: _RWLock,
+                 stripe_lock: _RWLock):
+        self._manager = manager
+        self._collection_lock = collection_lock
+        self._stripe_lock = stripe_lock
+
+    def __enter__(self) -> "_DocumentWriteGuard":
+        waited = self._collection_lock.acquire(LockMode.SHARED)
+        waited += self._stripe_lock.acquire(LockMode.EXCLUSIVE)
+        self._manager.stats.record(waited, exclusive=True)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stripe_lock.release(LockMode.EXCLUSIVE)
+        self._collection_lock.release(LockMode.SHARED)
 
 
 @dataclass
@@ -164,40 +214,47 @@ class LockManager:
                                            LockMode.SHARED)
         self._collection_write = _LockGuard(self, self._collection_lock,
                                             LockMode.EXCLUSIVE)
+        # The batch shape is collection EXCLUSIVE for both granularities:
+        # document-granularity single-doc writers hold the collection lock
+        # SHARED, so exclusivity over the collection lock alone excludes all
+        # of them -- no stripe sweep needed.
+        self._batch_write = self._collection_write
         if self.granularity is LockGranularity.DOCUMENT:
             stripes = [_RWLock() for __ in range(_STRIPE_COUNT)]
             self._stripe_read = [_LockGuard(self, lock, LockMode.SHARED)
                                  for lock in stripes]
-            self._stripe_write = [_LockGuard(self, lock, LockMode.EXCLUSIVE)
-                                  for lock in stripes]
-            self._batch_write = _BatchWriteGuard(
-                self, [self._collection_lock, *stripes])
+            self._doc_write = [
+                _DocumentWriteGuard(self, self._collection_lock, lock)
+                for lock in stripes
+            ]
         else:
             self._stripe_read = None
-            self._stripe_write = None
-            self._batch_write = _BatchWriteGuard(self, [self._collection_lock])
+            self._doc_write = None
 
     def read(self, document_id: str | None = None) -> _LockGuard:
-        """Acquire a shared lock for a read (use as a context manager)."""
+        """Acquire a shared lock for a read (use as a context manager).
+
+        The engines' point-read hot path is latch-free and does not call
+        this; it exists for callers that need explicit read stability
+        against collection-exclusive phases.
+        """
         if self._stripe_read is None or document_id is None:
             return self._collection_read
         return self._stripe_read[hash(document_id) % _STRIPE_COUNT]
 
-    def write(self, document_id: str | None = None) -> _LockGuard:
-        """Acquire an exclusive lock for a write at the engine's granularity."""
-        if self._stripe_write is None or document_id is None:
+    def write(self, document_id: str | None = None):
+        """Exclusive access for one document write at the engine's granularity.
+
+        Document granularity returns the collection-SHARED + stripe-EXCLUSIVE
+        pair; collection granularity (or no document id) the collection
+        EXCLUSIVE lock.
+        """
+        if self._doc_write is None or document_id is None:
             return self._collection_write
-        return self._stripe_write[hash(document_id) % _STRIPE_COUNT]
+        return self._doc_write[hash(document_id) % _STRIPE_COUNT]
 
-    def write_batch(self) -> _BatchWriteGuard:
-        """One exclusive acquisition round covering every document at once
-        (batch inserts): excludes the collection lock and all stripes."""
+    def write_batch(self) -> _LockGuard:
+        """One exclusive acquisition covering every document at once (batch
+        inserts, DDL): the collection lock EXCLUSIVE, which excludes readers,
+        single-document writers (they hold it SHARED) and other batches."""
         return self._batch_write
-
-    def _record(self, contended: bool, exclusive: bool) -> None:
-        stats = self.stats
-        stats.acquisitions += 1
-        if exclusive:
-            stats.exclusive_acquisitions += 1
-        if contended:
-            stats.contentions += 1

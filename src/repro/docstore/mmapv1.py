@@ -22,10 +22,21 @@ any non-newest extent -- so the common append-only insert is O(1): the
 first-fit scan only runs when the hint says an older extent might actually
 fit the record, which preserves placement byte-for-byte with the scanning
 implementation.
+
+**Concurrency (PR 6).**  Reads are latch-free (a record lookup is a single
+dict access and stored documents are frozen, so no torn state is
+observable).  Mutations -- which do multi-step read-modify-writes on the
+allocator, the running capacity total and the free-space hint -- take a
+small internal latch (``_mutate``).  The collection layer already
+serialises writes through its collection-exclusive lock, but the latch
+keeps the engine correct under direct concurrent use too; like the
+wiredTiger engine's latch it sits at the bottom of the lock hierarchy and
+is released before service time is charged.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -81,23 +92,28 @@ class MmapV1Engine(StorageEngine):
         # hint, first-fit provably lands in the newest extent (or a new one).
         self._capacity_total = 0
         self._older_free_hint = 0
+        # Serialises allocator / running-total mutations; see module docstring.
+        self._mutate = threading.Lock()
 
     # -- StorageEngine interface -------------------------------------------------
 
     def insert(self, record_id: str, document: dict[str, Any],
                size: int | None = None) -> float:
-        if record_id in self._records:
-            raise KeyError(f"record {record_id!r} already exists")
-        return self.costs.charge("insert", self._insert_one(record_id, document, size))
+        with self._mutate:
+            if record_id in self._records:
+                raise KeyError(f"record {record_id!r} already exists")
+            cost = self._insert_one(record_id, document, size)
+        return self.costs.charge("insert", cost)
 
     def insert_batch(self, records: list[tuple[str, dict[str, Any], int]]) -> float:
         """Batched inserts: one cost accumulation for the whole round."""
-        for record_id, __, __size in records:
-            if record_id in self._records:
-                raise KeyError(f"record {record_id!r} already exists")
-        total = 0.0
-        for record_id, document, size in records:
-            total += self._insert_one(record_id, document, size)
+        with self._mutate:
+            for record_id, __, __size in records:
+                if record_id in self._records:
+                    raise KeyError(f"record {record_id!r} already exists")
+            total = 0.0
+            for record_id, document, size in records:
+                total += self._insert_one(record_id, document, size)
         return self.costs.charge_many("insert", total, len(records))
 
     def _insert_one(self, record_id: str, document: dict[str, Any],
@@ -113,6 +129,7 @@ class MmapV1Engine(StorageEngine):
         )
 
     def read(self, record_id: str) -> tuple[dict[str, Any] | None, float]:
+        # Latch-free: a single dict lookup of a frozen document.
         record = self._records.get(record_id)
         cost = self.parameters.base_operation + self.parameters.node_access
         if record is None:
@@ -120,36 +137,43 @@ class MmapV1Engine(StorageEngine):
         cost += self._page_fault_cost(record.allocated_bytes)
         return record.document, self.costs.charge("read", cost)
 
+    def peek(self, record_id: str) -> dict[str, Any] | None:
+        """Charge-free latch-free lookup."""
+        record = self._records.get(record_id)
+        return record.document if record is not None else None
+
     def update(self, record_id: str, document: dict[str, Any],
                size: int | None = None) -> float:
-        record = self._records.get(record_id)
-        if record is None:
-            raise KeyError(record_id)
         new_size = self._size_of(document, size)
         cost = self.parameters.base_operation + self.parameters.node_access
-        if new_size <= record.allocated_bytes:
-            # In-place update: only the touched bytes are flushed.
-            record.document = document
-            cost += kilobytes(new_size) * self.parameters.disk_write_per_kb
-        else:
-            # Document outgrew its padding: move it to a fresh allocation.
-            allocated = int(new_size * self.padding_factor)
-            extent = self._allocate(allocated)
-            self._free(record.extent, record.allocated_bytes)
-            self._records[record_id] = _Record(document, allocated, extent)
-            self._document_moves += 1
-            cost += (
-                self.parameters.document_move
-                + kilobytes(allocated) * self.parameters.disk_write_per_kb
-            )
+        with self._mutate:
+            record = self._records.get(record_id)
+            if record is None:
+                raise KeyError(record_id)
+            if new_size <= record.allocated_bytes:
+                # In-place update: only the touched bytes are flushed.
+                record.document = document
+                cost += kilobytes(new_size) * self.parameters.disk_write_per_kb
+            else:
+                # Document outgrew its padding: move it to a fresh allocation.
+                allocated = int(new_size * self.padding_factor)
+                extent = self._allocate(allocated)
+                self._free(record.extent, record.allocated_bytes)
+                self._records[record_id] = _Record(document, allocated, extent)
+                self._document_moves += 1
+                cost += (
+                    self.parameters.document_move
+                    + kilobytes(allocated) * self.parameters.disk_write_per_kb
+                )
         cost += self._page_fault_cost(new_size)
         return self.costs.charge("update", cost)
 
     def delete(self, record_id: str) -> float:
-        record = self._records.pop(record_id, None)
-        if record is None:
-            raise KeyError(record_id)
-        self._free(record.extent, record.allocated_bytes)
+        with self._mutate:
+            record = self._records.pop(record_id, None)
+            if record is None:
+                raise KeyError(record_id)
+            self._free(record.extent, record.allocated_bytes)
         cost = self.parameters.base_operation + self.parameters.node_access
         return self.costs.charge("delete", cost)
 
@@ -167,6 +191,32 @@ class MmapV1Engine(StorageEngine):
 
     def storage_bytes(self) -> int:
         return self._capacity_total
+
+    def verify_accounting(self) -> None:
+        """Check the running totals and free-space hint against recomputations.
+
+        A lost read-modify-write on ``_capacity_total`` or a hint that drifted
+        *below* some older extent's free space (which would silently break
+        first-fit placement) shows up here; the concurrency stress suite calls
+        this after multi-threaded insert/update/delete mixes.
+        """
+        with self._mutate:
+            assert self._capacity_total == sum(self._extent_capacity), (
+                f"capacity drift: running total {self._capacity_total} != "
+                f"extent sum {sum(self._extent_capacity)}"
+            )
+            used_by_extent = [0] * len(self._extents)
+            for record in self._records.values():
+                used_by_extent[record.extent] += record.allocated_bytes
+            assert used_by_extent == self._extents, (
+                "per-extent usage drift between records and extent counters"
+            )
+            for index in range(len(self._extents) - 1):
+                free = self._extent_capacity[index] - self._extents[index]
+                assert free <= self._older_free_hint, (
+                    f"free-space hint {self._older_free_hint} below extent "
+                    f"{index}'s free bytes {free} (breaks first-fit)"
+                )
 
     # -- engine-specific reporting --------------------------------------------------
 

@@ -39,6 +39,7 @@ explain`` CLI subcommand.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
@@ -150,6 +151,12 @@ class QueryPlanner:
         self.cache_hits = 0
         self.cache_misses = 0
         self.fast_id_plans = 0
+        # Guards the cache dict and the hit/miss counters: concurrent finds
+        # otherwise interleave lookup, insertion, overflow-clear and counter
+        # read-modify-writes.  Templates themselves are immutable once
+        # published (rebinding builds a fresh Matcher per plan), so holding
+        # the lock only around cache/counter access is sufficient.
+        self._cache_lock = threading.Lock()
 
     # -- planning ---------------------------------------------------------------
 
@@ -185,31 +192,44 @@ class QueryPlanner:
         shape, params = query_shape(query)
         key = (shape, limit)
         if use_cache:
-            template = self._cache.get(key)
+            with self._cache_lock:
+                template = self._cache.get(key)
             if template is not None:
+                # Rebinding runs outside the lock (it reads engine state and
+                # builds the concrete plan); the template is immutable, so a
+                # concurrent eviction/replacement of the cache slot is safe.
                 plan = self._plan_from_template(template, query, params, limit)
                 if plan is not None:
-                    self.cache_hits += 1
+                    with self._cache_lock:
+                        self.cache_hits += 1
                     return plan
-                del self._cache[key]  # index dropped / decision went stale
-            self.cache_misses += 1
+                with self._cache_lock:
+                    # index dropped / decision went stale
+                    self._cache.pop(key, None)
+                    self.cache_misses += 1
+            else:
+                with self._cache_lock:
+                    self.cache_misses += 1
         plan, template = self._cold_plan(query, params, limit)
         if use_cache:
-            if len(self._cache) >= _PLAN_CACHE_LIMIT:
-                self._cache.clear()
-            self._cache[key] = template
+            with self._cache_lock:
+                if len(self._cache) >= _PLAN_CACHE_LIMIT:
+                    self._cache.clear()
+                self._cache[key] = template
         return plan
 
     def invalidate_cache(self) -> None:
         """Drop every cached decision (index DDL changes what is plannable)."""
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
     def cache_stats(self) -> dict[str, int]:
         """Cache effectiveness counters (``fast_id_plans`` are the sole-
         ``{"_id": <scalar>}`` reads that skip both cache and compilation)."""
-        return {"entries": len(self._cache), "hits": self.cache_hits,
-                "misses": self.cache_misses,
-                "fast_id_plans": self.fast_id_plans}
+        with self._cache_lock:
+            return {"entries": len(self._cache), "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "fast_id_plans": self.fast_id_plans}
 
     def explain(self, query: dict[str, Any] | None = None,
                 limit: int | None = None) -> dict[str, Any]:
@@ -248,7 +268,8 @@ class QueryPlanner:
         all-string-id collection: the candidate provably *is* the match
         (record ids are ``str(_id)``), so the plan is exact and the executor
         skips matching."""
-        self.fast_id_plans += 1
+        with self._cache_lock:
+            self.fast_id_plans += 1
         if value in self.collection.record_ids():
             candidates = [value]
             estimated = self._read_estimate()

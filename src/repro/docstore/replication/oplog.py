@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import bisect
 import copy
+import threading
 from dataclasses import dataclass, field
 from functools import total_ordering
 from typing import TYPE_CHECKING, Any, Iterator
@@ -106,11 +107,19 @@ class Oplog:
     _entries: list[OplogEntry] = field(default_factory=list)
     _next_index: int = 1
 
+    def __post_init__(self) -> None:
+        # Serialises optime allocation + append: two concurrent primary
+        # writes interleaving ``_next_index`` reads would mint duplicate
+        # optimes, and an entry appended between another's stamp and append
+        # would put the log out of optime order -- both break the
+        # idempotent-replay guarantee.
+        self._append_lock = threading.Lock()
+
     def append(self, term: int, operation: str, database: str, collection: str = "",
                record_id: str | None = None, document: dict[str, Any] | None = None,
                field_path: str | None = None, unique: bool = False,
                frozen: bool = False) -> OplogEntry:
-        """Stamp the next optime onto a change and append it.
+        """Stamp the next optime onto a change and append it (atomically).
 
         ``frozen=True`` declares that ``document`` is a canonical stored
         post-image from the copy-on-write write boundary -- an object that is
@@ -121,18 +130,25 @@ class Oplog:
         """
         if operation in _DOCUMENT_OPS and record_id is None:
             raise DocumentStoreError(f"oplog {operation} entries need a record_id")
-        entry = OplogEntry(
-            optime=OpTime(term, self._next_index),
-            operation=operation,
-            database=database,
-            collection=collection,
-            record_id=record_id,
-            document=document if frozen else copy.deepcopy(document),
-            field_path=field_path,
-            unique=unique,
-        )
-        self._next_index += 1
-        self._entries.append(entry)
+        payload = document if frozen else copy.deepcopy(document)
+        with self._append_lock:
+            entry = OplogEntry(
+                optime=OpTime(term, self._next_index),
+                operation=operation,
+                database=database,
+                collection=collection,
+                record_id=record_id,
+                document=payload,
+                field_path=field_path,
+                unique=unique,
+            )
+            if self._entries:
+                last = self._entries[-1].optime
+                assert entry.optime > last, (
+                    f"non-monotonic oplog optime: {entry.optime} after {last}"
+                )
+            self._next_index += 1
+            self._entries.append(entry)
         return entry
 
     @property
@@ -162,10 +178,15 @@ class Oplog:
         return len(self._entries) - self._position_after(optime)
 
     def truncate_after(self, optime: OpTime) -> list[OplogEntry]:
-        """Drop (and return) every entry after ``optime`` -- failover rollback."""
-        cut = self._position_after(optime)
-        removed = self._entries[cut:]
-        self._entries = self._entries[:cut]
+        """Drop (and return) every entry after ``optime`` -- failover rollback.
+
+        Takes the append lock so a write racing the rollback cannot append to
+        the list being replaced and silently vanish.
+        """
+        with self._append_lock:
+            cut = self._position_after(optime)
+            removed = self._entries[cut:]
+            self._entries = self._entries[:cut]
         return removed
 
     def __len__(self) -> int:

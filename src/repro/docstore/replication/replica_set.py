@@ -38,6 +38,7 @@ How the pieces fit:
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -328,9 +329,27 @@ class ReplicaSet:
         self.members[0].role = ROLE_PRIMARY
         self.members[0].publish_status()
         self._commands_executed = 0
-        self._replaying = False
+        # The replay flag is per *thread*: it tells the primary's change
+        # listener "this write is an oplog replay, do not log it again".
+        # A plain bool would leak across threads -- one thread catching up a
+        # secondary while another serves a client write would silently drop
+        # the client write from the oplog.
+        self._replay_state = threading.local()
         self._pending_cost = 0.0
         self._read_cursor = 0
+        # Small-state lock for the counters above plus the primary's applied
+        # optime: all are read-modify-write hot spots touched from every
+        # client thread.
+        self._state_lock = threading.Lock()
+        # One lock per member serialises oplog application onto it --
+        # concurrent catch-ups of the same member would interleave entry
+        # batches and double-apply costs.
+        self._apply_locks = {member.member_id: threading.Lock()
+                             for member in self.members}
+        # Elections mutate term, roles, the oplog tail and the primary id as
+        # one unit; reentrant because ``step_down``/``require_primary`` call
+        # ``elect`` while holding it.
+        self._election_lock = threading.RLock()
 
     # -- membership / roles ---------------------------------------------------------
 
@@ -365,20 +384,28 @@ class ReplicaSet:
         query router) to drive the failover.
         """
         member = self.primary
-        usable = (
-            member is not None
-            and member.up
-            and member.member_id not in self.partitioned
-            and len(self.reachable_members()) >= self.majority()
-        )
-        if usable:
+        if self._primary_usable(member):
             return member
         if not self.auto_elect:
             raise NotPrimaryError(
                 f"replica set {self.set_name!r} has no usable primary"
             )
-        self.elect()
-        return self.members[self._primary_id]
+        with self._election_lock:
+            # Re-check under the lock: another thread noticing the same dead
+            # primary may have already elected a replacement, and a second
+            # election would needlessly bump the term and roll back its log.
+            member = self.primary
+            if not self._primary_usable(member):
+                self.elect()
+            return self.members[self._primary_id]
+
+    def _primary_usable(self, member: ReplicaSetMember | None) -> bool:
+        return (
+            member is not None
+            and member.up
+            and member.member_id not in self.partitioned
+            and len(self.reachable_members()) >= self.majority()
+        )
 
     def elect(self, exclude_member: int | None = None) -> ElectionRecord:
         """Majority-vote election; the highest-optime reachable member wins.
@@ -388,40 +415,42 @@ class ReplicaSet:
         truncated log for resync.  The election's simulated cost is charged
         to the next operation.
         """
-        candidates = [member for member in self.reachable_members()
-                      if member.member_id != exclude_member]
-        if len(self.reachable_members()) < self.majority() or not candidates:
+        with self._election_lock:
+            candidates = [member for member in self.reachable_members()
+                          if member.member_id != exclude_member]
+            if len(self.reachable_members()) < self.majority() or not candidates:
+                self._demote_current_primary()
+                self._primary_id = None
+                raise NoPrimaryError(
+                    f"replica set {self.set_name!r} cannot elect a primary: "
+                    f"{len(self.reachable_members())}/{len(self.members)} members "
+                    f"reachable, majority is {self.majority()}"
+                )
+            winner = max(candidates, key=lambda m: (m.applied, -m.member_id))
             self._demote_current_primary()
-            self._primary_id = None
-            raise NoPrimaryError(
-                f"replica set {self.set_name!r} cannot elect a primary: "
-                f"{len(self.reachable_members())}/{len(self.members)} members "
-                f"reachable, majority is {self.majority()}"
+            self.term += 1
+            removed = self.oplog.truncate_after(winner.applied)
+            self.rolled_back_entries += len(removed)
+            for member in self.members:
+                if member.applied > winner.applied:
+                    member.needs_resync = True
+            winner.role = ROLE_PRIMARY
+            winner.publish_status()
+            self._primary_id = winner.member_id
+            self.failovers += 1
+            cost = self.election_timeout_seconds + 2 * self.network_delay_seconds
+            with self._state_lock:
+                self._pending_cost += cost
+            record = ElectionRecord(
+                term=self.term,
+                winner_id=winner.member_id,
+                votes=len(self.reachable_members()),
+                member_count=len(self.members),
+                rolled_back_entries=len(removed),
+                simulated_seconds=cost,
             )
-        winner = max(candidates, key=lambda m: (m.applied, -m.member_id))
-        self._demote_current_primary()
-        self.term += 1
-        removed = self.oplog.truncate_after(winner.applied)
-        self.rolled_back_entries += len(removed)
-        for member in self.members:
-            if member.applied > winner.applied:
-                member.needs_resync = True
-        winner.role = ROLE_PRIMARY
-        winner.publish_status()
-        self._primary_id = winner.member_id
-        self.failovers += 1
-        cost = self.election_timeout_seconds + 2 * self.network_delay_seconds
-        self._pending_cost += cost
-        record = ElectionRecord(
-            term=self.term,
-            winner_id=winner.member_id,
-            votes=len(self.reachable_members()),
-            member_count=len(self.members),
-            rolled_back_entries=len(removed),
-            simulated_seconds=cost,
-        )
-        self.elections.append(record)
-        return record
+            self.elections.append(record)
+            return record
 
     def step_down(self) -> ElectionRecord:
         """Voluntary ``replSetStepDown``: the primary yields and a new one is
@@ -478,15 +507,23 @@ class ReplicaSet:
 
     def catch_up_member(self, member: ReplicaSetMember,
                         target: OpTime | None = None) -> float:
-        """Replay the member's oplog tail (or resync when it diverged)."""
-        self._replaying = True
-        try:
-            if member.needs_resync:
-                return member.resync(self.oplog)
-            entries = self.oplog.entries_after(member.applied, through=target)
-            return member.apply_entries(entries)
-        finally:
-            self._replaying = False
+        """Replay the member's oplog tail (or resync when it diverged).
+
+        The per-member apply lock serialises concurrent catch-ups of the
+        same member (two write-concern waits can target one secondary); the
+        ``member.applied`` read happens under it so each entry is applied
+        exactly once.  The replay flag is thread-local: it must suppress
+        oplog capture for *this* thread's replay writes only.
+        """
+        with self._apply_locks[member.member_id]:
+            self._replay_state.replaying = True
+            try:
+                if member.needs_resync:
+                    return member.resync(self.oplog)
+                entries = self.oplog.entries_after(member.applied, through=target)
+                return member.apply_entries(entries)
+            finally:
+                self._replay_state.replaying = False
 
     # -- write path --------------------------------------------------------------------
 
@@ -603,7 +640,8 @@ class ReplicaSet:
                 self.catch_up_member(member)
 
     def _take_pending_cost(self) -> float:
-        cost, self._pending_cost = self._pending_cost, 0.0
+        with self._state_lock:
+            cost, self._pending_cost = self._pending_cost, 0.0
         return cost
 
     # -- read path ---------------------------------------------------------------------
@@ -637,9 +675,10 @@ class ReplicaSet:
             # "secondaryPreferred" behaviour, which keeps workloads running
             # through failovers).
             return self.require_primary()
-        member = usable[self._read_cursor % len(usable)]
-        self._read_cursor += 1
-        return member
+        with self._state_lock:
+            cursor = self._read_cursor
+            self._read_cursor += 1
+        return usable[cursor % len(usable)]
 
     def routed_read(self, database: str, collection: str, operation: str,
                     *arguments: Any, **keywords: Any) -> OperationResult:
@@ -664,7 +703,7 @@ class ReplicaSet:
     def _make_listener(self, database: str, collection: str) -> Callable:
         def listener(operation: str, record_id: str,
                      document: dict[str, Any] | None) -> None:
-            if self._replaying:
+            if getattr(self._replay_state, "replaying", False):
                 return
             # Post-images arriving here are the primary's frozen stored
             # documents (copy-on-write write boundary): safe to log by
@@ -676,12 +715,20 @@ class ReplicaSet:
         return listener
 
     def _advance_primary(self, optime: OpTime) -> None:
-        """The primary applies what it writes: its optime tracks the log head."""
-        if self._primary_id is not None:
-            primary = self.members[self._primary_id]
-            primary.applied = optime
+        """The primary applies what it writes: its optime tracks the log head.
+
+        Writes on different documents notify concurrently, so the advance is
+        a locked monotonic max -- a slow thread carrying an older optime
+        must never rewind ``applied`` below a newer write's.
+        """
+        if self._primary_id is None:
+            return
+        primary = self.members[self._primary_id]
+        with self._state_lock:
+            if optime > primary.applied:
+                primary.applied = optime
             primary.entries_applied += 1
-            primary.publish_status()
+        primary.publish_status()
 
     # -- DocumentServer-compatible surface ---------------------------------------------
 

@@ -8,6 +8,7 @@ one server instance, which is how the demo compares ``wiredtiger`` and
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable
 
 from repro.docstore.collection import Collection
@@ -30,12 +31,22 @@ class DatabaseNamespace:
         self.name = name
         self._engine_factory = engine_factory
         self._collections: dict[str, Collection] = {}
+        # Guards get-or-create: two threads racing the first access of a
+        # collection name must agree on one Collection (each carries its own
+        # engine -- a loser's documents would live in an unreachable engine).
+        self._create_lock = threading.Lock()
 
     def collection(self, name: str) -> Collection:
         """Return (creating on first use) the collection called ``name``."""
-        if name not in self._collections:
-            self._collections[name] = Collection(name, self._engine_factory())
-        return self._collections[name]
+        existing = self._collections.get(name)
+        if existing is not None:
+            return existing
+        with self._create_lock:
+            existing = self._collections.get(name)
+            if existing is None:
+                existing = Collection(name, self._engine_factory())
+                self._collections[name] = existing
+        return existing
 
     def drop_collection(self, name: str) -> bool:
         return self._collections.pop(name, None) is not None
@@ -83,6 +94,8 @@ class DocumentServer:
         self._cost_parameters = cost_parameters
         self._engine_options = engine_options
         self._databases: dict[str, DatabaseNamespace] = {}
+        # Same get-or-create discipline as DatabaseNamespace.collection().
+        self._create_lock = threading.Lock()
         self._commands_executed = 0
         # Replication view of this process, maintained by the owning
         # ``ReplicaSetMember`` ({"set", "member_id", "role", "optime", ...});
@@ -93,9 +106,15 @@ class DocumentServer:
 
     def database(self, name: str) -> DatabaseNamespace:
         """Return (creating on first use) the database called ``name``."""
-        if name not in self._databases:
-            self._databases[name] = DatabaseNamespace(name, self._new_engine)
-        return self._databases[name]
+        existing = self._databases.get(name)
+        if existing is not None:
+            return existing
+        with self._create_lock:
+            existing = self._databases.get(name)
+            if existing is None:
+                existing = DatabaseNamespace(name, self._new_engine)
+                self._databases[name] = existing
+        return existing
 
     def drop_database(self, name: str) -> bool:
         return self._databases.pop(name, None) is not None

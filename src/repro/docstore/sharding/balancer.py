@@ -21,6 +21,7 @@ from typing import Any
 from repro.docstore.collection import Collection
 from repro.docstore.documents import get_path
 from repro.docstore.sharding.chunks import Chunk, ChunkManager
+from repro.errors import DuplicateKeyError
 
 
 @dataclass
@@ -82,33 +83,86 @@ class Balancer:
             chunk = min(documents_by_chunk,
                         key=lambda c: (len(documents_by_chunk[c]), str(c.lower)))
             migration = self.migrate_chunk(namespace, manager, chunk, recipient,
-                                           collections, documents_by_chunk[chunk])
+                                           collections, documents_by_chunk[chunk],
+                                           shard_key=shard_key)
             performed.append(migration)
         return performed
 
     def migrate_chunk(self, namespace: str, manager: ChunkManager, chunk: Chunk,
                       target_shard: int, collections: list[Collection],
-                      documents: list[dict[str, Any]]) -> Migration:
-        """Move one chunk (its ``documents`` snapshot) to ``target_shard``."""
+                      documents: list[dict[str, Any]],
+                      shard_key: str = "_id") -> Migration:
+        """Move one chunk (its ``documents`` snapshot) to ``target_shard``.
+
+        Ownership is reassigned *first*, then the snapshot's documents are
+        moved, then the donor is rescanned for stragglers.  With concurrent
+        clients the order matters: if documents moved before the assignment
+        flipped, an insert routed to the donor during the copy would be
+        stranded there forever (a permanent orphan invisible to targeted
+        reads).  Assign-first narrows the race to the *snapshot* being stale,
+        which the final donor rescan closes -- any chunk-range document that
+        landed on the donor before the flip is swept over too.  During the
+        sweep a document can briefly exist on both shards; the router
+        deduplicates scatter reads by ``_id`` so clients never observe the
+        dual residence.
+        """
         source = collections[chunk.shard_id]
         target = collections[target_shard]
+        source_shard = chunk.shard_id
+        manager.assign(chunk, target_shard)
         cost = 0.0
+        moved = 0
         for document in documents:
-            insert_result = target.insert_one(document)
-            delete_result = source.delete_one({"_id": document["_id"]})
-            cost += insert_result.simulated_seconds + delete_result.simulated_seconds
+            cost += _move_document(source, target, document)
+            moved += 1
+        # Straggler sweep: writes that reached the donor between the snapshot
+        # scan and the ownership flip.
+        for document in _chunk_documents(source, shard_key, manager, chunk):
+            cost += _move_document(source, target, document)
+            moved += 1
         migration = Migration(
             namespace=namespace,
             lower=chunk.lower,
             upper=chunk.upper,
-            source_shard=chunk.shard_id,
+            source_shard=source_shard,
             target_shard=target_shard,
-            documents_moved=len(documents),
+            documents_moved=moved,
             simulated_seconds=cost,
         )
-        manager.assign(chunk, target_shard)
         self.migrations.append(migration)
         return migration
+
+
+def _move_document(source: Collection, target: Collection,
+                   document: dict[str, Any]) -> float:
+    """Copy one document to the recipient, then delete it from the donor.
+
+    Tolerates races with concurrent clients: the recipient may already hold
+    the ``_id`` (a client insert routed there after the ownership flip), and
+    the donor copy may already be gone (a client delete).  Either way the
+    recipient's copy is authoritative and the donor ends up clean.
+    """
+    cost = 0.0
+    try:
+        cost += target.insert_one(document).simulated_seconds
+    except DuplicateKeyError:
+        pass
+    cost += source.delete_one({"_id": document["_id"]}).simulated_seconds
+    return cost
+
+
+def _chunk_documents(collection: Collection, shard_key: str,
+                     manager: ChunkManager,
+                     chunk: Chunk) -> list[dict[str, Any]]:
+    """Every document on ``collection`` whose routing point ``chunk`` covers."""
+    matching: list[dict[str, Any]] = []
+    for __, document, __cost in collection.engine.scan():
+        found, value = get_path(document, shard_key)
+        if not found:
+            continue
+        if chunk.covers(manager.routing_point(value)):
+            matching.append(document)
+    return matching
 
 
 def _documents_by_chunk(collection: Collection, shard_key: str,

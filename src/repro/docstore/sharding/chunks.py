@@ -21,6 +21,7 @@ same shape as MongoDB's ``splitVector``.
 from __future__ import annotations
 
 import hashlib
+import threading
 from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Any, Iterable
@@ -110,10 +111,23 @@ class ChunkManager:
         self.shard_count = shard_count
         self.split_threshold = split_threshold
         self.splits_performed = 0
-        self._chunks: list[Chunk] = self._initial_chunks()
-        # Lower bounds of every chunk after the first (all non-None), kept in
-        # step with _chunks so point lookups can bisect instead of scanning.
-        self._lower_bounds: list[Any] = [chunk.lower for chunk in self._chunks[1:]]
+        # The chunk map is published as one immutable snapshot: a tuple of
+        # ``(chunks, lower bounds)`` where the bounds are the lower bounds of
+        # every chunk after the first (all non-None), kept in step so point
+        # lookups bisect instead of scanning.  Readers load ``_snapshot``
+        # once and can never observe a half-applied split; mutations build
+        # fresh tuples under ``_mutation_lock`` and publish them with a
+        # single atomic assignment.
+        initial = tuple(self._initial_chunks())
+        self._snapshot: tuple[tuple[Chunk, ...], tuple[Any, ...]] = (
+            initial, tuple(chunk.lower for chunk in initial[1:])
+        )
+        self._mutation_lock = threading.Lock()
+
+    @property
+    def _chunks(self) -> tuple["Chunk", ...]:
+        """The current chunk tuple (one consistent snapshot read)."""
+        return self._snapshot[0]
 
     # -- routing -----------------------------------------------------------------
 
@@ -126,7 +140,11 @@ class ChunkManager:
     def chunk_for(self, shard_key_value: Any) -> Chunk:
         """The unique chunk owning ``shard_key_value``."""
         point = self.routing_point(shard_key_value)
-        chunk = self._chunks[bisect_right(self._lower_bounds, point)]
+        # One snapshot load covers both the chunk tuple and its bounds --
+        # reading them as separate attributes could mix two generations of
+        # the map during a concurrent split.
+        chunks, lower_bounds = self._snapshot
+        chunk = chunks[bisect_right(lower_bounds, point)]
         if not chunk.covers(point):
             raise DocumentStoreError(
                 f"no chunk covers routing point {point!r} (broken chunk map)"
@@ -207,11 +225,15 @@ class ChunkManager:
                 f"split point {midpoint!r} does not divide chunk "
                 f"[{chunk.lower!r}, {chunk.upper!r})"
             )
-        index = self._chunks.index(chunk)
-        left = Chunk(chunk.lower, midpoint, chunk.shard_id)
-        right = Chunk(midpoint, chunk.upper, chunk.shard_id)
-        self._chunks[index:index + 1] = [left, right]
-        self._lower_bounds.insert(index, midpoint)
+        with self._mutation_lock:
+            chunks, lower_bounds = self._snapshot
+            index = chunks.index(chunk)
+            left = Chunk(chunk.lower, midpoint, chunk.shard_id)
+            right = Chunk(midpoint, chunk.upper, chunk.shard_id)
+            self._snapshot = (
+                chunks[:index] + (left, right) + chunks[index + 1:],
+                lower_bounds[:index] + (midpoint,) + lower_bounds[index:],
+            )
         return left, right
 
     @staticmethod
@@ -233,7 +255,11 @@ class ChunkManager:
     # -- migrations -----------------------------------------------------------------
 
     def assign(self, chunk: Chunk, shard_id: int) -> None:
-        """Record that ``chunk`` now lives on ``shard_id`` (used by the balancer)."""
+        """Record that ``chunk`` now lives on ``shard_id`` (used by the balancer).
+
+        The in-place ``shard_id`` write is a single atomic attribute store,
+        visible through every published snapshot that contains the chunk.
+        """
         if not 0 <= shard_id < self.shard_count:
             raise DocumentStoreError(f"shard {shard_id} does not exist")
         if chunk not in self._chunks:

@@ -22,6 +22,7 @@ per shard, capping the total at the thread count.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any
 
@@ -46,9 +47,22 @@ class ShardingState:
     inserts_since_maintenance: int = 0
     documents_routed: int = 0
 
+    def __post_init__(self) -> None:
+        # ``+=`` on the insert counters is a read-modify-write; concurrent
+        # router threads interleaving it would under-count and starve the
+        # maintenance trigger.
+        self._counter_lock = threading.Lock()
+        # Held for the duration of a maintenance round.  ``auto_maintain``
+        # only *tries* to take it: when another thread is already splitting
+        # and balancing the namespace there is no point queueing a second
+        # round behind it (it would rescan the same documents), so the
+        # trigger is simply skipped.  Explicit ``maintain()`` calls block.
+        self.maintenance_lock = threading.Lock()
+
     def note_insert(self) -> None:
-        self.inserts_since_maintenance += 1
-        self.documents_routed += 1
+        with self._counter_lock:
+            self.inserts_since_maintenance += 1
+            self.documents_routed += 1
 
 
 class RoutedCollection:
@@ -243,6 +257,12 @@ class ShardedCluster:
         self.auto_maintenance = auto_maintenance
         self.router = QueryRouter(self)
         self._states: dict[tuple[str, str], ShardingState] = {}
+        # Guards get-or-create on ``_states``: two threads first touching a
+        # namespace concurrently must agree on one ShardingState (two chunk
+        # maps for the same namespace would route the same key to different
+        # shards).  Reentrant because ``sharding_state`` holds it across its
+        # call into ``shard_collection``, which takes it again to publish.
+        self._states_lock = threading.RLock()
         self._commands_executed = 0
 
     # -- DocumentServer-compatible surface ----------------------------------------
@@ -262,8 +282,9 @@ class ShardedCluster:
         dropped = False
         for server in self.shards:
             dropped = server.drop_database(name) or dropped
-        for key in [key for key in self._states if key[0] == name]:
-            del self._states[key]
+        with self._states_lock:
+            for key in [key for key in self._states if key[0] == name]:
+                del self._states[key]
         return dropped
 
     def database_names(self) -> list[str]:
@@ -382,14 +403,20 @@ class ShardedCluster:
                                  strategy=strategy or self.default_strategy,
                                  split_threshold=self.split_threshold),
         )
-        self._states[(database, collection)] = state
+        with self._states_lock:
+            self._states[(database, collection)] = state
         return state
 
     def sharding_state(self, database: str, collection: str) -> ShardingState:
         """The routing state of a namespace (sharded with defaults on first use)."""
         state = self._states.get((database, collection))
         if state is None:
-            state = self.shard_collection(database, collection)
+            # Get-or-create under the lock: two threads racing the first
+            # access of a namespace must not each build a chunk map.
+            with self._states_lock:
+                state = self._states.get((database, collection))
+                if state is None:
+                    state = self.shard_collection(database, collection)
         return state
 
     def shard_collection_on(self, shard_id: int, database: str,
@@ -429,7 +456,8 @@ class ShardedCluster:
         for server in self.shards:
             if database in server.database_names():
                 dropped = server.database(database).drop_collection(collection) or dropped
-        self._states.pop((database, collection), None)
+        with self._states_lock:
+            self._states.pop((database, collection), None)
         return dropped
 
     def collection_names(self, database: str) -> list[str]:
@@ -465,11 +493,18 @@ class ShardedCluster:
         charge it -- the router bills it to the insert that triggered the
         round, the benchmark's load phase to the load total).
         """
-        self.ensure_primaries()
         state = self.sharding_state(database, collection)
+        with state.maintenance_lock:
+            return self._maintain_locked(database, collection, state)
+
+    def _maintain_locked(self, database: str, collection: str,
+                         state: ShardingState) -> dict[str, Any]:
+        """One maintenance round; caller holds ``state.maintenance_lock``."""
+        self.ensure_primaries()
         splits = self.split_chunks(database, collection)
         migrations = self.balance(database, collection)
-        state.inserts_since_maintenance = 0
+        with state._counter_lock:
+            state.inserts_since_maintenance = 0
         return {
             "splits": splits,
             "migrations": [m.as_dict() for m in migrations],
@@ -515,9 +550,18 @@ class ShardedCluster:
             return 0.0
         state = self.sharding_state(database, collection)
         trigger = max(self.split_threshold, state.documents_routed // 2)
-        if state.inserts_since_maintenance >= trigger:
-            return self.maintain(database, collection)["simulated_seconds"]
-        return 0.0
+        if state.inserts_since_maintenance < trigger:
+            return 0.0
+        # Non-blocking: when another thread is already running a round for
+        # this namespace, a second round queued behind it would rescan the
+        # same documents for nothing -- skip and let the next insert retry.
+        if not state.maintenance_lock.acquire(blocking=False):
+            return 0.0
+        try:
+            round_summary = self._maintain_locked(database, collection, state)
+        finally:
+            state.maintenance_lock.release()
+        return round_summary["simulated_seconds"]
 
     # -- statistics ---------------------------------------------------------------------
 

@@ -48,6 +48,7 @@ the operation fails loudly instead of silently dropping writes.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.docstore.collection import OperationResult
@@ -89,6 +90,9 @@ class QueryRouter:
         self.scatter_operations = 0
         self.failover_retries = 0
         self.maintenance_seconds = 0.0
+        # Guards the four counters above: they are read-modify-writes on
+        # state shared by every client thread of the cluster.
+        self._stats_lock = threading.Lock()
 
     # -- writes -----------------------------------------------------------------
 
@@ -105,7 +109,8 @@ class QueryRouter:
         shard_id = state.manager.shard_for(value)
         result = self._run_on_shard(database, collection, shard_id,
                                     "insert_one", stored)
-        self.targeted_operations += 1
+        with self._stats_lock:
+            self.targeted_operations += 1
         result.shard_costs = {self._shard_name(shard_id): result.simulated_seconds}
         state.note_insert()
         maintenance_seconds = self.cluster.auto_maintain(database, collection)
@@ -115,7 +120,8 @@ class QueryRouter:
             # during a measured phase is not free.
             result.simulated_seconds += maintenance_seconds
             result.shard_costs["balancer"] = maintenance_seconds
-            self.maintenance_seconds += maintenance_seconds
+            with self._stats_lock:
+                self.maintenance_seconds += maintenance_seconds
         return result
 
     def insert_many(self, database: str, collection: str,
@@ -187,6 +193,19 @@ class QueryRouter:
                                         "find_with_cost", query, limit=limit)
             merged.documents.extend(result.documents)
             merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+        if len(shard_ids) > 1:
+            # During an in-flight migration a document exists on donor and
+            # recipient for a moment; a multi-shard read deduplicates by
+            # ``_id`` so that window can never surface the same document
+            # twice (single-shard targeted reads cannot see duplicates).
+            seen_ids: set[str] = set()
+            unique: list[dict[str, Any]] = []
+            for document in merged.documents:
+                identity = str(document.get("_id"))
+                if identity not in seen_ids:
+                    seen_ids.add(identity)
+                    unique.append(document)
+            merged.documents = unique
         merged.simulated_seconds = combine_shard_costs(merged.shard_costs,
                                                        parallel=True)
         if limit is not None and len(shard_ids) > 1:
@@ -272,7 +291,8 @@ class QueryRouter:
         try:
             return getattr(target, operation)(*arguments, **keywords)
         except NotPrimaryError:
-            self.failover_retries += 1
+            with self._stats_lock:
+                self.failover_retries += 1
             self.cluster.ensure_shard_primary(shard_id)
             return getattr(target, operation)(*arguments, **keywords)
 
@@ -318,10 +338,11 @@ class QueryRouter:
         return sorted(shards), len(shards) < len(every)
 
     def _note(self, targeted: bool) -> None:
-        if targeted:
-            self.targeted_operations += 1
-        else:
-            self.scatter_operations += 1
+        with self._stats_lock:
+            if targeted:
+                self.targeted_operations += 1
+            else:
+                self.scatter_operations += 1
 
     def _single_shard(self, database: str, collection: str, shard_id: int,
                       operation: str, *arguments: Any) -> OperationResult:

@@ -14,10 +14,21 @@ Hot-path properties (the copy-on-write protocol of
 ``(document, size)`` records, so reads hand back the stored object without a
 copy and reuse the size computed once at write time -- no per-read
 ``document_size`` walk, no ``copy.deepcopy`` anywhere in the engine.
+
+**Concurrency (PR 6).**  Point reads and scans are *latch-free*: the B-tree
+is copy-on-write (readers traverse an atomic root snapshot) and documents
+are frozen, so a reader can never observe a torn tree or a torn document.
+Mutations take a tiny internal latch (``_mutate``) that covers only the tree
+update and the disk-byte counter -- it sits at the bottom of the lock
+hierarchy (collection -> stripe -> index latch -> engine latch) and is
+released before the operation's service time is charged, so concurrent
+writers to different documents overlap everything except the in-memory tree
+update itself.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator
 
 from repro.docstore.btree import BTree
@@ -54,6 +65,8 @@ class WiredTigerEngine(StorageEngine):
         self._tree = BTree(order=64)  # record id -> (document, size)
         self._cache = LruCache(cache_bytes)
         self._disk_bytes = 0
+        # Serialises tree mutations and the byte counter; see module docstring.
+        self._mutate = threading.Lock()
 
     # -- StorageEngine interface ------------------------------------------------
 
@@ -72,10 +85,9 @@ class WiredTigerEngine(StorageEngine):
                     size: int | None) -> float:
         size = self._size_of(document, size)
         compressed = int(size * self.compression_ratio)
-        accesses_before = self._tree.node_accesses
-        self._tree.insert(record_id, (document, size))
-        visited = self._tree.node_accesses - accesses_before
-        self._disk_bytes += compressed
+        with self._mutate:
+            visited = self._tree.insert(record_id, (document, size))
+            self._disk_bytes += compressed
         self._cache.put(record_id, size)
         return (
             self.parameters.base_operation
@@ -85,9 +97,10 @@ class WiredTigerEngine(StorageEngine):
         )
 
     def read(self, record_id: str) -> tuple[dict[str, Any] | None, float]:
-        accesses_before = self._tree.node_accesses
-        found, record = self._tree.get(record_id)
-        visited = self._tree.node_accesses - accesses_before
+        # Latch-free: one snapshot traversal of the copy-on-write tree.  The
+        # per-call visited count comes from search() itself -- a before/after
+        # delta of the cumulative counter would be torn by concurrent readers.
+        found, record, visited = self._tree.search(record_id)
         cost = self.parameters.base_operation + visited * self.parameters.node_access
         if not found:
             return None, self.costs.charge("read_miss", cost)
@@ -102,21 +115,25 @@ class WiredTigerEngine(StorageEngine):
             self._cache.put(record_id, size)
         return document, self.costs.charge("read", cost)
 
+    def peek(self, record_id: str) -> dict[str, Any] | None:
+        """Charge-free snapshot lookup (latch-free, like :meth:`read`)."""
+        found, record, __ = self._tree.search(record_id)
+        return record[0] if found else None
+
     def update(self, record_id: str, document: dict[str, Any],
                size: int | None = None) -> float:
-        found, previous = self._tree.get(record_id)
-        if not found:
-            raise KeyError(record_id)
-        old_size = previous[1]
         new_size = self._size_of(document, size)
-        old_compressed = int(old_size * self.compression_ratio)
         new_compressed = int(new_size * self.compression_ratio)
-        accesses_before = self._tree.node_accesses
-        self._tree.insert(record_id, (document, new_size))
-        visited = self._tree.node_accesses - accesses_before
-        # wiredTiger never updates in place: the new version is written out and
-        # the old block is reclaimed later, so disk usage tracks the new size.
-        self._disk_bytes += new_compressed - old_compressed
+        with self._mutate:
+            found, previous, __ = self._tree.search(record_id)
+            if not found:
+                raise KeyError(record_id)
+            old_compressed = int(previous[1] * self.compression_ratio)
+            visited = self._tree.insert(record_id, (document, new_size))
+            # wiredTiger never updates in place: the new version is written out
+            # and the old block is reclaimed later, so disk usage tracks the
+            # new size.
+            self._disk_bytes += new_compressed - old_compressed
         self._cache.put(record_id, new_size)
         cost = (
             self.parameters.base_operation
@@ -127,13 +144,13 @@ class WiredTigerEngine(StorageEngine):
         return self.costs.charge("update", cost)
 
     def delete(self, record_id: str) -> float:
-        found, previous = self._tree.get(record_id)
-        if not found:
-            raise KeyError(record_id)
-        size = previous[1]
-        self._tree.delete(record_id)
+        with self._mutate:
+            found, previous, __ = self._tree.search(record_id)
+            if not found:
+                raise KeyError(record_id)
+            self._tree.delete(record_id)
+            self._disk_bytes -= int(previous[1] * self.compression_ratio)
         self._cache.invalidate(record_id)
-        self._disk_bytes -= int(size * self.compression_ratio)
         cost = self.parameters.base_operation + self._tree.depth() * self.parameters.node_access
         return self.costs.charge("delete", cost)
 
@@ -151,6 +168,18 @@ class WiredTigerEngine(StorageEngine):
 
     def storage_bytes(self) -> int:
         return max(self._disk_bytes, 0)
+
+    def verify_accounting(self) -> None:
+        """Check the running disk-byte total against a tree recomputation."""
+        with self._mutate:
+            expected = sum(
+                int(record[1] * self.compression_ratio)
+                for __, record in self._tree.items()
+            )
+            assert self._disk_bytes == expected, (
+                f"disk byte drift: running total {self._disk_bytes} != "
+                f"recomputed {expected}"
+            )
 
     # -- engine-specific reporting ------------------------------------------------
 

@@ -133,4 +133,9 @@ class TestLockManager:
         with manager.write():
             pass
         snapshot = manager.stats.snapshot()
-        assert set(snapshot) == {"acquisitions", "contentions", "exclusive_acquisitions"}
+        assert set(snapshot) == {
+            "acquisitions",
+            "contentions",
+            "exclusive_acquisitions",
+            "wait_seconds",
+        }

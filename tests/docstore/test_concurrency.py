@@ -1,0 +1,483 @@
+"""Multi-threaded stress tests for the concurrent serving work (PR 6 / E14).
+
+Every test here started life as a reproducer for a real data race in the
+seed code -- counter read-modify-writes, check-then-act get-or-create,
+non-atomic structure mutation -- and now pins the fix.  The differential
+tests at the bottom preserve the repo's core guarantee under concurrency:
+a sharded or replicated deployment must end in exactly the state a single
+server reaches, and no update may be lost and no document torn.
+
+The suites deliberately use many threads on small data: under the GIL the
+interpreter switches threads every few bytecodes, which interleaves the
+critical sections densely enough that the seed races failed within a few
+hundred iterations.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.docstore.btree import BTree
+from repro.docstore.cache import LruCache
+from repro.docstore.collection import Collection
+from repro.docstore.mmapv1 import MmapV1Engine
+from repro.docstore.replication.oplog import OP_INSERT, Oplog
+from repro.docstore.replication.replica_set import ReplicaSet
+from repro.docstore.server import DocumentServer
+from repro.docstore.sharding.chunks import ChunkManager
+from repro.docstore.sharding.cluster import ShardedCluster
+from repro.docstore.wiredtiger import WiredTigerEngine
+from repro.errors import DuplicateKeyError
+
+
+def run_threads(count: int, target, *args) -> list[Exception]:
+    """Start ``count`` threads through a barrier; return raised exceptions."""
+    barrier = threading.Barrier(count)
+    errors: list[Exception] = []
+    errors_lock = threading.Lock()
+
+    def runner(worker_id: int) -> None:
+        try:
+            barrier.wait()
+            target(worker_id, *args)
+        except Exception as error:  # noqa: BLE001 - collected for the assert
+            with errors_lock:
+                errors.append(error)
+
+    threads = [threading.Thread(target=runner, args=(worker,))
+               for worker in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+# -- satellite 1: plan cache ------------------------------------------------------
+
+
+class TestPlanCacheConcurrency:
+    def test_hit_miss_counters_account_for_every_plan(self):
+        """Seed race: ``cache_hits += 1`` from N threads lost increments."""
+        collection = Collection("c", WiredTigerEngine())
+        for index in range(32):
+            collection.insert_one({"_id": f"d{index}", "value": index})
+        threads, plans_each = 8, 200
+
+        def worker(worker_id: int) -> None:
+            for iteration in range(plans_each):
+                collection.planner.plan({"value": iteration % 32})
+
+        collection.planner.plan({"value": 0})  # warm one template
+        before = collection.planner.cache_stats()
+        errors = run_threads(threads, worker)
+        assert not errors
+        stats = collection.planner.cache_stats()
+        accounted = (stats["hits"] - before["hits"]) + (stats["misses"]
+                                                        - before["misses"])
+        assert accounted == threads * plans_each
+
+    def test_concurrent_plans_with_index_ddl_survive(self):
+        """Plans racing create/drop index must never crash or misplan."""
+        collection = Collection("c", WiredTigerEngine())
+        for index in range(64):
+            collection.insert_one({"_id": f"d{index}", "value": index % 8})
+        stop = threading.Event()
+
+        def reader(worker_id: int) -> None:
+            while not stop.is_set():
+                result = collection.find_with_cost({"value": worker_id % 8})
+                assert len(result.documents) == 8
+
+        def ddl() -> None:
+            for __ in range(20):
+                collection.create_index("value")
+                collection.drop_index("value")
+            stop.set()
+
+        ddl_thread = threading.Thread(target=ddl)
+        ddl_thread.start()
+        errors = run_threads(4, reader)
+        ddl_thread.join()
+        assert not errors
+
+
+# -- satellite 2: oplog -----------------------------------------------------------
+
+
+class TestOplogConcurrency:
+    def test_concurrent_appends_mint_unique_monotonic_optimes(self):
+        """Seed race: interleaved ``_next_index`` reads minted duplicates."""
+        oplog = Oplog()
+        threads, appends_each = 8, 500
+
+        def worker(worker_id: int) -> None:
+            for iteration in range(appends_each):
+                oplog.append(1, OP_INSERT, "db", "c",
+                             record_id=f"{worker_id}-{iteration}",
+                             document={"_id": f"{worker_id}-{iteration}"})
+
+        errors = run_threads(threads, worker)
+        assert not errors
+        assert len(oplog) == threads * appends_each
+        optimes = [entry.optime for entry in oplog]
+        for previous, current in zip(optimes, optimes[1:]):
+            assert current > previous
+
+    def test_replicated_writes_from_threads_all_reach_the_oplog(self):
+        replica_set = ReplicaSet(members=3, write_concern=1)
+        collection = replica_set.database("db").collection("c")
+        threads, writes_each = 4, 50
+
+        def worker(worker_id: int) -> None:
+            for iteration in range(writes_each):
+                collection.insert_one({"_id": f"{worker_id}-{iteration}"})
+
+        errors = run_threads(threads, worker)
+        assert not errors
+        assert len(replica_set.oplog) == threads * writes_each
+
+
+# -- satellite 3: chunk map and router counters -----------------------------------
+
+
+class TestChunkMapConcurrency:
+    def test_chunk_for_never_fails_during_splits(self):
+        """Seed race: readers observed half-applied list mutations."""
+        manager = ChunkManager(shard_count=4, split_threshold=2)
+        points = [manager.routing_point(f"key{index}") for index in range(512)]
+        stop = threading.Event()
+
+        def reader(worker_id: int) -> None:
+            while not stop.is_set():
+                for index in range(0, 512, 7):
+                    manager.chunk_for(f"key{index}")
+
+        def splitter() -> None:
+            chunks = manager.chunks()
+            points_by_chunk: dict[int, list] = {}
+            for point in points:
+                for index, chunk in enumerate(chunks):
+                    if chunk.covers(point):
+                        points_by_chunk.setdefault(index, []).append(point)
+                        break
+            manager.split_oversized(points_by_chunk)
+            stop.set()
+
+        split_thread = threading.Thread(target=splitter)
+        split_thread.start()
+        errors = run_threads(4, reader)
+        split_thread.join()
+        assert not errors
+        manager.validate()
+
+    def test_router_counters_account_for_every_insert(self):
+        """Seed race: ``targeted_operations``/``documents_routed`` lost counts."""
+        cluster = ShardedCluster(shards=4, auto_maintenance=False)
+        collection = cluster.database("db").collection("c")
+        threads, inserts_each = 8, 100
+
+        def worker(worker_id: int) -> None:
+            for iteration in range(inserts_each):
+                collection.insert_one({"_id": f"{worker_id}-{iteration}"})
+
+        errors = run_threads(threads, worker)
+        assert not errors
+        total = threads * inserts_each
+        assert cluster.router.targeted_operations >= total
+        assert cluster.sharding_state("db", "c").documents_routed == total
+        assert collection.count_documents({}) == total
+
+
+# -- satellite 4: mmapv1 accounting -----------------------------------------------
+
+
+class TestEngineAccountingConcurrency:
+    def test_mmapv1_storage_accounting_survives_insert_delete_churn(self):
+        """Seed race: extent used/free drifted from the record allocations."""
+        collection = Collection("c", MmapV1Engine())
+        threads, cycles = 6, 60
+
+        def worker(worker_id: int) -> None:
+            for iteration in range(cycles):
+                identity = f"{worker_id}-{iteration}"
+                collection.insert_one({"_id": identity,
+                                       "payload": "x" * (20 + iteration % 60)})
+                if iteration % 3 == 0:
+                    collection.delete_one({"_id": identity})
+
+        errors = run_threads(threads, worker)
+        assert not errors
+        collection.engine.verify_accounting()
+        stats = collection.engine.statistics()
+        assert stats["documents"] == collection.count_documents({})
+
+    def test_wiredtiger_disk_bytes_match_tree_contents_after_churn(self):
+        collection = Collection("c", WiredTigerEngine())
+        threads, cycles = 6, 60
+
+        def worker(worker_id: int) -> None:
+            for iteration in range(cycles):
+                identity = f"{worker_id}-{iteration}"
+                collection.insert_one({"_id": identity, "n": iteration})
+                collection.update_one({"_id": identity},
+                                      {"$set": {"n": iteration + 1}})
+                if iteration % 4 == 0:
+                    collection.delete_one({"_id": identity})
+
+        errors = run_threads(threads, worker)
+        assert not errors
+        collection.engine.verify_accounting()
+
+
+# -- core write-path guarantees ---------------------------------------------------
+
+
+class TestNoLostUpdates:
+    def test_concurrent_inc_on_one_document_loses_nothing(self):
+        """The signature lost-update race: read-modify-write on one document."""
+        collection = Collection("c", WiredTigerEngine())
+        collection.insert_one({"_id": "counter", "n": 0})
+        threads, incs_each = 8, 100
+
+        def worker(worker_id: int) -> None:
+            for __ in range(incs_each):
+                result = collection.update_one({"_id": "counter"},
+                                               {"$inc": {"n": 1}})
+                assert result.matched_count == 1
+
+        errors = run_threads(threads, worker)
+        assert not errors
+        assert collection.find_one({"_id": "counter"})["n"] == threads * incs_each
+
+    def test_concurrent_inc_on_mmapv1_loses_nothing(self):
+        collection = Collection("c", MmapV1Engine())
+        collection.insert_one({"_id": "counter", "n": 0})
+        threads, incs_each = 8, 100
+
+        def worker(worker_id: int) -> None:
+            for __ in range(incs_each):
+                collection.update_one({"_id": "counter"}, {"$inc": {"n": 1}})
+
+        errors = run_threads(threads, worker)
+        assert not errors
+        assert collection.find_one({"_id": "counter"})["n"] == threads * incs_each
+
+    def test_duplicate_key_race_admits_exactly_one_insert(self):
+        """Two threads inserting the same ``_id``: one wins, one gets the error."""
+        collection = Collection("c", WiredTigerEngine())
+        outcomes: list[str] = []
+        outcome_lock = threading.Lock()
+
+        def worker(worker_id: int) -> None:
+            for iteration in range(50):
+                try:
+                    collection.insert_one({"_id": f"shared-{iteration}"})
+                    with outcome_lock:
+                        outcomes.append("inserted")
+                except DuplicateKeyError:
+                    with outcome_lock:
+                        outcomes.append("duplicate")
+
+        errors = run_threads(4, worker)
+        assert not errors
+        assert outcomes.count("inserted") == 50
+        assert outcomes.count("duplicate") == 150
+        assert collection.count_documents({}) == 50
+
+
+class TestNoTornDocuments:
+    def test_readers_never_observe_half_written_documents(self):
+        """Writers keep ``a == b``; a torn read would see them disagree."""
+        collection = Collection("c", WiredTigerEngine())
+        collection.insert_one({"_id": "doc", "a": 0, "b": 0})
+        stop = threading.Event()
+
+        def writer() -> None:
+            for version in range(1, 301):
+                collection.update_one(
+                    {"_id": "doc"}, {"$set": {"a": version, "b": version}})
+            stop.set()
+
+        def reader(worker_id: int) -> None:
+            while not stop.is_set():
+                document = collection.find_one({"_id": "doc"})
+                assert document is not None
+                assert document["a"] == document["b"]
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        errors = run_threads(4, reader)
+        writer_thread.join()
+        assert not errors
+
+
+# -- infrastructure pieces --------------------------------------------------------
+
+
+class TestInfrastructureConcurrency:
+    def test_lru_cache_stress_keeps_byte_accounting_sane(self):
+        cache = LruCache(capacity_bytes=4096)
+        threads, operations = 6, 400
+
+        def worker(worker_id: int) -> None:
+            for iteration in range(operations):
+                key = (worker_id * 31 + iteration) % 64
+                cache.put(key, size=64)
+                cache.get(key)
+                if iteration % 5 == 0:
+                    cache.invalidate((key + 1) % 64)
+
+        errors = run_threads(threads, worker)
+        assert not errors
+        assert 0 <= cache.used_bytes <= 4096
+
+    def test_btree_readers_race_one_writer_safely(self):
+        """Copy-on-write publication: readers see old or new, never between."""
+        tree = BTree(order=8)
+        for index in range(64):
+            tree.insert(f"k{index:04d}", index)
+        stop = threading.Event()
+
+        def writer() -> None:
+            for index in range(64, 512):
+                tree.insert(f"k{index:04d}", index)
+            stop.set()
+
+        def reader(worker_id: int) -> None:
+            while not stop.is_set():
+                found, value, __ = tree.search("k0032")
+                assert found and value == 32
+                items = list(tree.range("k0000", "k0063"))
+                assert len(items) == 64
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        errors = run_threads(4, reader)
+        writer_thread.join()
+        assert not errors
+        tree.check_invariants()
+
+    def test_namespace_get_or_create_yields_one_object(self):
+        """Seed race: racing first accesses each built their own engine."""
+        server = DocumentServer()
+        seen: list[int] = []
+        seen_lock = threading.Lock()
+
+        def worker(worker_id: int) -> None:
+            collection = server.database("db").collection("c")
+            with seen_lock:
+                seen.append(id(collection))
+
+        errors = run_threads(8, worker)
+        assert not errors
+        assert len(set(seen)) == 1
+
+    def test_sharding_state_get_or_create_yields_one_chunk_map(self):
+        cluster = ShardedCluster(shards=4, auto_maintenance=False)
+        seen: list[int] = []
+        seen_lock = threading.Lock()
+
+        def worker(worker_id: int) -> None:
+            state = cluster.sharding_state("db", "fresh")
+            with seen_lock:
+                seen.append(id(state))
+
+        errors = run_threads(8, worker)
+        assert not errors
+        assert len(set(seen)) == 1
+
+
+# -- migrations under load --------------------------------------------------------
+
+
+class TestMigrationUnderLoad:
+    def test_maintenance_during_concurrent_inserts_strands_no_documents(self):
+        """Assign-first + straggler sweep: every document stays reachable."""
+        cluster = ShardedCluster(shards=3, strategy="range", split_threshold=8,
+                                 auto_maintenance=False)
+        collection = cluster.database("db").collection("c")
+        threads, inserts_each = 4, 60
+        stop = threading.Event()
+
+        def inserter(worker_id: int) -> None:
+            for iteration in range(inserts_each):
+                collection.insert_one({"_id": f"{worker_id:02d}-{iteration:04d}"})
+
+        def maintainer() -> None:
+            while not stop.is_set():
+                cluster.maintain("db", "c")
+            cluster.maintain("db", "c")
+
+        maintenance_thread = threading.Thread(target=maintainer)
+        maintenance_thread.start()
+        errors = run_threads(threads, inserter)
+        stop.set()
+        maintenance_thread.join()
+        assert not errors
+        total = threads * inserts_each
+        assert collection.count_documents({}) == total
+        # Every document must be reachable through targeted routing -- a
+        # migration that stranded a document on a non-owning shard fails here.
+        for worker in range(threads):
+            for iteration in range(0, inserts_each, 9):
+                identity = f"{worker:02d}-{iteration:04d}"
+                assert collection.find_one({"_id": identity}) is not None
+        state = cluster.sharding_state("db", "c")
+        state.manager.validate()
+
+
+# -- differential guarantees under concurrency ------------------------------------
+
+
+def run_mixed_workload(collection, threads: int = 4, operations: int = 50) -> None:
+    """Deterministic-final-state workload: disjoint inserts + shared $incs."""
+    collection.insert_one({"_id": "counter", "n": 0})
+
+    def worker(worker_id: int) -> None:
+        for iteration in range(operations):
+            collection.insert_one({"_id": f"w{worker_id}-{iteration}",
+                                   "owner": worker_id})
+            collection.update_one({"_id": "counter"}, {"$inc": {"n": 1}})
+
+    errors = run_threads(threads, worker)
+    assert not errors
+
+
+def expected_state(threads: int = 4, operations: int = 50) -> tuple[int, int]:
+    return threads * operations + 1, threads * operations  # documents, counter
+
+
+class TestDifferentialGuarantees:
+    def test_sharded_cluster_matches_single_server_state(self):
+        cluster = ShardedCluster(shards=3, split_threshold=16)
+        collection = cluster.database("db").collection("c")
+        run_mixed_workload(collection)
+        documents, counter = expected_state()
+        assert collection.count_documents({}) == documents
+        assert collection.find_one({"_id": "counter"})["n"] == counter
+
+    def test_replica_set_at_majority_matches_single_server_state(self):
+        replica_set = ReplicaSet(members=3, write_concern="majority")
+        collection = replica_set.database("db").collection("c")
+        run_mixed_workload(collection)
+        documents, counter = expected_state()
+        assert collection.count_documents({}) == documents
+        assert collection.find_one({"_id": "counter"})["n"] == counter
+        # At w=majority with lag 0 the background tail keeps every member
+        # converged once the writers have joined.
+        for member in replica_set.members:
+            member_collection = member.server.database("db").collection("c")
+            assert member_collection.count_documents({}) == documents
+            assert member_collection.find_one({"_id": "counter"})["n"] == counter
+
+    @pytest.mark.parametrize("engine", ["wiredtiger", "mmapv1"])
+    def test_standalone_engines_reach_identical_state(self, engine):
+        server = DocumentServer(engine)
+        collection = server.database("db").collection("c")
+        run_mixed_workload(collection)
+        documents, counter = expected_state()
+        assert collection.count_documents({}) == documents
+        assert collection.find_one({"_id": "counter"})["n"] == counter
