@@ -12,6 +12,13 @@ same externally visible behaviour the demo depends on:
   :mod:`repro.docstore.update_ops`), planned by a cost-based query planner
   (:mod:`repro.docstore.planner`) over shared predicate analysis
   (:mod:`repro.docstore.predicates`), with ``explain()`` on every surface,
+* an aggregation pipeline (:mod:`repro.docstore.aggregation`):
+  ``$match``/``$project``/``$group``/``$sort``/``$limit`` stages executed as
+  a streaming iterator chain, with a leading ``$match`` pushed into the
+  query planner, ``$sort``+``$limit`` satisfied by ordered index walks, and
+  on a cluster a scatter--partial--merge split that ships partial ``$group``
+  accumulator states (and pre-sorted limited streams) from the shards to the
+  router -- plus ``distinct()`` and sort-aware client cursors on top,
 * two storage engines with the *mechanisms that make them differ* in the
   demo: a B-tree based, block-compressed, document-level-locking engine
   (:mod:`repro.docstore.wiredtiger`) and an extent-based, padded, in-place,

@@ -1,0 +1,991 @@
+"""The aggregation pipeline: streaming `$match`/`$project`/`$group`/`$sort`/`$limit`.
+
+A pipeline is a list of single-key stage documents, executed as a chain of
+iterators over the copy-on-write stored documents -- no stage materialises an
+intermediate result list unless its semantics require one (`$sort` and
+`$group` are the only blocking stages).  Two pushdown layers make pipelines
+cheap rather than merely composable:
+
+**Planner pushdown (single server).**  A leading ``$match`` is not executed
+as a filter at all: the stage's query is handed to the collection's
+:class:`~repro.docstore.planner.QueryPlanner`, so it rides the same
+``ID_LOOKUP`` / ``INDEX_EQ`` / ``INDEX_RANGE`` access paths -- and the same
+plan cache, keyed by :func:`~repro.docstore.matching.query_shape` -- as a
+plain ``find``.  A ``$sort`` on a single ascending field whose ordered index
+*covers* the collection (every live document carries a scalar value for the
+field, tracked by
+:meth:`~repro.docstore.indexes.OrderedSecondaryIndex.ordered_records`)
+becomes an ordered B-tree walk instead of an in-memory sort, and a
+downstream ``$limit`` is pushed into that walk so it stops after enough
+matches.  When the leading ``$match`` additionally constrains the sort field
+to one interval, the walk seeks straight into ``iter_range`` instead of
+starting at the smallest key.
+
+**Shard pushdown (router).**  :func:`split_pipeline` rewrites a pipeline
+into a per-shard part and a router part.  Stages up to the first ``$group``
+(when no ``$sort``/``$limit`` precedes it -- those need a global view) run
+shard-side and ship one *partial accumulator state row per group* instead of
+every matching document; the router combines states
+(:func:`combine_partial_groups`) and finalises.  Without a ``$group``, the
+prefix through the first ``$sort`` (and an immediately following ``$limit``)
+runs per shard, and the router performs an ordered merge of the pre-sorted,
+pre-limited shard streams (:func:`merge_shard_streams`).
+
+**Determinism contract.**  MongoDB leaves group order and sort ties
+undefined; this implementation pins both so a sharded aggregation returns
+*exactly* the documents, in exactly the order, a single server returns:
+``$group`` emits groups ordered by a canonical type-tagged key token
+(:func:`group_token`), and ``$sort`` breaks ties by ``str(_id)`` -- the same
+tie-break the router's limited find-merge already uses, and the order the
+ordered index emits.  Pipelines with no ``$sort``/``$group`` keep no order
+guarantee (their order is access-path-dependent, as in MongoDB).
+
+Accumulator semantics follow MongoDB: ``$sum``/``$avg`` consider only
+numeric (non-bool) values and default to ``0`` / ``None``; ``$min``/``$max``
+ignore null and missing and compare with the total order of
+:func:`~repro.docstore.cursor.sort_key`; ``$count`` takes ``{}`` and counts
+documents.  Group keys are expressions: ``None``, a constant, a ``"$path"``
+field reference (missing resolves to ``None``, MongoDB's null group), or a
+compound document of those.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from repro.docstore.cursor import sort_key
+from repro.docstore.documents import get_path
+from repro.docstore.indexes import OrderedSecondaryIndex
+from repro.docstore.matching import compile_query
+from repro.docstore.predicates import query_intervals
+from repro.errors import DocumentStoreError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.docstore.collection import Collection, OperationResult
+
+STAGE_NAMES = ("$match", "$project", "$group", "$sort", "$limit")
+
+#: Access-path label ``explain`` reports when a ``$sort`` is satisfied by an
+#: ordered index walk instead of an in-memory sort.
+ORDERED_INDEX_WALK = "ORDERED_INDEX_WALK"
+
+#: Access-path label for a full-collection source: the stream comes straight
+#: from the engine's bulk scan, not from planning a query.
+BULK_SCAN = "BULK_SCAN"
+
+_ABSENT = object()
+
+
+# -- expressions -------------------------------------------------------------------
+
+
+class _FieldRef:
+    """A ``"$path"`` reference resolved with dotted-path semantics."""
+
+    __slots__ = ("path", "_simple")
+
+    def __init__(self, path: str):
+        self.path = path
+        # Dot-free paths -- the overwhelmingly common case in group keys and
+        # accumulator operands -- resolve with one dict probe instead of the
+        # split-and-descend of get_path.
+        self._simple = "." not in path
+
+    def evaluate(self, document: dict[str, Any]) -> tuple[bool, Any]:
+        if self._simple:
+            value = document.get(self.path, _ABSENT)
+            if value is _ABSENT:
+                return False, None
+            return True, value
+        return get_path(document, self.path)
+
+
+class _Constant:
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, document: dict[str, Any]) -> tuple[bool, Any]:
+        return True, self.value
+
+
+class _Compound:
+    """A compound group key ``{"a": "$x", "b": "$y"}`` (missing -> None)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: dict[str, Any]):
+        self.entries = entries
+
+    def evaluate(self, document: dict[str, Any]) -> tuple[bool, Any]:
+        value: dict[str, Any] = {}
+        for name, expression in self.entries.items():
+            found, entry = expression.evaluate(document)
+            value[name] = entry if found else None
+        return True, value
+
+
+def _parse_expression(expression: Any, allow_compound: bool) -> Any:
+    if isinstance(expression, str) and expression.startswith("$"):
+        path = expression[1:]
+        if not path:
+            raise DocumentStoreError("empty field reference '$' in pipeline expression")
+        return _FieldRef(path)
+    if expression is None or isinstance(expression, (bool, int, float, str)):
+        return _Constant(expression)
+    if isinstance(expression, dict):
+        if not allow_compound:
+            raise DocumentStoreError(
+                f"unsupported operator expression {expression!r}; accumulators "
+                "take a field reference or a constant"
+            )
+        if any(key.startswith("$") for key in expression):
+            raise DocumentStoreError(
+                f"unsupported operator expression {expression!r} in $group _id"
+            )
+        return _Compound({name: _parse_expression(entry, allow_compound=False)
+                          for name, entry in expression.items()})
+    raise DocumentStoreError(f"unsupported pipeline expression {expression!r}")
+
+
+# -- group keys --------------------------------------------------------------------
+
+
+def group_token(value: Any) -> tuple:
+    """A hashable, totally ordered canonical token for one group-key value.
+
+    Values are type-tagged so ``True`` and ``1`` form distinct groups (their
+    Python hashes collide) while ``1`` and ``1.0`` share one (numeric
+    equality, as in MongoDB).  Dict values are canonicalised by sorted items,
+    so key-insertion order never splits a group.  Tokens with equal tags
+    always hold same-type payloads, which makes ``sorted()`` over tokens the
+    canonical cross-shard group order.
+    """
+    if isinstance(value, bool):
+        return ("b", value)
+    if value is None:
+        return ("z",)
+    if isinstance(value, (int, float)):
+        return ("n", value)
+    if isinstance(value, str):
+        return ("s", value)
+    if isinstance(value, list):
+        return ("l", tuple(group_token(item) for item in value))
+    if isinstance(value, dict):
+        return ("d", tuple(sorted((name, group_token(item))
+                                  for name, item in value.items())))
+    return ("r", repr(value))
+
+
+# -- accumulators -----------------------------------------------------------------
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class _SumAcc:
+    @staticmethod
+    def initial() -> Any:
+        return 0
+
+    @staticmethod
+    def update(state: Any, found: bool, value: Any) -> Any:
+        if found and _is_number(value):
+            return state + value
+        return state
+
+    @staticmethod
+    def combine(left: Any, right: Any) -> Any:
+        return left + right
+
+    @staticmethod
+    def finalize(state: Any) -> Any:
+        return state
+
+
+class _CountAcc:
+    @staticmethod
+    def initial() -> Any:
+        return 0
+
+    @staticmethod
+    def update(state: Any, found: bool, value: Any) -> Any:
+        return state + 1
+
+    @staticmethod
+    def combine(left: Any, right: Any) -> Any:
+        return left + right
+
+    @staticmethod
+    def finalize(state: Any) -> Any:
+        return state
+
+
+class _AvgAcc:
+    @staticmethod
+    def initial() -> Any:
+        return (0, 0)
+
+    @staticmethod
+    def update(state: Any, found: bool, value: Any) -> Any:
+        if found and _is_number(value):
+            return (state[0] + value, state[1] + 1)
+        return state
+
+    @staticmethod
+    def combine(left: Any, right: Any) -> Any:
+        return (left[0] + right[0], left[1] + right[1])
+
+    @staticmethod
+    def finalize(state: Any) -> Any:
+        total, count = state
+        return total / count if count else None
+
+
+class _MinAcc:
+    #: Whether the held value beats the challenger; _MaxAcc flips it.
+    _keep_left = staticmethod(lambda left, right: sort_key(left) <= sort_key(right))
+
+    @classmethod
+    def initial(cls) -> Any:
+        return _ABSENT
+
+    @classmethod
+    def update(cls, state: Any, found: bool, value: Any) -> Any:
+        if not found or value is None:
+            return state  # null and missing are ignored, as in MongoDB
+        if state is _ABSENT or not cls._keep_left(state, value):
+            return value
+        return state
+
+    @classmethod
+    def combine(cls, left: Any, right: Any) -> Any:
+        if right is _ABSENT:
+            return left
+        if left is _ABSENT:
+            return right
+        return left if cls._keep_left(left, right) else right
+
+    @staticmethod
+    def finalize(state: Any) -> Any:
+        return None if state is _ABSENT else state
+
+
+class _MaxAcc(_MinAcc):
+    _keep_left = staticmethod(lambda left, right: sort_key(left) >= sort_key(right))
+
+
+_ACCUMULATORS: dict[str, Any] = {
+    "$sum": _SumAcc,
+    "$count": _CountAcc,
+    "$avg": _AvgAcc,
+    "$min": _MinAcc,
+    "$max": _MaxAcc,
+}
+
+
+# -- stage parsing -----------------------------------------------------------------
+
+
+@dataclass
+class GroupSpec:
+    """A parsed ``$group`` stage."""
+
+    raw: dict[str, Any]
+    key_expr: Any
+    fields: list[tuple[str, Any, Any]]  # (output name, accumulator, operand expr)
+
+
+@dataclass
+class Stage:
+    """One parsed pipeline stage."""
+
+    kind: str  # "match" | "project" | "group" | "sort" | "limit"
+    raw: dict[str, Any]
+    query: dict[str, Any] | None = None
+    matcher: Callable[[dict[str, Any]], bool] | None = None
+    projection: dict[str, Any] | None = None
+    group: GroupSpec | None = None
+    sort_spec: list[tuple[str, int]] | None = None
+    limit: int | None = None
+
+
+def parse_group_spec(spec: Any) -> GroupSpec:
+    if not isinstance(spec, dict) or "_id" not in spec:
+        raise DocumentStoreError("$group requires a document with an _id expression")
+    key_expr = _parse_expression(spec["_id"], allow_compound=True)
+    fields: list[tuple[str, Any, Any]] = []
+    for name, accumulator_spec in spec.items():
+        if name == "_id":
+            continue
+        if not name or name.startswith("$") or "." in name:
+            raise DocumentStoreError(f"invalid $group output field name {name!r}")
+        if not isinstance(accumulator_spec, dict) or len(accumulator_spec) != 1:
+            raise DocumentStoreError(
+                f"$group field {name!r} must be {{accumulator: operand}}"
+            )
+        ((operator, operand),) = accumulator_spec.items()
+        accumulator = _ACCUMULATORS.get(operator)
+        if accumulator is None:
+            raise DocumentStoreError(
+                f"unknown accumulator {operator!r}; "
+                f"supported: {sorted(_ACCUMULATORS)}"
+            )
+        if operator == "$count":
+            if operand != {}:
+                raise DocumentStoreError("$count takes an empty document {}")
+            operand_expr = _Constant(None)
+        else:
+            operand_expr = _parse_expression(operand, allow_compound=False)
+        fields.append((name, accumulator, operand_expr))
+    return GroupSpec(raw=spec, key_expr=key_expr, fields=fields)
+
+
+def parse_pipeline(pipeline: Any) -> list[Stage]:
+    """Validate ``pipeline`` and parse it into executable stages."""
+    if pipeline is None:
+        pipeline = []
+    if not isinstance(pipeline, (list, tuple)):
+        raise DocumentStoreError(
+            f"a pipeline must be a list of stage documents, got "
+            f"{type(pipeline).__name__}"
+        )
+    stages: list[Stage] = []
+    for position, raw in enumerate(pipeline):
+        if not isinstance(raw, dict) or len(raw) != 1:
+            raise DocumentStoreError(
+                f"pipeline stage {position} must be a single-key document, "
+                f"got {raw!r}"
+            )
+        ((name, spec),) = raw.items()
+        if name not in STAGE_NAMES:
+            raise DocumentStoreError(
+                f"unknown pipeline stage {name!r}; supported: {list(STAGE_NAMES)}"
+            )
+        if name == "$match":
+            if not isinstance(spec, dict):
+                raise DocumentStoreError("$match takes a query document")
+            stages.append(Stage("match", raw, query=spec,
+                                matcher=compile_query(spec) if spec else None))
+        elif name == "$project":
+            if not isinstance(spec, dict) or not spec:
+                raise DocumentStoreError("$project takes a non-empty document")
+            for flag in spec.values():
+                if not isinstance(flag, (bool, int)):
+                    raise DocumentStoreError(
+                        "$project values must be inclusion/exclusion flags"
+                    )
+            stages.append(Stage("project", raw, projection=dict(spec)))
+        elif name == "$sort":
+            if not isinstance(spec, dict) or not spec:
+                raise DocumentStoreError("$sort takes a non-empty document")
+            sort_spec: list[tuple[str, int]] = []
+            for sort_field, direction in spec.items():
+                if direction not in (1, -1):
+                    raise DocumentStoreError(
+                        f"$sort direction for {sort_field!r} must be 1 or -1"
+                    )
+                sort_spec.append((sort_field, int(direction)))
+            stages.append(Stage("sort", raw, sort_spec=sort_spec))
+        elif name == "$limit":
+            if isinstance(spec, bool) or not isinstance(spec, int) or spec < 1:
+                raise DocumentStoreError("$limit takes a positive integer")
+            stages.append(Stage("limit", raw, limit=spec))
+        else:  # $group
+            stages.append(Stage("group", raw, group=parse_group_spec(spec)))
+    return stages
+
+
+# -- document helpers --------------------------------------------------------------
+
+
+def project_document(document: dict[str, Any],
+                     projection: dict[str, Any]) -> dict[str, Any]:
+    """Apply a top-level include/exclude projection (Cursor semantics)."""
+    include = [name for name, flag in projection.items() if flag]
+    exclude = {name for name, flag in projection.items() if not flag}
+    if include:
+        projected = {name: document[name] for name in include if name in document}
+        if "_id" not in exclude and "_id" in document:
+            projected["_id"] = document["_id"]
+        return projected
+    return {key: value for key, value in document.items() if key not in exclude}
+
+
+def sort_documents(documents: Iterable[dict[str, Any]],
+                   sort_spec: list[tuple[str, int]]) -> list[dict[str, Any]]:
+    """Sort by the spec's fields with a deterministic ``str(_id)`` tie-break.
+
+    The pre-pass on ``_id`` plus stable per-field passes yields the one total
+    order both the standalone executor and the router's merge produce, so a
+    sharded ``$sort`` returns documents in exactly a single server's order.
+    """
+    ordered = list(documents)
+    ordered.sort(key=lambda doc: str(doc.get("_id")))
+    for field_path, direction in reversed(sort_spec):
+        ordered.sort(key=lambda doc: sort_key(get_path(doc, field_path)[1]),
+                     reverse=direction < 0)
+    return ordered
+
+
+def _merge_key(sort_spec: list[tuple[str, int]]) -> Callable[[dict[str, Any]], tuple]:
+    def key(document: dict[str, Any]) -> tuple:
+        parts = [sort_key(get_path(document, field_path)[1])
+                 for field_path, __ in sort_spec]
+        parts.append(str(document.get("_id")))
+        return tuple(parts)
+    return key
+
+
+# -- grouping ----------------------------------------------------------------------
+
+
+def accumulate_groups(stream: Iterable[dict[str, Any]],
+                      spec: GroupSpec) -> dict[tuple, tuple[Any, dict[str, Any]]]:
+    """Consume ``stream`` into ``token -> (key value, accumulator states)``."""
+    groups: dict[tuple, tuple[Any, dict[str, Any]]] = {}
+    for document in stream:
+        found, key_value = spec.key_expr.evaluate(document)
+        if not found:
+            key_value = None
+        token = group_token(key_value)
+        entry = groups.get(token)
+        if entry is None:
+            entry = (key_value,
+                     {name: accumulator.initial()
+                      for name, accumulator, __ in spec.fields})
+            groups[token] = entry
+        states = entry[1]
+        for name, accumulator, operand in spec.fields:
+            operand_found, value = operand.evaluate(document)
+            states[name] = accumulator.update(states[name], operand_found, value)
+    return groups
+
+
+def finalize_groups(groups: dict[tuple, tuple[Any, dict[str, Any]]],
+                    spec: GroupSpec) -> list[dict[str, Any]]:
+    """Finalise accumulator states into group documents, in token order."""
+    documents: list[dict[str, Any]] = []
+    for token in sorted(groups):
+        key_value, states = groups[token]
+        document: dict[str, Any] = {"_id": key_value}
+        for name, accumulator, __ in spec.fields:
+            document[name] = accumulator.finalize(states[name])
+        documents.append(document)
+    return documents
+
+
+def combine_partial_groups(row_lists: Iterable[list[dict[str, Any]]],
+                           group_spec: dict[str, Any]) -> list[dict[str, Any]]:
+    """Router-side merge: combine per-shard partial rows and finalise.
+
+    Each row is ``{"_id": key value, "_states": {field: state}}`` as emitted
+    by :func:`execute_partial`; equal keys are recognised by
+    :func:`group_token`, so shards never need to agree on a representative.
+    """
+    spec = parse_group_spec(group_spec)
+    groups: dict[tuple, tuple[Any, dict[str, Any]]] = {}
+    for rows in row_lists:
+        for row in rows:
+            token = group_token(row["_id"])
+            entry = groups.get(token)
+            if entry is None:
+                groups[token] = (row["_id"], dict(row["_states"]))
+                continue
+            states = entry[1]
+            for name, accumulator, __ in spec.fields:
+                states[name] = accumulator.combine(states[name],
+                                                   row["_states"][name])
+    return finalize_groups(groups, spec)
+
+
+# -- the streaming executor --------------------------------------------------------
+
+
+class _CostTracker:
+    """Accrues read cost during streaming; lookup cost is read lazily at the
+    end so lazy plans (index walks) charge exactly what they traversed."""
+
+    __slots__ = ("read_cost", "_lookup")
+
+    def __init__(self) -> None:
+        self.read_cost = 0.0
+        self._lookup: Callable[[], float] | None = None
+
+    def set_lookup(self, lookup: Callable[[], float]) -> None:
+        self._lookup = lookup
+
+    def total(self) -> float:
+        lookup = self._lookup() if self._lookup is not None else 0.0
+        return self.read_cost + lookup
+
+
+@dataclass
+class SourcePlan:
+    """How the executor feeds documents into the stage chain.
+
+    ``mode`` is ``"planner"`` (leading ``$match`` handed to the query
+    planner, optional limit pushdown), ``"index_walk"`` (a covering
+    ordered index satisfies the first ``$sort``; the walk filters with the
+    leading match's compiled matcher and stops at ``limit`` matches) or
+    ``"bulk_scan"`` (no selective leading match: the engine's bulk scan
+    streams every stored document once, skipping the planner's candidate
+    materialisation and the per-candidate re-read it would entail).
+    ``remaining`` is the stage suffix still applied to the stream;
+    ``sort_index`` / ``limit_index`` locate the satisfied stages for
+    ``explain``.
+    """
+
+    mode: str
+    query: dict[str, Any]
+    limit: int | None
+    sort_field: str | None
+    remaining: list[Stage] = field(default_factory=list)
+    match_consumed: bool = False
+    sort_index: int | None = None
+    limit_index: int | None = None
+
+
+def _pushable_limit(stages: list[Stage], start: int) -> tuple[int | None, int | None]:
+    """The first ``$limit`` the source may stop at, looking from ``start``.
+
+    Only ``$project`` stages may sit in between: they never change the
+    document count, so the limit commutes with them.  Anything else (a
+    filter, a reorder, a group) makes the limit non-pushable.
+    """
+    for index in range(start, len(stages)):
+        kind = stages[index].kind
+        if kind == "project":
+            continue
+        if kind == "limit":
+            return stages[index].limit, index
+        break
+    return None, None
+
+
+def _walk_covers(collection: "Collection", field_path: str) -> bool:
+    """Whether an ordered index walk over ``field_path`` sees every document.
+
+    The B-tree only holds scalar values, so the walk is a valid sort source
+    exactly when every live document contributed one scalar entry
+    (``ordered_records == count``): a missing, array or subdocument value
+    would silently drop its document from the result.
+    """
+    index = collection.index_for(field_path)
+    return (isinstance(index, OrderedSecondaryIndex)
+            and index.ordered_records() == collection.engine.count())
+
+
+def plan_source(collection: "Collection", stages: list[Stage]) -> SourcePlan:
+    """Decide the pushdown shape of a pipeline's document source."""
+    match_consumed = bool(stages) and stages[0].kind == "match"
+    query = stages[0].query if match_consumed else {}
+    base = 1 if match_consumed else 0
+    if len(stages) > base and stages[base].kind == "sort":
+        sort_spec = stages[base].sort_spec
+        if (len(sort_spec) == 1 and sort_spec[0][1] == 1
+                and _walk_covers(collection, sort_spec[0][0])):
+            limit, limit_index = _pushable_limit(stages, base + 1)
+            return SourcePlan("index_walk", query, limit, sort_spec[0][0],
+                              remaining=stages[base + 1:],
+                              match_consumed=match_consumed,
+                              sort_index=base, limit_index=limit_index)
+    limit, limit_index = _pushable_limit(stages, base)
+    mode = "planner" if query else "bulk_scan"
+    return SourcePlan(mode, query, limit, None,
+                      remaining=stages[base:], match_consumed=match_consumed,
+                      limit_index=limit_index)
+
+
+def _walk_interval(source: SourcePlan) -> Any:
+    """The single interval the leading match pins the sort field to, if any.
+
+    Lets the ordered walk seek into ``iter_range`` instead of starting at
+    the tree's smallest key.  ``False`` signals a provably empty result.
+    """
+    if not source.query:
+        return None
+    interval_set = query_intervals(source.query).get(source.sort_field)
+    if interval_set is None or interval_set.is_full:
+        return None
+    if interval_set.is_empty:
+        return False
+    intervals = list(interval_set)
+    if len(intervals) == 1 and intervals[0].rank is not None:
+        return intervals[0]
+    return None
+
+
+def _open_source(collection: "Collection", source: SourcePlan,
+                 tracker: _CostTracker) -> Iterator[dict[str, Any]]:
+    read = collection.engine.read
+    if source.mode == "index_walk":
+        index = collection.index_for(source.sort_field)
+        matcher = compile_query(source.query) if source.query else None
+        node_access = collection.engine.parameters.node_access
+        accesses_before = index.tree_node_accesses()
+        tracker.set_lookup(
+            lambda: (index.tree_node_accesses() - accesses_before) * node_access)
+        interval = _walk_interval(source)
+        if interval is False:
+            return iter(())
+        candidates = (index.iter_range(interval) if interval is not None
+                      else index.iter_ordered())
+
+        def walk() -> Iterator[dict[str, Any]]:
+            emitted = 0
+            for record_id in candidates:
+                document, cost = read(record_id)  # latch-free
+                tracker.read_cost += cost
+                if document is None or (matcher is not None
+                                        and not matcher(document)):
+                    continue
+                yield document
+                emitted += 1
+                if source.limit is not None and emitted >= source.limit:
+                    return
+
+        return walk()
+
+    if source.mode == "bulk_scan":
+        # Full-collection source: one streaming pass over the engine's bulk
+        # scan.  Going through the planner here would pre-scan the engine to
+        # materialise candidate ids and then re-read every candidate -- a
+        # second tree descent and a cache probe per document.  The simulated
+        # cost keeps the same shape as that plan (per-document scan charge
+        # plus a point-read estimate) but is accumulated once for the whole
+        # pass, in the generator's ``finally`` -- the executor closes the
+        # stream before reading the tracker, so a truncated pass charges
+        # exactly what it consumed.
+        engine = collection.engine
+        per_document = (engine.scan_cost_per_document()
+                        + engine.point_read_cost_estimate())
+
+        def bulk() -> Iterator[dict[str, Any]]:
+            emitted = 0
+            try:
+                for __, document in engine.scan_uncharged():
+                    yield document
+                    emitted += 1
+                    if source.limit is not None and emitted >= source.limit:
+                        return
+            finally:
+                if emitted:
+                    tracker.read_cost += engine.costs.charge_many(
+                        "scan", per_document * emitted, emitted)
+
+        return bulk()
+
+    plan = collection.planner.plan(source.query, limit=source.limit)
+    matcher = plan.matcher
+    tracker.set_lookup(plan.current_lookup_cost)
+
+    def scan() -> Iterator[dict[str, Any]]:
+        emitted = 0
+        for record_id in plan.iter_candidates():
+            document, cost = read(record_id)  # latch-free
+            tracker.read_cost += cost
+            if document is not None and (matcher is None or matcher(document)):
+                yield document
+                emitted += 1
+                if source.limit is not None and emitted >= source.limit:
+                    return
+
+    return scan()
+
+
+def _apply_stages(stream: Iterator[dict[str, Any]],
+                  stages: list[Stage]) -> Iterator[dict[str, Any]]:
+    for stage in stages:
+        if stage.kind == "match":
+            matcher = stage.matcher
+            if matcher is not None:
+                stream = (document for document in stream if matcher(document))
+        elif stage.kind == "project":
+            projection = stage.projection
+            stream = (project_document(document, projection)
+                      for document in stream)
+        elif stage.kind == "limit":
+            stream = itertools.islice(stream, stage.limit)
+        elif stage.kind == "group":
+            spec = stage.group
+            stream = iter(finalize_groups(accumulate_groups(stream, spec), spec))
+        else:  # sort: the one stage that must see everything
+            stream = iter(sort_documents(stream, stage.sort_spec))
+    return stream
+
+
+def execute_pipeline(collection: "Collection", pipeline: Any) -> "OperationResult":
+    """Run ``pipeline`` against a single collection.
+
+    Returns an :class:`~repro.docstore.collection.OperationResult` whose
+    documents follow the internal copy-on-write contract: pass-through
+    stages emit the frozen stored objects, so callers must treat them as
+    immutable (the client surface clones).
+    """
+    from repro.docstore.collection import OperationResult
+
+    stages = parse_pipeline(pipeline)
+    source = plan_source(collection, stages)
+    tracker = _CostTracker()
+    stream = _open_source(collection, source, tracker)
+    documents = list(_apply_stages(stream, source.remaining))
+    # A downstream stage (a non-pushable $limit) may leave the source
+    # suspended; close it so its deferred cost accounting lands in the
+    # tracker before the total is read.
+    close = getattr(stream, "close", None)
+    if close is not None:
+        close()
+    return OperationResult(documents=documents,
+                           simulated_seconds=tracker.total(),
+                           matched_count=len(documents))
+
+
+def execute_partial(collection: "Collection", prefix: Any,
+                    group_spec: dict[str, Any]) -> "OperationResult":
+    """Shard-side half of a distributed ``$group``.
+
+    Runs the ``$match``/``$project`` prefix with full planner pushdown, then
+    accumulates *partial* states and returns one
+    ``{"_id": key value, "_states": {...}}`` row per group -- what crosses
+    the wire instead of every matching document.
+    """
+    from repro.docstore.collection import OperationResult
+
+    stages = parse_pipeline(prefix)
+    for stage in stages:
+        if stage.kind in ("sort", "group"):
+            raise DocumentStoreError(
+                f"a partial-aggregation prefix cannot contain ${stage.kind}"
+            )
+    spec = parse_group_spec(group_spec)
+    source = plan_source(collection, stages)
+    tracker = _CostTracker()
+    raw = _open_source(collection, source, tracker)
+    stream = _apply_stages(raw, source.remaining)
+    groups = accumulate_groups(stream, spec)
+    close = getattr(raw, "close", None)
+    if close is not None:
+        close()
+    rows = [{"_id": key_value, "_states": states}
+            for key_value, states in groups.values()]
+    return OperationResult(documents=rows,
+                           simulated_seconds=tracker.total(),
+                           matched_count=len(rows))
+
+
+def apply_raw_stages(documents: list[dict[str, Any]],
+                     pipeline: Any) -> list[dict[str, Any]]:
+    """Run a (router-side) stage list over already-materialised documents."""
+    stages = parse_pipeline(pipeline)
+    if not stages:
+        return documents
+    return list(_apply_stages(iter(documents), stages))
+
+
+# -- distinct ----------------------------------------------------------------------
+
+
+def distinct_values(collection: "Collection", field_path: str,
+                    query: dict[str, Any] | None = None) -> list[Any]:
+    """The degenerate ``$group``: distinct values of ``field_path``.
+
+    MongoDB semantics: documents missing the field contribute nothing,
+    explicit nulls contribute ``None``, and array values contribute their
+    elements.  Values are deduplicated and ordered by their canonical
+    :func:`group_token`, so a sharded union reproduces this list exactly.
+    The leading query rides the planner like any ``find``.
+    """
+    plan = collection.planner.plan(query or {})
+    matcher = plan.matcher
+    read = collection.engine.read
+    seen: dict[tuple, Any] = {}
+    for record_id in plan.iter_candidates():
+        document, __ = read(record_id)
+        if document is None or (matcher is not None and not matcher(document)):
+            continue
+        found, value = get_path(document, field_path)
+        if not found:
+            continue
+        for item in (value if isinstance(value, list) else [value]):
+            seen.setdefault(group_token(item), item)
+    return [seen[token] for token in sorted(seen)]
+
+
+# -- the shard split ---------------------------------------------------------------
+
+
+@dataclass
+class PipelineSplit:
+    """A pipeline rewritten into a per-shard part and a router part.
+
+    ``mode`` is:
+
+    * ``"group"``  -- shards run ``shard_stages`` + partial ``$group``
+      (``group_spec``); the router combines states, finalises and applies
+      ``router_stages``.
+    * ``"sort"``   -- shards run ``shard_stages`` (ending in the ``$sort``
+      and an immediately following ``$limit``, when present); the router
+      ordered-merges the pre-sorted streams (``sort_spec``), deduplicates,
+      re-applies ``merge_limit`` and runs ``router_stages``.
+    * ``"stream"`` -- no global reorder needed: shards run ``shard_stages``,
+      the router concatenates, deduplicates, applies ``merge_limit`` (when a
+      ``$limit`` was pushed) and runs ``router_stages``.
+    """
+
+    mode: str
+    leading_query: dict[str, Any]
+    shard_stages: list[dict[str, Any]]
+    router_stages: list[dict[str, Any]]
+    group_spec: dict[str, Any] | None = None
+    sort_spec: list[tuple[str, int]] | None = None
+    merge_limit: int | None = None
+
+
+def split_pipeline(pipeline: Any) -> PipelineSplit:
+    """Decide the scatter--partial--merge shape of ``pipeline``.
+
+    A ``$group`` is pushed down only when no ``$sort``/``$limit`` precedes
+    it (those are global operations: a per-shard top-k feeding a group would
+    group the wrong documents).  When a barrier precedes the first group,
+    the split happens at the barrier instead and the group runs router-side.
+    """
+    stages = parse_pipeline(pipeline)  # validates before anything ships
+    raw = [stage.raw for stage in stages]
+    kinds = [stage.kind for stage in stages]
+    leading_query = stages[0].query if kinds[:1] == ["match"] else {}
+
+    group_index = kinds.index("group") if "group" in kinds else None
+    sort_index = kinds.index("sort") if "sort" in kinds else None
+    limit_index = kinds.index("limit") if "limit" in kinds else None
+    barriers = [index for index in (sort_index, limit_index) if index is not None]
+    barrier = min(barriers) if barriers else None
+
+    if group_index is not None and (barrier is None or group_index < barrier):
+        return PipelineSplit("group", leading_query,
+                             shard_stages=raw[:group_index],
+                             router_stages=raw[group_index + 1:],
+                             group_spec=stages[group_index].group.raw)
+    if sort_index is not None and sort_index == barrier:
+        stop = sort_index + 1
+        merge_limit = None
+        if stop < len(stages) and kinds[stop] == "limit":
+            merge_limit = stages[stop].limit
+            stop += 1
+        return PipelineSplit("sort", leading_query,
+                             shard_stages=raw[:stop],
+                             router_stages=raw[stop:],
+                             sort_spec=stages[sort_index].sort_spec,
+                             merge_limit=merge_limit)
+    if limit_index is not None:
+        return PipelineSplit("stream", leading_query,
+                             shard_stages=raw[:limit_index + 1],
+                             router_stages=raw[limit_index + 1:],
+                             merge_limit=stages[limit_index].limit)
+    return PipelineSplit("stream", leading_query, shard_stages=raw,
+                         router_stages=[])
+
+
+def dedup_by_id(documents: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Drop later duplicates of the same ``_id`` (migration dual-residence).
+
+    Documents without an ``_id`` (a projection removed it) pass through:
+    they cannot be identified, exactly as on the find path.
+    """
+    seen: set[str] = set()
+    unique: list[dict[str, Any]] = []
+    for document in documents:
+        if "_id" in document:
+            identity = str(document["_id"])
+            if identity in seen:
+                continue
+            seen.add(identity)
+        unique.append(document)
+    return unique
+
+
+def merge_shard_streams(shard_documents: list[list[dict[str, Any]]],
+                        sort_spec: list[tuple[str, int]] | None,
+                        merge_limit: int | None) -> list[dict[str, Any]]:
+    """Merge per-shard result streams at the router.
+
+    With an all-ascending sort spec this is a true ordered k-way merge
+    (:func:`heapq.merge`) of the pre-sorted shard streams; descending or
+    mixed-direction specs fall back to one re-sort with the identical total
+    order.  Always deduplicates by ``_id`` and re-applies the pushed limit
+    (each shard returned its local top-k; the merge keeps the global one).
+    """
+    if sort_spec is None:
+        merged = [document for documents in shard_documents
+                  for document in documents]
+    elif all(direction == 1 for __, direction in sort_spec):
+        merged = list(heapq.merge(*shard_documents, key=_merge_key(sort_spec)))
+    else:
+        merged = sort_documents(
+            (document for documents in shard_documents for document in documents),
+            sort_spec)
+    merged = dedup_by_id(merged)
+    if merge_limit is not None:
+        merged = merged[:merge_limit]
+    return merged
+
+
+# -- explain -----------------------------------------------------------------------
+
+
+def explain_pipeline(collection: "Collection", pipeline: Any) -> dict[str, Any]:
+    """Per-stage pushdown report plus the source's winning access path.
+
+    For a planner-fed source, ``winning_plan`` is the planner's own explain
+    output for the leading match (``ID_LOOKUP`` / ``INDEX_EQ`` /
+    ``INDEX_RANGE`` / ``FULL_SCAN``); for an ordered index walk it reports
+    :data:`ORDERED_INDEX_WALK` with the walk's limit pushdown.
+    """
+    stages = parse_pipeline(pipeline)
+    source = plan_source(collection, stages)
+    if source.mode == "index_walk":
+        winning = {
+            "access_path": ORDERED_INDEX_WALK,
+            "field": source.sort_field,
+            "limit_pushdown": source.limit,
+            "filtered_by_match": bool(source.query),
+        }
+    elif source.mode == "bulk_scan":
+        winning = {
+            "access_path": BULK_SCAN,
+            "documents": collection.engine.count(),
+            "limit_pushdown": source.limit,
+        }
+    else:
+        winning = collection.planner.explain(source.query,
+                                             limit=source.limit)["winning_plan"]
+    reports = []
+    for index, stage in enumerate(stages):
+        disposition = "in_memory"
+        if stage.kind == "match":
+            if index == 0 and source.match_consumed:
+                disposition = ("index_walk_filter" if source.mode == "index_walk"
+                               else source.mode)
+        elif stage.kind == "sort":
+            if source.sort_index == index:
+                disposition = "ordered_index_walk"
+        elif stage.kind == "limit":
+            if source.limit_index == index:
+                disposition = "source_limit"
+        elif stage.kind == "project":
+            disposition = "streaming"
+        reports.append({"stage": "$" + stage.kind, "pushdown": disposition})
+    return {
+        "collection": collection.name,
+        "documents": collection.engine.count(),
+        "pipeline": [stage.raw for stage in stages],
+        "source": {"mode": source.mode, "query": source.query,
+                   "limit_pushdown": source.limit},
+        "winning_plan": winning,
+        "stages": reports,
+    }

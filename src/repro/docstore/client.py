@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.docstore.collection import OperationResult
+from repro.docstore.cursor import Cursor
 from repro.docstore.documents import clone_document
 from repro.docstore.server import DocumentServer
 
@@ -69,9 +70,66 @@ class CollectionHandle:
                             for document in result.documents]
         return self._record(_read_label(query), result)
 
-    def explain(self, query: dict[str, Any] | None = None,
+    def find_cursor(self, query: dict[str, Any] | None = None,
+                    projection: dict[str, int] | None = None) -> Cursor:
+        """A chainable cursor (``sort``/``skip``/``limit``/projection).
+
+        Unlike :meth:`find` (which stays a plain list for compatibility),
+        the cursor defers fetching until consumed.  A requested sort is
+        routed through the aggregation pipeline, so on any deployment it is
+        backed by an ordered index walk when one covers the sort field, and
+        a ``limit`` rides down with it.  Returned documents are defensive
+        copies, made once by the cursor.
+        """
+        query = query or {}
+
+        def fetch(limit: int | None = None) -> list[dict[str, Any]]:
+            result = self._target.find_with_cost(query, limit=limit)
+            self._record(_read_label(query), result)
+            return result.documents
+
+        def ordered_fetch(sort_spec: list[tuple[str, int]],
+                          limit: int | None) -> list[dict[str, Any]]:
+            pipeline: list[dict[str, Any]] = []
+            if query:
+                pipeline.append({"$match": query})
+            pipeline.append({"$sort": dict(sort_spec)})
+            if limit is not None:
+                pipeline.append({"$limit": limit})
+            result = self._target.aggregate(pipeline)
+            self._record(_read_label(query), result)
+            return result.documents
+
+        return Cursor(fetch, projection, ordered_fetch=ordered_fetch)
+
+    def aggregate(self, pipeline: list[dict[str, Any]] | None = None) -> list[dict[str, Any]]:
+        """Run an aggregation pipeline; returns defensive copies (like find)."""
+        return self.aggregate_with_cost(pipeline).documents
+
+    def aggregate_with_cost(self, pipeline: list[dict[str, Any]] | None = None) -> OperationResult:
+        """Like :meth:`aggregate` but returns documents *and* simulated cost."""
+        result = self._target.aggregate(pipeline or [])
+        result.documents = [clone_document(document)
+                            for document in result.documents]
+        return self._record("aggregate", result)
+
+    def distinct(self, field_path: str,
+                 query: dict[str, Any] | None = None) -> list[Any]:
+        """Distinct values of ``field_path``, canonically ordered.
+
+        Values are cloned: distinct surfaces stored (frozen) values, and
+        the handle is the copy-on-write protocol's client boundary.
+        """
+        values = self._target.distinct(field_path, query or {})
+        return [clone_document(value) for value in values]
+
+    def explain(self, query: dict[str, Any] | list[dict[str, Any]] | None = None,
                 limit: int | None = None) -> dict[str, Any]:
-        """The access path (or per-shard paths) ``query`` would use."""
+        """The access path (or per-shard paths) ``query`` would use.
+
+        Accepts a plain query document or an aggregation pipeline (a list
+        of stages) -- the latter reports per-stage pushdown decisions.
+        """
         return self._target.explain(query or {}, limit=limit)
 
     def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:

@@ -388,10 +388,46 @@ class Collection:
         """
         return self._find_all(query or {}, limit=limit)
 
-    def explain(self, query: dict[str, Any] | None = None,
+    def explain(self, query: dict[str, Any] | list[dict[str, Any]] | None = None,
                 limit: int | None = None) -> dict[str, Any]:
-        """Describe the access path ``query`` would use (see the planner)."""
+        """Describe the access path ``query`` would use (see the planner).
+
+        ``query`` may also be an aggregation pipeline (a list of stages), in
+        which case the report covers the pipeline's per-stage pushdown
+        decisions and the source's winning access path.
+        """
+        if isinstance(query, list):
+            from repro.docstore.aggregation import explain_pipeline
+            return explain_pipeline(self, query)
         return self.planner.explain(query or {}, limit=limit)
+
+    def aggregate(self, pipeline: list[dict[str, Any]] | None = None) -> OperationResult:
+        """Run an aggregation pipeline (see :mod:`repro.docstore.aggregation`).
+
+        This is an internal read path like :meth:`find_with_cost`: documents
+        passed through unchanged by the pipeline are the stored objects
+        themselves and must be treated as immutable; the client surface
+        clones them.
+        """
+        from repro.docstore.aggregation import execute_pipeline
+        return execute_pipeline(self, pipeline)
+
+    def aggregate_partial(self, prefix: list[dict[str, Any]],
+                          group_spec: dict[str, Any]) -> OperationResult:
+        """Shard-side partial ``$group``: one accumulator-state row per group.
+
+        The sharding router calls this on every targeted shard and combines
+        the returned states, so a distributed ``$group`` ships group states
+        instead of matching documents.
+        """
+        from repro.docstore.aggregation import execute_partial
+        return execute_partial(self, prefix, group_spec)
+
+    def distinct(self, field_path: str,
+                 query: dict[str, Any] | None = None) -> list[Any]:
+        """Distinct values of ``field_path`` among documents matching ``query``."""
+        from repro.docstore.aggregation import distinct_values
+        return distinct_values(self, field_path, query)
 
     def count_documents(self, query: dict[str, Any] | None = None) -> int:
         """Number of documents matching ``query``.

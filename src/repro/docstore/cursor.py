@@ -17,6 +17,14 @@ class Cursor:
     sort is requested, the effective limit (``skip + limit``) is pushed down
     into it so the query planner can stop a scan early.
 
+    ``ordered_fetch`` (optional) is the sorted counterpart: a callable
+    ``(sort_spec, limit) -> documents`` returning documents *already* in the
+    requested order -- typically backed by the aggregation pipeline, whose
+    ``$sort``/``$limit`` rides an ordered index walk when one covers the
+    sort field.  When a sort is requested and the hook is present, the
+    cursor delegates ordering (and the effective ``skip + limit``) to it and
+    skips its own in-memory sort.
+
     The cursor is part of the client surface of the copy-on-write document
     protocol: ``fetch`` returns the stored objects themselves, and the cursor
     materialises the single defensive copy per emitted document -- after
@@ -28,9 +36,12 @@ class Cursor:
         self,
         fetch: Callable[..., list[dict[str, Any]]],
         projection: dict[str, int] | None = None,
+        ordered_fetch: Callable[[list[tuple[str, int]], int | None],
+                                list[dict[str, Any]]] | None = None,
     ):
         self._fetch = fetch
         self._projection = projection
+        self._ordered_fetch = ordered_fetch
         self._sort_spec: list[tuple[str, int]] = []
         self._skip = 0
         self._limit: int | None = None
@@ -77,12 +88,18 @@ class Cursor:
 
     def _results(self) -> list[dict[str, Any]]:
         if self._materialised is None:
-            documents = self._fetch_documents()
-            for field, direction in reversed(self._sort_spec):
-                documents.sort(
-                    key=lambda doc: sort_key(doc.get(field)),
-                    reverse=direction < 0,
-                )
+            if self._sort_spec and self._ordered_fetch is not None:
+                fetch_limit = (None if self._limit is None
+                               else self._skip + self._limit)
+                documents = list(
+                    self._ordered_fetch(list(self._sort_spec), fetch_limit))
+            else:
+                documents = self._fetch_documents()
+                for field, direction in reversed(self._sort_spec):
+                    documents.sort(
+                        key=lambda doc: sort_key(doc.get(field)),
+                        reverse=direction < 0,
+                    )
             if self._skip:
                 documents = documents[self._skip:]
             if self._limit is not None:

@@ -83,6 +83,19 @@ class StorageEngine(ABC):
     def storage_bytes(self) -> int:
         """Simulated on-disk footprint in bytes (including padding/compression)."""
 
+    def scan_uncharged(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Yield ``(record_id, document)`` for every stored document without
+        charging simulated cost per document.
+
+        For bulk consumers (the aggregation source) that account the whole
+        scan in one accumulation -- :meth:`scan_cost_per_document` per
+        yielded document via ``charge_many`` -- instead of paying one charge
+        call per document.  Engines override this with a direct iteration;
+        the default goes through :meth:`scan` and therefore *does* charge.
+        """
+        for record_id, document, __ in self.scan():
+            yield record_id, document
+
     def peek(self, record_id: str) -> dict[str, Any] | None:
         """Return the stored document without charging any simulated cost.
 

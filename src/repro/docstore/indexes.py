@@ -101,15 +101,55 @@ class OrderedSecondaryIndex(SecondaryIndex):
     """
 
     _tree: BTree = field(default_factory=lambda: BTree(order=32), repr=False)
+    # Number of live documents whose *whole* indexed value is a scalar (one
+    # tree entry per document).  When this equals the collection's document
+    # count, an in-order tree walk visits every document exactly once -- the
+    # coverage condition under which the aggregation pipeline turns a
+    # ``$sort`` on this field into an ordered index walk.
+    _ordered_count: int = 0
 
     def add(self, record_id: str, document: dict[str, Any]) -> None:
-        super().add(record_id, document)
         found, value = get_path(document, self.field_path)
+        # Membership is probed before the (possibly failing) unique check so
+        # the counter only moves when this call actually adds the record.
+        counted = (found and scalar_rank(value) is not None
+                   and record_id not in self._entries.get(_hashable(value), ()))
+        super().add(record_id, document)
         if not found:
             return
         for key in self._index_keys(value):
             if scalar_rank(key) is not None:
                 self._tree.insert(ordered_key(key), self._entries[key])
+        if counted:
+            self._ordered_count += 1
+
+    def remove(self, record_id: str, document: dict[str, Any]) -> None:
+        found, value = get_path(document, self.field_path)
+        counted = (found and scalar_rank(value) is not None
+                   and record_id in self._entries.get(_hashable(value), ()))
+        super().remove(record_id, document)
+        if counted:
+            self._ordered_count -= 1
+
+    def ordered_records(self) -> int:
+        """Live documents represented by exactly one scalar tree entry."""
+        return self._ordered_count
+
+    def iter_ordered(self) -> "Iterator[str]":
+        """All record ids in ascending indexed-value order.
+
+        The full-tree analogue of :meth:`iter_range`: one in-order walk over
+        every type rank, streaming deduplicated ids in ``(value, record id)``
+        order so a limited consumer can stop early.
+        """
+        seen: set[str] = set()
+        # Keys are (rank, value) composites with ranks 0..3; (0,) sorts
+        # before every real key and (4,) after, so this covers the tree.
+        for __, bucket in self._tree.range((0,), (4,)):
+            for record_id in sorted(bucket):
+                if record_id not in seen:
+                    seen.add(record_id)
+                    yield record_id
 
     def iter_range(self, interval: Interval) -> "Iterator[str]":
         """Lazily yield record ids whose indexed value may lie in ``interval``.

@@ -186,6 +186,10 @@ class MmapV1Engine(StorageEngine):
             cost = self.costs.charge("scan", per_document)
             yield record_id, record.document, cost
 
+    def scan_uncharged(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        for record_id, record in list(self._records.items()):
+            yield record_id, record.document
+
     def count(self) -> int:
         return len(self._records)
 

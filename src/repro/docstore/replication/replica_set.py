@@ -180,6 +180,26 @@ class ReplicatedCollection:
                                                         self.name)
         return collection.count_documents(query or {})
 
+    def aggregate(self, pipeline: list[dict[str, Any]] | None = None) -> OperationResult:
+        """Run an aggregation pipeline on the read-preferred member."""
+        return self.replica_set.routed_read(self.database, self.name,
+                                            "aggregate", pipeline)
+
+    def aggregate_partial(self, prefix: list[dict[str, Any]],
+                          group_spec: dict[str, Any]) -> OperationResult:
+        """Shard-side partial ``$group`` for replicated shards of a cluster."""
+        return self.replica_set.routed_read(self.database, self.name,
+                                            "aggregate_partial", prefix,
+                                            group_spec)
+
+    def distinct(self, field_path: str,
+                 query: dict[str, Any] | None = None) -> list[Any]:
+        """Distinct values of ``field_path`` on the read-preferred member."""
+        member = self.replica_set.read_member()
+        collection = self.replica_set.member_collection(member, self.database,
+                                                        self.name)
+        return collection.distinct(field_path, query)
+
     def explain(self, query: dict[str, Any] | None = None,
                 limit: int | None = None) -> dict[str, Any]:
         """The serving member's query plan plus which member answered."""

@@ -113,9 +113,24 @@ class RoutedCollection:
     def count_documents(self, query: dict[str, Any] | None = None) -> int:
         return self._router.count_documents(self.database, self.name, query or {})
 
-    def explain(self, query: dict[str, Any] | None = None,
+    def aggregate(self, pipeline: list[dict[str, Any]] | None = None) -> OperationResult:
+        """Run an aggregation pipeline with shard pushdown (see the router)."""
+        return self._router.aggregate(self.database, self.name, pipeline)
+
+    def distinct(self, field_path: str,
+                 query: dict[str, Any] | None = None) -> list[Any]:
+        """Distinct values of ``field_path`` across the targeted shards."""
+        return self._router.distinct(self.database, self.name, field_path, query)
+
+    def explain(self, query: dict[str, Any] | list[dict[str, Any]] | None = None,
                 limit: int | None = None) -> dict[str, Any]:
-        """Routing decision plus the per-shard query plans."""
+        """Routing decision plus the per-shard query plans.
+
+        A pipeline (list of stages) reports the shard/router split and every
+        shard's pushdown decisions instead of a single query plan.
+        """
+        if isinstance(query, list):
+            return self._router.explain_pipeline(self.database, self.name, query)
         return self._router.explain(self.database, self.name, query or {},
                                     limit=limit)
 

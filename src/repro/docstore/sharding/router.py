@@ -51,6 +51,13 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Any, Mapping
 
+from repro.docstore.aggregation import (
+    apply_raw_stages,
+    combine_partial_groups,
+    group_token,
+    merge_shard_streams,
+    split_pipeline,
+)
 from repro.docstore.collection import OperationResult
 from repro.docstore.cursor import sort_key
 from repro.docstore.documents import get_path, with_id
@@ -213,6 +220,75 @@ class QueryRouter:
         merged.matched_count = len(merged.documents)
         return merged
 
+    def aggregate(self, database: str, collection: str,
+                  pipeline: list[dict[str, Any]] | None = None) -> OperationResult:
+        """Run an aggregation pipeline with shard pushdown.
+
+        The pipeline is rewritten by
+        :func:`~repro.docstore.aggregation.split_pipeline` into a per-shard
+        stage and a router merge stage (scatter--partial--merge): a pushed
+        ``$group`` ships one partial accumulator-state row per group per
+        shard, and a pushed ``$sort``/``$limit`` ships pre-sorted limited
+        streams the router ordered-merges.  A leading ``$match`` drives
+        shard targeting exactly like a ``find``.  Shards are contacted in
+        parallel, so the merged cost is the slowest shard's.
+        """
+        split = split_pipeline(pipeline)
+        state = self.cluster.sharding_state(database, collection)
+        shard_ids, targeted = self._shards_for_query(state, split.leading_query or {})
+        self._note(targeted)
+        merged = OperationResult()
+        if not shard_ids:
+            return merged  # contradictory leading match: nothing can match
+        if len(shard_ids) == 1:
+            # One owning shard sees every matching document: run the whole
+            # pipeline there, merge-free (its group/sort order is already
+            # the canonical one).
+            return self._single_shard(database, collection, shard_ids[0],
+                                      "aggregate", pipeline)
+        if split.mode == "group":
+            row_lists: list[list[dict[str, Any]]] = []
+            for shard_id in shard_ids:
+                result = self._run_on_shard(
+                    database, collection, shard_id, "aggregate_partial",
+                    split.shard_stages, split.group_spec)
+                row_lists.append(result.documents)
+                merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+            documents = combine_partial_groups(row_lists, split.group_spec)
+        else:
+            shard_documents: list[list[dict[str, Any]]] = []
+            for shard_id in shard_ids:
+                result = self._run_on_shard(database, collection, shard_id,
+                                            "aggregate", split.shard_stages)
+                shard_documents.append(result.documents)
+                merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+            documents = merge_shard_streams(shard_documents, split.sort_spec,
+                                            split.merge_limit)
+        merged.documents = apply_raw_stages(documents, split.router_stages)
+        merged.matched_count = len(merged.documents)
+        merged.simulated_seconds = combine_shard_costs(merged.shard_costs,
+                                                       parallel=True)
+        return merged
+
+    def distinct(self, database: str, collection: str, field_path: str,
+                 query: dict[str, Any] | None = None) -> list[Any]:
+        """Distinct values across the targeted shards (degenerate ``$group``).
+
+        Each shard returns its local deduplicated value list; the router
+        unions them by canonical group token and re-sorts, so the result is
+        identical to a single server's.
+        """
+        state = self.cluster.sharding_state(database, collection)
+        query = query or {}
+        shard_ids, targeted = self._shards_for_query(state, query)
+        self._note(targeted)
+        seen: dict[tuple, Any] = {}
+        for shard_id in shard_ids:
+            for value in self._run_on_shard(database, collection, shard_id,
+                                            "distinct", field_path, query):
+                seen.setdefault(group_token(value), value)
+        return [seen[token] for token in sorted(seen)]
+
     def count_documents(self, database: str, collection: str,
                         query: dict[str, Any]) -> int:
         state = self.cluster.sharding_state(database, collection)
@@ -243,6 +319,40 @@ class QueryRouter:
             "targeting": "targeted" if targeted else "scatter",
             "shards": [self._shard_name(shard_id) for shard_id in shard_ids],
             "shard_count": self.cluster.shard_count,
+            "shard_plans": shard_plans,
+        }
+
+    def explain_pipeline(self, database: str, collection: str,
+                         pipeline: list[dict[str, Any]] | None = None) -> dict[str, Any]:
+        """Cluster-level pipeline explain: the shard/router split plus every
+        shard's per-stage pushdown report for its part of the pipeline."""
+        split = split_pipeline(pipeline)
+        state = self.cluster.sharding_state(database, collection)
+        shard_ids, targeted = self._shards_for_query(state, split.leading_query or {})
+        shard_pipeline = list(split.shard_stages)
+        if split.mode == "group":
+            shard_pipeline = shard_pipeline + [{"$group": split.group_spec}]
+        shard_plans = {
+            self._shard_name(shard_id): self._run_on_shard(
+                database, collection, shard_id, "explain", shard_pipeline)
+            for shard_id in shard_ids
+        }
+        return {
+            "sharded": True,
+            "collection": collection,
+            "pipeline": list(pipeline or []),
+            "shard_key": state.key,
+            "strategy": state.manager.strategy,
+            "targeting": "targeted" if targeted else "scatter",
+            "shards": [self._shard_name(shard_id) for shard_id in shard_ids],
+            "shard_count": self.cluster.shard_count,
+            "split": {
+                "mode": split.mode,
+                "shard_stages": split.shard_stages,
+                "partial_group": split.group_spec,
+                "router_stages": split.router_stages,
+                "merge_limit": split.merge_limit,
+            },
             "shard_plans": shard_plans,
         }
 

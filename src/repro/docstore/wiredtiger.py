@@ -163,6 +163,10 @@ class WiredTigerEngine(StorageEngine):
             cost = self.costs.charge("scan", per_document)
             yield record_id, record[0], cost
 
+    def scan_uncharged(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        for record_id, record in self._tree.items():
+            yield record_id, record[0]
+
     def count(self) -> int:
         return len(self._tree)
 

@@ -222,6 +222,10 @@ class DocumentBenchmark:
                      for index in range(start, stop)]
             total += self.handle.insert_many(batch).simulated_seconds
         self.handle.create_index("category")
+        if self.spec.mix.analytics_fraction > 0:
+            # Top-k counter ranges ride an ordered index walk instead of a
+            # full scan plus in-memory sort.
+            self.handle.create_index("counter")
         if self.topology.is_sharded:
             # Settle chunk splits and balancing before the measured phase;
             # the migrations this round performs are charged to the load.
@@ -243,7 +247,8 @@ class DocumentBenchmark:
     def run(self) -> BenchmarkResult:
         """Measured phase: execute the operation mix and compute the metrics."""
         latencies: list[float] = []
-        counts = {"read": 0, "update": 0, "insert": 0, "scan": 0, "read_modify_write": 0}
+        counts = {"read": 0, "update": 0, "insert": 0, "scan": 0,
+                  "read_modify_write": 0, "grouped_count": 0, "top_k": 0}
         for index in range(self.spec.operation_count):
             if self.operation_hook is not None:
                 self.operation_hook(index)
@@ -274,6 +279,12 @@ class DocumentBenchmark:
         roll -= mix.insert
         if roll < mix.scan:
             return "scan"
+        roll -= mix.scan
+        if roll < mix.grouped_count:
+            return "grouped_count"
+        roll -= mix.grouped_count
+        if roll < mix.top_k:
+            return "top_k"
         return "read_modify_write"
 
     def _execute(self, operation: str) -> float:
@@ -297,6 +308,27 @@ class DocumentBenchmark:
             start_key = self.generator.key(self._distribution.next_key(self._rng))
             result = self.handle.find_with_cost(
                 {"_id": {"$gte": start_key}}, limit=self.spec.scan_length)
+            return result.simulated_seconds
+        if operation == "grouped_count":
+            # Dashboard-style rollup: per-category count and counter total of
+            # the active records.  On a cluster the router ships only one
+            # partial accumulator row per category per shard.
+            result = self.handle.aggregate_with_cost([
+                {"$match": {"active": True}},
+                {"$group": {"_id": "$category",
+                            "count": {"$count": {}},
+                            "total": {"$sum": "$counter"}}},
+            ])
+            return result.simulated_seconds
+        if operation == "top_k":
+            # Top-k from a random start: the counter index satisfies the sort
+            # and the limit rides down into the walk (and onto every shard).
+            start = self._distribution.next_key(self._rng)
+            result = self.handle.aggregate_with_cost([
+                {"$match": {"counter": {"$gte": start}}},
+                {"$sort": {"counter": 1}},
+                {"$limit": self.spec.scan_length},
+            ])
             return result.simulated_seconds
         # read-modify-write
         read_cost = self.handle.find_with_cost({"_id": key}).simulated_seconds

@@ -12,6 +12,11 @@ Each workload is a named operation mix plus a key distribution:
 * D - read latest: 95% reads, 5% inserts, latest distribution.
 * E - short ranges: 95% scans, 5% inserts, zipfian.
 * F - read-modify-write: 50% reads, 50% read-modify-writes, zipfian.
+
+Beyond the six core workloads, workload G is an analytics mix built on the
+aggregation pipeline: grouped counts over the ``category`` field and top-k
+range queries, with a trickle of point reads -- the kind of dashboard
+traffic the demo's monitoring panels issue against the store.
 """
 
 from __future__ import annotations
@@ -30,9 +35,12 @@ class OperationMix:
     insert: float = 0.0
     scan: float = 0.0
     read_modify_write: float = 0.0
+    grouped_count: float = 0.0
+    top_k: float = 0.0
 
     def __post_init__(self) -> None:
-        total = self.read + self.update + self.insert + self.scan + self.read_modify_write
+        total = (self.read + self.update + self.insert + self.scan
+                 + self.read_modify_write + self.grouped_count + self.top_k)
         if abs(total - 1.0) > 1e-9:
             raise ValidationError(f"operation mix must sum to 1.0, got {total}")
 
@@ -48,7 +56,14 @@ class OperationMix:
             "insert": self.insert,
             "scan": self.scan,
             "read_modify_write": self.read_modify_write,
+            "grouped_count": self.grouped_count,
+            "top_k": self.top_k,
         }
+
+    @property
+    def analytics_fraction(self) -> float:
+        """Fraction of operations that run an aggregation pipeline."""
+        return self.grouped_count + self.top_k
 
 
 @dataclass(frozen=True)
@@ -80,6 +95,9 @@ CORE_WORKLOADS: dict[str, YcsbWorkload] = {
     "F": YcsbWorkload(
         "F", OperationMix(read=0.5, read_modify_write=0.5), "zipfian",
         "Read-modify-write: user database"),
+    "G": YcsbWorkload(
+        "G", OperationMix(read=0.1, grouped_count=0.45, top_k=0.45), "zipfian",
+        "Analytics: grouped counts and top-k dashboards"),
 }
 
 

@@ -481,3 +481,82 @@ class TestDifferentialGuarantees:
         documents, counter = expected_state()
         assert collection.count_documents({}) == documents
         assert collection.find_one({"_id": "counter"})["n"] == counter
+
+
+# -- aggregation under concurrent writers ------------------------------------------
+
+
+class TestAggregationUnderWriters:
+    """Pipelines must stream safely while writers mutate the collection: no
+    torn reads or crashes, and grouped counts over fields the writers never
+    touch stay exact (payload updates replace whole document versions, so a
+    half-applied update must never be visible to the scan)."""
+
+    PRELOAD = 120
+
+    def _preload(self, collection) -> dict[str, int]:
+        collection.insert_many([
+            {"_id": f"s{index:04d}", "category": f"cat{index % 4}",
+             "counter": index, "payload": 0}
+            for index in range(self.PRELOAD)
+        ])
+        return {f"cat{value}": self.PRELOAD // 4 for value in range(4)}
+
+    @pytest.mark.parametrize("engine", ["wiredtiger", "mmapv1"])
+    def test_standalone_group_counts_exact_under_writers(self, engine):
+        server = DocumentServer(engine)
+        collection = server.database("db").collection("c")
+        expected = self._preload(collection)
+        pipeline = [{"$group": {"_id": "$category", "n": {"$count": {}}}}]
+        inserts_each, rounds = 30, 40
+
+        def worker(worker_id: int) -> None:
+            if worker_id % 2 == 0:  # writer: payload updates plus hot inserts
+                for index in range(inserts_each):
+                    target = (worker_id * 37 + index) % self.PRELOAD
+                    collection.update_one({"_id": f"s{target:04d}"},
+                                          {"$inc": {"payload": 1}})
+                    collection.insert_one({"_id": f"h{worker_id}-{index}",
+                                           "category": "hot", "counter": index})
+            else:  # reader: grouped counts over the stable category field
+                for __ in range(rounds):
+                    rows = {row["_id"]: row["n"]
+                            for row in collection.aggregate(pipeline).documents}
+                    for category, count in expected.items():
+                        assert rows.get(category) == count, rows
+                    assert 0 <= rows.get("hot", 0) <= 4 * inserts_each
+
+        errors = run_threads(8, worker)
+        assert not errors
+
+    def test_sharded_group_aggregates_exact_under_update_writers(self):
+        # Updates only (no inserts): nothing triggers a chunk migration, so
+        # the scatter-partial-merge totals must stay exact on every read.
+        cluster = ShardedCluster(shards=3, split_threshold=10_000)
+        collection = cluster.database("db").collection("c")
+        expected = self._preload(collection)
+        expected_totals = {
+            f"cat{value}": sum(index for index in range(self.PRELOAD)
+                               if index % 4 == value)
+            for value in range(4)
+        }
+        pipeline = [{"$group": {"_id": "$category", "n": {"$count": {}},
+                                "total": {"$sum": "$counter"}}}]
+
+        def worker(worker_id: int) -> None:
+            if worker_id % 2 == 0:
+                for index in range(40):
+                    target = (worker_id * 31 + index) % self.PRELOAD
+                    collection.update_one({"_id": f"s{target:04d}"},
+                                          {"$inc": {"payload": 1}})
+            else:
+                for __ in range(30):
+                    rows = {row["_id"]: row
+                            for row in collection.aggregate(pipeline).documents}
+                    for category in expected:
+                        assert rows[category]["n"] == expected[category]
+                        assert rows[category]["total"] == expected_totals[category]
+                    assert set(collection.distinct("category")) == set(expected)
+
+        errors = run_threads(8, worker)
+        assert not errors

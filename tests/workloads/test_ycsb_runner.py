@@ -25,8 +25,8 @@ class TestOperationMix:
 
 
 class TestYcsbWorkloads:
-    def test_all_six_core_workloads_defined(self):
-        assert set(CORE_WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
+    def test_core_and_analytics_workloads_defined(self):
+        assert set(CORE_WORKLOADS) == {"A", "B", "C", "D", "E", "F", "G"}
 
     def test_lookup_is_case_insensitive(self):
         assert ycsb_workload("a").name == "A"
@@ -40,6 +40,7 @@ class TestYcsbWorkloads:
         assert CORE_WORKLOADS["C"].mix.read == pytest.approx(1.0)
         assert CORE_WORKLOADS["D"].distribution == "latest"
         assert CORE_WORKLOADS["E"].mix.scan == pytest.approx(0.95)
+        assert CORE_WORKLOADS["G"].mix.analytics_fraction == pytest.approx(0.9)
 
     def test_mix_from_ratio(self):
         mix = mix_from_ratio("95:5")
