@@ -10,6 +10,7 @@ the same workflows from the command line::
     python -m repro replicated --kill-primary    # replica sets: durability demo
     python -m repro topologies           # one workload across every topology
     python -m repro explain --query '{"counter": {"$gte": 500}}'   # query plans
+    python -m repro profile --shards 4 --replicas 3   # slow-op log + metrics
     python -m repro serve --port 8080    # serve the REST API over HTTP
     python -m repro info                 # package / experiment overview
 
@@ -131,6 +132,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="chunk placement strategy of the cluster")
     explain.add_argument("--shard-key", default="_id", dest="shard_key")
 
+    profile = subparsers.add_parser(
+        "profile",
+        help="run a short mixed workload with the operation profiler on and "
+             "print the slow-op log plus a metrics summary")
+    profile.add_argument("--engine", default="wiredtiger",
+                         choices=["wiredtiger", "mmapv1"])
+    profile.add_argument("--records", type=int, default=500,
+                         help="documents loaded before the measured phase")
+    profile.add_argument("--operations", type=int, default=200,
+                         help="operations in the measured phase")
+    profile.add_argument("--shards", type=int, default=1,
+                         help="shard count (1 = single server)")
+    profile.add_argument("--replicas", type=int, default=1,
+                         help="replica-set members per deployment")
+    profile.add_argument("--level", type=int, default=2, choices=[0, 1, 2],
+                         help="profiling level (0 off, 1 slow only, 2 all ops)")
+    profile.add_argument("--slow-ms", type=float, default=0.0, dest="slow_ms",
+                         help="slow-op threshold in simulated milliseconds")
+    profile.add_argument("--limit", type=int, default=15,
+                         help="slow-op rows to print (slowest first)")
+    profile.add_argument("--json", action="store_true", dest="as_json",
+                         help="dump slow ops, metrics and sampler series as JSON")
+
     serve = subparsers.add_parser("serve", help="serve the Chronos REST API over HTTP")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--data-directory", default=None,
@@ -155,6 +179,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_topologies(arguments)
     if arguments.command == "explain":
         return _command_explain(arguments)
+    if arguments.command == "profile":
+        return _command_profile(arguments)
     if arguments.command == "serve":
         return _command_serve(arguments)
     return _command_info()
@@ -379,6 +405,84 @@ def _command_explain(arguments) -> int:
         handle.create_index(field_path)
     plan = handle.explain(query, limit=arguments.limit)
     print(json.dumps(plan, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _command_profile(arguments) -> int:
+    import json
+
+    from repro.workloads.runner import DocumentBenchmark, WorkloadSpec
+    from repro.workloads.ycsb import OperationMix
+
+    spec = WorkloadSpec(
+        record_count=arguments.records,
+        operation_count=arguments.operations,
+        mix=OperationMix(read=0.55, update=0.20, insert=0.05, scan=0.10,
+                         grouped_count=0.05, top_k=0.05),
+        shards=arguments.shards,
+        replicas=arguments.replicas,
+        profile_level=arguments.level,
+        slow_ms=arguments.slow_ms,
+    )
+    benchmark = DocumentBenchmark.for_spec(spec, arguments.engine)
+    sampler = benchmark.attach_sampler(interval_seconds=0.05)
+    result = benchmark.execute_full()
+    slow = benchmark.slow_ops()
+    metrics = benchmark.server.metrics_snapshot()
+
+    if arguments.as_json:
+        print(json.dumps({
+            "result": result.as_dict(),
+            "slow_ops": slow,
+            "metrics": metrics,
+            "sampler": sampler.as_dict(),
+        }, indent=2, sort_keys=True, default=str))
+        return 0
+
+    print(f"{arguments.engine}, shards={arguments.shards}, "
+          f"replicas={arguments.replicas}, level={arguments.level}, "
+          f"slowms={arguments.slow_ms:g} -- "
+          f"{result.operations} ops, "
+          f"{result.throughput_ops_per_sec:,.0f} ops/s simulated")
+    print()
+    print(f"slow-op log: {len(slow)} entries "
+          f"(showing the {min(arguments.limit, len(slow))} slowest)")
+    print("| op | ns | path | cache | exam/ret | lock ms | sim ms | shards |")
+    print("| --- | --- | --- | --- | --- | --- | --- | --- |")
+    slowest = sorted(slow, key=lambda entry: entry.get("simulated_ms", 0.0),
+                     reverse=True)[:arguments.limit]
+    for entry in slowest:
+        shards = entry.get("shards")
+        if shards:
+            detail = f"{len(shards)}{'*' if entry.get('parallel') else ''}"
+            straggler = entry.get("straggler")
+            if straggler:
+                detail += f" ({straggler})"
+        else:
+            detail = "-"
+        print(f"| {entry['op']} | {entry['ns']} "
+              f"| {entry.get('access_path', '-')} "
+              f"| {entry.get('plan_cache', '-')} "
+              f"| {entry['docs_examined']}/{entry['docs_returned']} "
+              f"| {entry['lock_wait_ms']:.3f} "
+              f"| {entry['simulated_ms']:.3f} | {detail} |")
+    print()
+    counters = metrics.get("counters", {})
+    operations = {name.split(".", 1)[1]: count
+                  for name, count in sorted(counters.items())
+                  if name.startswith("operations.")}
+    print(f"operations: {operations}")
+    histograms = metrics.get("histograms", {})
+    for name in sorted(histograms):
+        if not name.startswith("latency."):
+            continue
+        snap = histograms[name]
+        print(f"  {name}: n={snap['count']} p50={snap['p50_ms']:.3f}ms "
+              f"p95={snap['p95_ms']:.3f}ms p99={snap['p99_ms']:.3f}ms")
+    planner = metrics.get("planner", {})
+    print(f"planner: {planner}")
+    print(f"sampler: {len(sampler.series())} samples "
+          f"@ {sampler.interval_seconds:g}s")
     return 0
 
 

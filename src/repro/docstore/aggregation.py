@@ -509,13 +509,23 @@ def combine_partial_groups(row_lists: Iterable[list[dict[str, Any]]],
 
 class _CostTracker:
     """Accrues read cost during streaming; lookup cost is read lazily at the
-    end so lazy plans (index walks) charge exactly what they traversed."""
+    end so lazy plans (index walks) charge exactly what they traversed.
 
-    __slots__ = ("read_cost", "_lookup")
+    Also carries the profiler-facing execution facts the source discovered
+    while opening (winning access path, plan-cache state) and counts the
+    documents the stream examined, so a profiled ``aggregate`` span reports
+    the same access path ``explain_pipeline`` would.
+    """
+
+    __slots__ = ("read_cost", "_lookup", "access_path", "cache_state",
+                 "examined")
 
     def __init__(self) -> None:
         self.read_cost = 0.0
         self._lookup: Callable[[], float] | None = None
+        self.access_path: str | None = None
+        self.cache_state: str | None = None
+        self.examined = 0
 
     def set_lookup(self, lookup: Callable[[], float]) -> None:
         self._lookup = lookup
@@ -625,6 +635,7 @@ def _open_source(collection: "Collection", source: SourcePlan,
                  tracker: _CostTracker) -> Iterator[dict[str, Any]]:
     read = collection.engine.read
     if source.mode == "index_walk":
+        tracker.access_path = ORDERED_INDEX_WALK
         index = collection.index_for(source.sort_field)
         matcher = compile_query(source.query) if source.query else None
         node_access = collection.engine.parameters.node_access
@@ -640,6 +651,7 @@ def _open_source(collection: "Collection", source: SourcePlan,
         def walk() -> Iterator[dict[str, Any]]:
             emitted = 0
             for record_id in candidates:
+                tracker.examined += 1
                 document, cost = read(record_id)  # latch-free
                 tracker.read_cost += cost
                 if document is None or (matcher is not None
@@ -663,6 +675,7 @@ def _open_source(collection: "Collection", source: SourcePlan,
         # stream before reading the tracker, so a truncated pass charges
         # exactly what it consumed.
         engine = collection.engine
+        tracker.access_path = BULK_SCAN
         per_document = (engine.scan_cost_per_document()
                         + engine.point_read_cost_estimate())
 
@@ -670,6 +683,7 @@ def _open_source(collection: "Collection", source: SourcePlan,
             emitted = 0
             try:
                 for __, document in engine.scan_uncharged():
+                    tracker.examined += 1
                     yield document
                     emitted += 1
                     if source.limit is not None and emitted >= source.limit:
@@ -682,12 +696,15 @@ def _open_source(collection: "Collection", source: SourcePlan,
         return bulk()
 
     plan = collection.planner.plan(source.query, limit=source.limit)
+    tracker.access_path = plan.access_path
+    tracker.cache_state = plan.cache_state
     matcher = plan.matcher
     tracker.set_lookup(plan.current_lookup_cost)
 
     def scan() -> Iterator[dict[str, Any]]:
         emitted = 0
         for record_id in plan.iter_candidates():
+            tracker.examined += 1
             document, cost = read(record_id)  # latch-free
             tracker.read_cost += cost
             if document is not None and (matcher is None or matcher(document)):
@@ -720,13 +737,15 @@ def _apply_stages(stream: Iterator[dict[str, Any]],
     return stream
 
 
-def execute_pipeline(collection: "Collection", pipeline: Any) -> "OperationResult":
+def execute_pipeline(collection: "Collection", pipeline: Any,
+                     span: Any = None) -> "OperationResult":
     """Run ``pipeline`` against a single collection.
 
     Returns an :class:`~repro.docstore.collection.OperationResult` whose
     documents follow the internal copy-on-write contract: pass-through
     stages emit the frozen stored objects, so callers must treat them as
-    immutable (the client surface clones).
+    immutable (the client surface clones).  ``span``, when given, receives
+    the source's access path, plan-cache state and examined-document count.
     """
     from repro.docstore.collection import OperationResult
 
@@ -741,13 +760,21 @@ def execute_pipeline(collection: "Collection", pipeline: Any) -> "OperationResul
     close = getattr(stream, "close", None)
     if close is not None:
         close()
+    if span is not None:
+        _fill_span(span, tracker)
     return OperationResult(documents=documents,
                            simulated_seconds=tracker.total(),
                            matched_count=len(documents))
 
 
+def _fill_span(span: Any, tracker: _CostTracker) -> None:
+    if tracker.access_path is not None:
+        span.note_plan(tracker.access_path, tracker.cache_state)
+    span.docs_examined += tracker.examined
+
+
 def execute_partial(collection: "Collection", prefix: Any,
-                    group_spec: dict[str, Any]) -> "OperationResult":
+                    group_spec: dict[str, Any], span: Any = None) -> "OperationResult":
     """Shard-side half of a distributed ``$group``.
 
     Runs the ``$match``/``$project`` prefix with full planner pushdown, then
@@ -772,6 +799,8 @@ def execute_partial(collection: "Collection", prefix: Any,
     close = getattr(raw, "close", None)
     if close is not None:
         close()
+    if span is not None:
+        _fill_span(span, tracker)
     rows = [{"_id": key_value, "_states": states}
             for key_value, states in groups.values()]
     return OperationResult(documents=rows,

@@ -100,7 +100,8 @@ class CollectionHandle:
             self._record(_read_label(query), result)
             return result.documents
 
-        return Cursor(fetch, projection, ordered_fetch=ordered_fetch)
+        return Cursor(fetch, projection, ordered_fetch=ordered_fetch,
+                      observer=self._client.cursor_observer())
 
     def aggregate(self, pipeline: list[dict[str, Any]] | None = None) -> list[dict[str, Any]]:
         """Run an aggregation pipeline; returns defensive copies (like find)."""
@@ -186,6 +187,50 @@ class DocumentClient:
 
     def command(self, command: dict[str, Any]) -> dict[str, Any]:
         return self.server.run_command(command)
+
+    # -- observability passthroughs ----------------------------------------------
+    #
+    # Every deployment type (server, replica set, sharded cluster) exposes
+    # the same profiling surface; these passthroughs make it reachable from
+    # driver-level code without knowing the topology.
+
+    def set_profiling(self, level: int, slow_ms: float | None = None,
+                      capacity: int | None = None) -> dict[str, Any]:
+        return self.server.set_profiling(level, slow_ms=slow_ms,
+                                         capacity=capacity)
+
+    def slow_ops(self, limit: int | None = None) -> list[dict[str, Any]]:
+        return self.server.get_slow_ops(limit)
+
+    def current_ops(self) -> list[dict[str, Any]]:
+        return self.server.current_ops()
+
+    def top(self) -> dict[str, Any]:
+        return self.server.top()
+
+    def metrics(self) -> dict[str, Any]:
+        return self.server.metrics_snapshot()
+
+    def cursor_observer(self) -> Any:
+        """A cursor hook recording emitted-document counts into the
+        deployment's metrics registry; ``None`` while profiling is off, so
+        disabled profiling costs cursors nothing."""
+        server = self.server
+        profiler = getattr(server, "profiler", None)
+        if profiler is None:
+            status_member = getattr(server, "status_member", None)
+            if status_member is None:
+                return None
+            profiler = status_member().server.profiler
+        if not profiler.enabled:
+            return None
+        registry = profiler.registry
+
+        def observe(count: int) -> None:
+            registry.increment("cursor.open")
+            registry.increment("cursor.returned", count)
+
+        return observe
 
     # -- latency accounting -----------------------------------------------------
 

@@ -54,10 +54,12 @@ from __future__ import annotations
 
 import copy
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.docstore.cursor import Cursor
+from repro.docstore.observability import render_query_shape
 from repro.docstore.documents import (
     clone_document,
     freeze_document,
@@ -103,9 +105,17 @@ class OperationResult:
 class Collection:
     """A named set of documents stored in one engine."""
 
-    def __init__(self, name: str, engine: StorageEngine):
+    def __init__(self, name: str, engine: StorageEngine,
+                 profiler: Any = None, namespace: str | None = None):
         self.name = name
         self.engine = engine
+        # Operation profiler shared with the owning server (None for bare
+        # collections).  Every public operation checks ``profiler.enabled``
+        # -- a plain attribute load and branch -- so level 0 stays off the
+        # hot path entirely.  ``namespace`` is the ``db.collection`` string
+        # spans report (defaults to the bare collection name).
+        self.profiler = profiler
+        self.namespace = namespace or name
         self.indexes = IndexCatalog()
         self._ids: set[str] = set()
         # Ordered index over the ``_id`` values so range predicates on the
@@ -130,10 +140,40 @@ class Collection:
         # inside a held write lock (see the module docstring's hierarchy).
         self._index_latch = threading.Lock()
 
+    # -- profiling --------------------------------------------------------------
+
+    @contextmanager
+    def _profiled(self, op: str, query: Any = None):
+        """Run one operation inside a :class:`ProfiledOp` span.
+
+        Only entered when the profiler is enabled (callers gate on
+        ``profiler.enabled`` first).  The span's lock wait is the *calling
+        thread's* wait delta across the operation, read from the engine's
+        :class:`~repro.docstore.locks.LockStats` thread-local accounting.
+        """
+        stats = self.engine.locks.stats
+        wait_before = stats.thread_wait_seconds()
+        shape = render_query_shape(query) if query is not None else None
+        with self.profiler.operation(op, self.namespace, shape) as span:
+            try:
+                yield span
+            finally:
+                span.lock_wait_ms = (stats.thread_wait_seconds()
+                                     - wait_before) * 1000.0
+
     # -- writes -----------------------------------------------------------------
 
     def insert_one(self, document: dict[str, Any]) -> OperationResult:
         """Insert a single document (an ``_id`` is generated when missing)."""
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return self._insert_one(document)
+        with self._profiled("insert") as span:
+            result = self._insert_one(document)
+            span.note_result(result)
+            return result
+
+    def _insert_one(self, document: dict[str, Any]) -> OperationResult:
         record_id, frozen, size = self._prepare_insert(document)
         with self.engine.locks.write(record_id):
             # The duplicate check in _prepare_insert ran outside the lock and
@@ -167,6 +207,15 @@ class Collection:
         simulated cost equals the sum of the individual inserts; batching
         only amortises the real-world bookkeeping.
         """
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return self._insert_many(documents)
+        with self._profiled("insert") as span:
+            result = self._insert_many(documents)
+            span.note_result(result)
+            return result
+
+    def _insert_many(self, documents: list[dict[str, Any]]) -> OperationResult:
         if not documents:
             return OperationResult()
         records: list[tuple[str, dict[str, Any], int]] = []
@@ -247,9 +296,19 @@ class Collection:
         read-modify-write operators never lose concurrent updates.  When a
         concurrent writer invalidated the candidate, the find is retried.
         """
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return self._update_one(query, update)
+        with self._profiled("update", query) as span:
+            result = self._update_one(query, update, span=span)
+            span.note_result(result)
+            return result
+
+    def _update_one(self, query: dict[str, Any], update: dict[str, Any],
+                    span: Any = None) -> OperationResult:
         total_cost = 0.0
         while True:
-            record_id, document, find_cost = self._find_first(query)
+            record_id, document, find_cost = self._find_first(query, span=span)
             total_cost += find_cost
             if record_id is None:
                 return OperationResult(matched_count=0, simulated_seconds=total_cost)
@@ -279,7 +338,17 @@ class Collection:
         :meth:`update_one`); candidates a concurrent writer deleted or
         changed away from the query are skipped rather than re-found.
         """
-        matches_found = self._find_all(query)
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return self._update_many(query, update)
+        with self._profiled("update", query) as span:
+            result = self._update_many(query, update, span=span)
+            span.note_result(result)
+            return result
+
+    def _update_many(self, query: dict[str, Any], update: dict[str, Any],
+                     span: Any = None) -> OperationResult:
+        matches_found = self._find_all(query, span=span)
         total_cost = matches_found.simulated_seconds
         matched = 0
         modified = 0
@@ -315,9 +384,18 @@ class Collection:
 
     def delete_one(self, query: dict[str, Any]) -> OperationResult:
         """Delete the first document matching ``query`` (locate-lock-revalidate)."""
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return self._delete_one(query)
+        with self._profiled("delete", query) as span:
+            result = self._delete_one(query, span=span)
+            span.note_result(result)
+            return result
+
+    def _delete_one(self, query: dict[str, Any], span: Any = None) -> OperationResult:
         total_cost = 0.0
         while True:
-            record_id, document, find_cost = self._find_first(query)
+            record_id, document, find_cost = self._find_first(query, span=span)
             total_cost += find_cost
             if record_id is None:
                 return OperationResult(deleted_count=0, simulated_seconds=total_cost)
@@ -336,7 +414,16 @@ class Collection:
 
     def delete_many(self, query: dict[str, Any]) -> OperationResult:
         """Delete every matching document (stale snapshot candidates are skipped)."""
-        matches_found = self._find_all(query)
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return self._delete_many(query)
+        with self._profiled("delete", query) as span:
+            result = self._delete_many(query, span=span)
+            span.note_result(result)
+            return result
+
+    def _delete_many(self, query: dict[str, Any], span: Any = None) -> OperationResult:
+        matches_found = self._find_all(query, span=span)
         total_cost = matches_found.simulated_seconds
         deleted = 0
         for document in matches_found.documents:
@@ -369,14 +456,21 @@ class Collection:
         """
         query = query or {}
         return Cursor(
-            lambda limit=None: self._find_all(query, limit=limit).documents,
+            lambda limit=None: self.find_with_cost(query, limit=limit).documents,
             projection,
         )
 
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
         """Return a copy of the first matching document or ``None``."""
-        __, document, __cost = self._find_first(query or {})
-        return clone_document(document) if document is not None else None
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            __, document, __cost = self._find_first(query or {})
+            return clone_document(document) if document is not None else None
+        with self._profiled("query", query or {}) as span:
+            __, document, cost = self._find_first(query or {}, span=span)
+            span.note_simulated(cost)
+            span.docs_returned = 1 if document is not None else 0
+            return clone_document(document) if document is not None else None
 
     def find_with_cost(self, query: dict[str, Any] | None = None,
                        limit: int | None = None) -> OperationResult:
@@ -386,7 +480,13 @@ class Collection:
         objects themselves and must not be mutated.  The client surface
         (:class:`~repro.docstore.client.CollectionHandle`) copies them.
         """
-        return self._find_all(query or {}, limit=limit)
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return self._find_all(query or {}, limit=limit)
+        with self._profiled("query", query or {}) as span:
+            result = self._find_all(query or {}, limit=limit, span=span)
+            span.note_result(result)
+            return result
 
     def explain(self, query: dict[str, Any] | list[dict[str, Any]] | None = None,
                 limit: int | None = None) -> dict[str, Any]:
@@ -410,7 +510,13 @@ class Collection:
         clones them.
         """
         from repro.docstore.aggregation import execute_pipeline
-        return execute_pipeline(self, pipeline)
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return execute_pipeline(self, pipeline)
+        with self._profiled("aggregate", pipeline or []) as span:
+            result = execute_pipeline(self, pipeline, span=span)
+            span.note_result(result)
+            return result
 
     def aggregate_partial(self, prefix: list[dict[str, Any]],
                           group_spec: dict[str, Any]) -> OperationResult:
@@ -421,13 +527,25 @@ class Collection:
         instead of matching documents.
         """
         from repro.docstore.aggregation import execute_partial
-        return execute_partial(self, prefix, group_spec)
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return execute_partial(self, prefix, group_spec)
+        with self._profiled("aggregate", prefix) as span:
+            result = execute_partial(self, prefix, group_spec, span=span)
+            span.note_result(result)
+            return result
 
     def distinct(self, field_path: str,
                  query: dict[str, Any] | None = None) -> list[Any]:
         """Distinct values of ``field_path`` among documents matching ``query``."""
         from repro.docstore.aggregation import distinct_values
-        return distinct_values(self, field_path, query)
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return distinct_values(self, field_path, query)
+        with self._profiled("distinct", query or {}) as span:
+            values = distinct_values(self, field_path, query)
+            span.docs_returned = len(values)
+            return values
 
     def count_documents(self, query: dict[str, Any] | None = None) -> int:
         """Number of documents matching ``query``.
@@ -435,16 +553,34 @@ class Collection:
         Counting never materialises a result list: candidates stream from
         the plan and are tallied against the compiled matcher in place.
         """
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            return self._count(query)
+        with self._profiled("count", query or {}) as span:
+            count = self._count(query, span=span)
+            span.docs_returned = count
+            return count
+
+    def _count(self, query: dict[str, Any] | None, span: Any = None) -> int:
         if not query:
             return self.engine.count()
         plan = self.planner.plan(query)
+        if span is not None:
+            span.note_plan(plan.access_path, plan.cache_state)
         matcher = plan.matcher
         read = self.engine.read  # latch-free (see module docstring)
         count = 0
+        examined = 0
+        read_cost = 0.0
         for record_id in plan.iter_candidates():
-            document, __ = read(record_id)
+            examined += 1
+            document, cost = read(record_id)
+            read_cost += cost
             if document is not None and (matcher is None or matcher(document)):
                 count += 1
+        if span is not None:
+            span.docs_examined += examined
+            span.note_simulated(plan.current_lookup_cost() + read_cost)
         return count
 
     # -- index management -------------------------------------------------------------
@@ -502,35 +638,50 @@ class Collection:
         return self._has_non_string_ids
 
     def _find_all(self, query: dict[str, Any],
-                  limit: int | None = None) -> OperationResult:
+                  limit: int | None = None, span: Any = None) -> OperationResult:
         plan = self.planner.plan(query, limit=limit)
+        if span is not None:
+            span.note_plan(plan.access_path, plan.cache_state)
         matcher = plan.matcher
         # Latch-free read path: frozen documents + snapshot-consistent engine
         # structures make torn reads impossible (see module docstring).
         read = self.engine.read
         documents: list[dict[str, Any]] = []
         read_cost = 0.0
+        examined = 0
         for record_id in plan.iter_candidates():
+            examined += 1
             document, cost = read(record_id)
             read_cost += cost
             if document is not None and (matcher is None or matcher(document)):
                 documents.append(document)
                 if limit is not None and len(documents) >= limit:
                     break
+        if span is not None:
+            span.docs_examined += examined
         return OperationResult(documents=documents,
                                simulated_seconds=plan.current_lookup_cost() + read_cost,
                                matched_count=len(documents))
 
-    def _find_first(self, query: dict[str, Any]) -> tuple[str | None, dict[str, Any] | None, float]:
+    def _find_first(self, query: dict[str, Any],
+                    span: Any = None) -> tuple[str | None, dict[str, Any] | None, float]:
         plan = self.planner.plan(query, limit=1)
+        if span is not None:
+            span.note_plan(plan.access_path, plan.cache_state)
         matcher = plan.matcher
         read_cost = 0.0
-        for record_id in plan.iter_candidates():
-            document, cost = self.engine.read(record_id)  # latch-free
-            read_cost += cost
-            if document is not None and (matcher is None or matcher(document)):
-                return record_id, document, plan.current_lookup_cost() + read_cost
-        return None, None, plan.current_lookup_cost() + read_cost
+        examined = 0
+        try:
+            for record_id in plan.iter_candidates():
+                examined += 1
+                document, cost = self.engine.read(record_id)  # latch-free
+                read_cost += cost
+                if document is not None and (matcher is None or matcher(document)):
+                    return record_id, document, plan.current_lookup_cost() + read_cost
+            return None, None, plan.current_lookup_cost() + read_cost
+        finally:
+            if span is not None:
+                span.docs_examined += examined
 
     def __len__(self) -> int:
         return self.engine.count()

@@ -38,10 +38,16 @@ class Cursor:
         projection: dict[str, int] | None = None,
         ordered_fetch: Callable[[list[tuple[str, int]], int | None],
                                 list[dict[str, Any]]] | None = None,
+        observer: Callable[[int], None] | None = None,
     ):
         self._fetch = fetch
         self._projection = projection
         self._ordered_fetch = ordered_fetch
+        # Optional hook fired exactly once, on materialisation, with the
+        # number of documents the cursor actually emitted (after sort, skip,
+        # limit and projection) -- the observability layer's view of what
+        # the client really consumed, as opposed to what the query matched.
+        self._observer = observer
         self._sort_spec: list[tuple[str, int]] = []
         self._skip = 0
         self._limit: int | None = None
@@ -111,6 +117,8 @@ class Cursor:
             else:
                 documents = [clone_document(doc) for doc in documents]
             self._materialised = documents
+            if self._observer is not None:
+                self._observer(len(documents))
         return self._materialised
 
     def _fetch_documents(self) -> list[dict[str, Any]]:

@@ -81,6 +81,7 @@ class LockStats:
 
     def __post_init__(self) -> None:
         self._mutex = threading.Lock()
+        self._thread_wait = threading.local()
 
     def record(self, waited: float, exclusive: bool) -> None:
         with self._mutex:
@@ -90,6 +91,18 @@ class LockStats:
             if waited:
                 self.contentions += 1
                 self.wait_seconds += waited
+        if waited:
+            local = self._thread_wait
+            local.total = getattr(local, "total", 0.0) + waited
+
+    def thread_wait_seconds(self) -> float:
+        """Cumulative wall-clock wait recorded by the *calling* thread.
+
+        The profiler diffs this around an operation to attribute exactly the
+        lock wait its own thread incurred, without racing other threads'
+        contentions into the span.
+        """
+        return getattr(self._thread_wait, "total", 0.0)
 
     def snapshot(self) -> dict[str, float]:
         with self._mutex:

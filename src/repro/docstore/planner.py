@@ -103,6 +103,7 @@ class QueryPlan:
     lazy_lookup_cost: Callable[[], float] | None = None
     matcher: Callable[[dict[str, Any]], bool] | None = None
     exact: bool = False
+    cache_state: str = "cold"
 
     def iter_candidates(self) -> Iterator[str]:
         if self.candidate_ids is not None:
@@ -174,7 +175,7 @@ class QueryPlanner:
         if not query:
             # An empty query matches every document: full scan, no re-check.
             plan = QueryPlan(FULL_SCAN, None, self._full_scan_estimate(limit),
-                             exact=True)
+                             exact=True, cache_state="exact")
             plan.candidate_ids, plan.lookup_cost = self._scan_candidates()
             plan.considered = [plan.summary()]
             return plan
@@ -200,6 +201,7 @@ class QueryPlanner:
                 # concurrent eviction/replacement of the cache slot is safe.
                 plan = self._plan_from_template(template, query, params, limit)
                 if plan is not None:
+                    plan.cache_state = "hit"
                     with self._cache_lock:
                         self.cache_hits += 1
                     return plan
@@ -212,6 +214,7 @@ class QueryPlanner:
                     self.cache_misses += 1
         plan, template = self._cold_plan(query, params, limit)
         if use_cache:
+            plan.cache_state = "miss"
             with self._cache_lock:
                 if len(self._cache) >= _PLAN_CACHE_LIMIT:
                     self._cache.clear()
@@ -277,7 +280,7 @@ class QueryPlanner:
             candidates = []
             estimated = 0.0
         return QueryPlan(ID_LOOKUP, "_id", estimated, candidate_ids=candidates,
-                         exact=True)
+                         exact=True, cache_state="fast_id")
 
     def _cold_plan(self, query: dict[str, Any], params: list[Any],
                    limit: int | None) -> tuple[QueryPlan, _PlanTemplate]:

@@ -58,6 +58,11 @@ from repro.docstore.replication.oplog import (
     Oplog,
     OpTime,
 )
+from repro.docstore.observability import (
+    MetricsRegistry,
+    merge_slow_ops,
+    merge_top,
+)
 from repro.docstore.server import _ENGINE_FACTORIES
 from repro.errors import (
     DocumentStoreError,
@@ -769,6 +774,73 @@ class ReplicaSet:
     def database_names(self) -> list[str]:
         return self.status_member().server.database_names()
 
+    # -- observability -----------------------------------------------------------------
+
+    def set_profiling(self, level: int, slow_ms: float | None = None,
+                      capacity: int | None = None) -> dict[str, Any]:
+        """Set the profiling level on *every* member (each keeps its own
+        slow-op log; :meth:`get_slow_ops` merges them)."""
+        result: dict[str, Any] = {}
+        for member in self.members:
+            result = member.server.set_profiling(level, slow_ms=slow_ms,
+                                                 capacity=capacity)
+        return result
+
+    def get_slow_ops(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """All members' slow-op logs merged, each entry annotated with its
+        member name under ``source`` and ordered by start time."""
+        return merge_slow_ops(
+            ((member.name, member.server.get_slow_ops())
+             for member in self.members), limit)
+
+    def current_ops(self) -> list[dict[str, Any]]:
+        ops: list[dict[str, Any]] = []
+        for member in self.members:
+            for entry in member.server.current_ops():
+                tagged = dict(entry)
+                tagged["source"] = member.name
+                ops.append(tagged)
+        return ops
+
+    def top(self) -> dict[str, Any]:
+        return merge_top([member.server.top() for member in self.members])
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Member registries merged (counters and histogram buckets sum),
+        plus the set-wide planner rollup and profiler state."""
+        merged = MetricsRegistry.merge(
+            [member.server.metrics.snapshot() for member in self.members])
+        planner = {"entries": 0, "hits": 0, "misses": 0, "fast_id_plans": 0,
+                   "collections": 0}
+        recorded = 0
+        dropped = 0
+        for member in self.members:
+            rollup = member.server.planner_rollup()
+            for key in planner:
+                planner[key] += rollup[key]
+            recorded += member.server.profiler.slow_ops_recorded
+            dropped += member.server.profiler.slow_ops_dropped
+        merged["planner"] = planner
+        status_profiler = self.status_member().server.profiler
+        merged["profiler"] = {
+            "level": status_profiler.level,
+            "slowms": status_profiler.slow_ms,
+            "slow_ops_recorded": recorded,
+            "slow_ops_dropped": dropped,
+            "members": len(self.members),
+        }
+        return merged
+
+    def locks_report(self) -> dict[str, dict[str, float]]:
+        """Per-namespace lock statistics summed across members."""
+        report: dict[str, dict[str, float]] = {}
+        for member in self.members:
+            for namespace, stats in member.server.locks_report().items():
+                slot = report.setdefault(namespace, {})
+                for key, value in stats.items():
+                    slot[key] = slot.get(key, 0) + value
+        return report
+
     def run_command(self, command: dict[str, Any]) -> dict[str, Any]:
         """The server command subset plus the replica-set commands:
         ``replSetGetStatus``, ``replSetStepDown``, ``isMaster``/``hello``."""
@@ -797,6 +869,18 @@ class ReplicaSet:
             return info
         if "serverStatus" in command:
             return {"ok": 1, **self.server_status()}
+        if "profile" in command:
+            level = command["profile"]
+            if level == -1:
+                profiler = self.status_member().server.profiler
+                return {"ok": 1, "was": profiler.level, "level": profiler.level,
+                        "slowms": profiler.slow_ms}
+            return {"ok": 1, **self.set_profiling(level,
+                                                  slow_ms=command.get("slowms"))}
+        if "currentOp" in command:
+            return {"ok": 1, "inprog": self.current_ops()}
+        if "top" in command:
+            return {"ok": 1, "totals": self.top()}
         if "dbStats" in command:
             name = command["dbStats"]
             if name not in self.database_names():
@@ -817,6 +901,8 @@ class ReplicaSet:
         status = self.status_member().server.server_status()
         status["commands"] = self._commands_executed
         status["repl"] = self.replication_summary()
+        status["metrics"] = self.metrics_snapshot()
+        status["locks"] = self.locks_report()
         return status
 
     def replica_set_status(self) -> dict[str, Any]:

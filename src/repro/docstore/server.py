@@ -4,6 +4,13 @@ A :class:`DocumentServer` plays the role of one ``mongod`` instance
 configured with a specific storage engine.  Deployments in Chronos each wrap
 one server instance, which is how the demo compares ``wiredtiger`` and
 ``mmapv1`` side by side.
+
+Observability (PR 8): every server owns one :class:`MetricsRegistry` and one
+:class:`Profiler`, shared by all of its collections.  ``server_status()``
+reports the registry snapshot plus the server-wide plan-cache rollup and
+per-collection lock statistics; ``run_command`` understands the MongoDB
+profiler surface (``{"profile": level, "slowms": n}``, ``{"currentOp": 1}``,
+``{"top": 1}``).
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from repro.docstore.collection import Collection
 from repro.docstore.cost import CostParameters
 from repro.docstore.engine_base import StorageEngine
 from repro.docstore.mmapv1 import MmapV1Engine
+from repro.docstore.observability import MetricsRegistry, Profiler
 from repro.docstore.wiredtiger import WiredTigerEngine
 from repro.errors import DocumentStoreError, NotFoundError
 
@@ -27,9 +35,11 @@ _ENGINE_FACTORIES: dict[str, Callable[..., StorageEngine]] = {
 class DatabaseNamespace:
     """A named database inside one server (a namespace for collections)."""
 
-    def __init__(self, name: str, engine_factory: Callable[[], StorageEngine]):
+    def __init__(self, name: str, engine_factory: Callable[[], StorageEngine],
+                 profiler: Profiler | None = None):
         self.name = name
         self._engine_factory = engine_factory
+        self._profiler = profiler
         self._collections: dict[str, Collection] = {}
         # Guards get-or-create: two threads racing the first access of a
         # collection name must agree on one Collection (each carries its own
@@ -44,7 +54,9 @@ class DatabaseNamespace:
         with self._create_lock:
             existing = self._collections.get(name)
             if existing is None:
-                existing = Collection(name, self._engine_factory())
+                existing = Collection(name, self._engine_factory(),
+                                      profiler=self._profiler,
+                                      namespace=f"{self.name}.{name}")
                 self._collections[name] = existing
         return existing
 
@@ -101,6 +113,10 @@ class DocumentServer:
         # ``ReplicaSetMember`` ({"set", "member_id", "role", "optime", ...});
         # None for a standalone server.
         self.replication: dict[str, Any] | None = None
+        # Observability substrate: one registry + profiler per server,
+        # shared by every collection (profiling level 0 by default).
+        self.metrics = MetricsRegistry()
+        self.profiler = Profiler(self.metrics)
 
     # -- namespace management ----------------------------------------------------
 
@@ -112,7 +128,8 @@ class DocumentServer:
         with self._create_lock:
             existing = self._databases.get(name)
             if existing is None:
-                existing = DatabaseNamespace(name, self._new_engine)
+                existing = DatabaseNamespace(name, self._new_engine,
+                                             profiler=self.profiler)
                 self._databases[name] = existing
         return existing
 
@@ -125,13 +142,63 @@ class DocumentServer:
     def __getitem__(self, name: str) -> DatabaseNamespace:
         return self.database(name)
 
+    # -- profiling / metrics -------------------------------------------------------
+
+    def set_profiling(self, level: int, slow_ms: float | None = None,
+                      capacity: int | None = None) -> dict[str, Any]:
+        """Set the profiling level (0 off, 1 slow ops only, 2 all ops)."""
+        return self.profiler.set_profiling(level, slow_ms=slow_ms,
+                                           capacity=capacity)
+
+    def get_slow_ops(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The slow-op log, oldest first (the ``system.profile`` analog)."""
+        return self.profiler.slow_ops(limit)
+
+    def current_ops(self) -> list[dict[str, Any]]:
+        """Spans currently in flight (the ``currentOp`` analog)."""
+        return self.profiler.current_ops()
+
+    def top(self) -> dict[str, Any]:
+        """Per-namespace, per-op usage totals (the ``top`` analog)."""
+        return self.profiler.top()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The metrics registry snapshot plus the planner/profiler rollups."""
+        snapshot = self.metrics.snapshot()
+        snapshot["planner"] = self.planner_rollup()
+        snapshot["profiler"] = self.profiler.describe()
+        return snapshot
+
+    def planner_rollup(self) -> dict[str, int]:
+        """Plan-cache counters summed across every collection on the server."""
+        rollup = {"entries": 0, "hits": 0, "misses": 0, "fast_id_plans": 0,
+                  "collections": 0}
+        for database in list(self._databases.values()):
+            for name in database.collection_names():
+                stats = database.collection(name).planner.cache_stats()
+                rollup["collections"] += 1
+                for key in ("entries", "hits", "misses", "fast_id_plans"):
+                    rollup[key] += stats[key]
+        return rollup
+
+    def locks_report(self) -> dict[str, dict[str, float]]:
+        """Per-collection lock statistics (acquisitions, contentions, wait)."""
+        report: dict[str, dict[str, float]] = {}
+        for database in list(self._databases.values()):
+            for name in database.collection_names():
+                collection = database.collection(name)
+                report[collection.namespace] = (
+                    collection.engine.locks.stats.snapshot())
+        return report
+
     # -- server commands -----------------------------------------------------------
 
     def run_command(self, command: dict[str, Any]) -> dict[str, Any]:
         """Execute an administrative command (subset of the MongoDB commands).
 
         Supported commands: ``ping``, ``serverStatus``, ``dbStats``,
-        ``collStats``, ``buildInfo``, ``replSetGetStatus``.
+        ``collStats``, ``buildInfo``, ``replSetGetStatus``, ``profile``,
+        ``currentOp``, ``top``.
         """
         self._commands_executed += 1
         if "ping" in command:
@@ -144,6 +211,18 @@ class DocumentServer:
             return {"ok": 1, "version": "4.0-sim", "storageEngines": sorted(_ENGINE_FACTORIES)}
         if "serverStatus" in command:
             return {"ok": 1, **self.server_status()}
+        if "profile" in command:
+            level = command["profile"]
+            if level == -1:  # query without changing, as in MongoDB
+                return {"ok": 1, "was": self.profiler.level,
+                        "level": self.profiler.level,
+                        "slowms": self.profiler.slow_ms}
+            return {"ok": 1, **self.set_profiling(level,
+                                                  slow_ms=command.get("slowms"))}
+        if "currentOp" in command:
+            return {"ok": 1, "inprog": self.current_ops()}
+        if "top" in command:
+            return {"ok": 1, "totals": self.top()}
         if "dbStats" in command:
             name = command["dbStats"]
             if name not in self._databases:
@@ -173,6 +252,8 @@ class DocumentServer:
             ),
             "repl": dict(self.replication) if self.replication is not None
             else {"role": "standalone"},
+            "metrics": self.metrics_snapshot(),
+            "locks": self.locks_report(),
         }
 
     # -- internals --------------------------------------------------------------------

@@ -23,12 +23,19 @@ from __future__ import annotations
 
 import math
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any
 
 from repro.docstore.collection import Collection, OperationResult
 from repro.docstore.cost import CostParameters
 from repro.docstore.documents import clone_document, get_path
+from repro.docstore.observability import (
+    MetricsRegistry,
+    Profiler,
+    merge_top,
+    render_query_shape,
+)
 from repro.docstore.replication.replica_set import READ_PRIMARY, ReplicaSet
 from repro.docstore.server import _ENGINE_FACTORIES, DocumentServer
 from repro.docstore.sharding.balancer import Balancer, Migration
@@ -77,32 +84,98 @@ class RoutedCollection:
         self.database = database
         self.name = collection
 
+    # -- profiling --------------------------------------------------------------
+
+    @contextmanager
+    def _profiled(self, op: str, query: Any = None):
+        """Router-level span for one routed operation.
+
+        Only entered when the *cluster's* profiler is enabled; shard-side
+        spans are recorded independently by each shard's own profiler (the
+        mongos/mongod split).
+        """
+        shape = render_query_shape(query) if query is not None else None
+        namespace = f"{self.database}.{self.name}"
+        with self.cluster.profiler.operation(op, namespace, shape) as span:
+            yield span
+
+    def _finish_span(self, span: Any, result: OperationResult,
+                     parallel: bool) -> None:
+        """Fill a router span from the merged result: per-shard child spans
+        (from ``shard_costs``), the straggler for parallel fan-outs, and the
+        scatter/targeted classification."""
+        span.note_result(result)
+        if result.shard_costs:
+            span.add_shard_children(result.shard_costs, parallel)
+            shard_children = sum(1 for child in span.children
+                                 if child["shard"] != "balancer")
+            span.targeting = ("scatter"
+                              if shard_children == self.cluster.shard_count
+                              and self.cluster.shard_count > 1
+                              else "targeted")
+
     # -- writes -----------------------------------------------------------------
 
     def insert_one(self, document: dict[str, Any]) -> OperationResult:
-        return self._router.insert_one(self.database, self.name, document)
+        if not self.cluster.profiler.enabled:
+            return self._router.insert_one(self.database, self.name, document)
+        with self._profiled("insert") as span:
+            result = self._router.insert_one(self.database, self.name, document)
+            self._finish_span(span, result, parallel=False)
+            return result
 
     def insert_many(self, documents: list[dict[str, Any]]) -> OperationResult:
-        return self._router.insert_many(self.database, self.name, documents)
+        if not self.cluster.profiler.enabled:
+            return self._router.insert_many(self.database, self.name, documents)
+        with self._profiled("insert") as span:
+            result = self._router.insert_many(self.database, self.name, documents)
+            self._finish_span(span, result, parallel=False)
+            return result
 
     def update_one(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
-        return self._router.update_one(self.database, self.name, query, update)
+        if not self.cluster.profiler.enabled:
+            return self._router.update_one(self.database, self.name, query, update)
+        with self._profiled("update", query) as span:
+            result = self._router.update_one(self.database, self.name, query, update)
+            self._finish_span(span, result, parallel=False)
+            return result
 
     def update_many(self, query: dict[str, Any], update: dict[str, Any]) -> OperationResult:
-        return self._router.update_many(self.database, self.name, query, update)
+        if not self.cluster.profiler.enabled:
+            return self._router.update_many(self.database, self.name, query, update)
+        with self._profiled("update", query) as span:
+            result = self._router.update_many(self.database, self.name, query, update)
+            self._finish_span(span, result, parallel=True)
+            return result
 
     def delete_one(self, query: dict[str, Any]) -> OperationResult:
-        return self._router.delete_one(self.database, self.name, query)
+        if not self.cluster.profiler.enabled:
+            return self._router.delete_one(self.database, self.name, query)
+        with self._profiled("delete", query) as span:
+            result = self._router.delete_one(self.database, self.name, query)
+            self._finish_span(span, result, parallel=False)
+            return result
 
     def delete_many(self, query: dict[str, Any]) -> OperationResult:
-        return self._router.delete_many(self.database, self.name, query)
+        if not self.cluster.profiler.enabled:
+            return self._router.delete_many(self.database, self.name, query)
+        with self._profiled("delete", query) as span:
+            result = self._router.delete_many(self.database, self.name, query)
+            self._finish_span(span, result, parallel=True)
+            return result
 
     # -- reads ----------------------------------------------------------------------
 
     def find_with_cost(self, query: dict[str, Any] | None = None,
                        limit: int | None = None) -> OperationResult:
-        return self._router.find_with_cost(self.database, self.name, query or {},
-                                           limit=limit)
+        if not self.cluster.profiler.enabled:
+            return self._router.find_with_cost(self.database, self.name,
+                                               query or {}, limit=limit)
+        with self._profiled("query", query or {}) as span:
+            result = self._router.find_with_cost(self.database, self.name,
+                                                 query or {}, limit=limit)
+            self._finish_span(span, result, parallel=True)
+            return result
 
     def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
         result = self.find_with_cost(query or {}, limit=1)
@@ -111,16 +184,35 @@ class RoutedCollection:
         return clone_document(result.documents[0])
 
     def count_documents(self, query: dict[str, Any] | None = None) -> int:
-        return self._router.count_documents(self.database, self.name, query or {})
+        if not self.cluster.profiler.enabled:
+            return self._router.count_documents(self.database, self.name,
+                                                query or {})
+        with self._profiled("count", query or {}) as span:
+            count = self._router.count_documents(self.database, self.name,
+                                                 query or {})
+            span.docs_returned = count
+            return count
 
     def aggregate(self, pipeline: list[dict[str, Any]] | None = None) -> OperationResult:
         """Run an aggregation pipeline with shard pushdown (see the router)."""
-        return self._router.aggregate(self.database, self.name, pipeline)
+        if not self.cluster.profiler.enabled:
+            return self._router.aggregate(self.database, self.name, pipeline)
+        with self._profiled("aggregate", pipeline or []) as span:
+            result = self._router.aggregate(self.database, self.name, pipeline)
+            self._finish_span(span, result, parallel=True)
+            return result
 
     def distinct(self, field_path: str,
                  query: dict[str, Any] | None = None) -> list[Any]:
         """Distinct values of ``field_path`` across the targeted shards."""
-        return self._router.distinct(self.database, self.name, field_path, query)
+        if not self.cluster.profiler.enabled:
+            return self._router.distinct(self.database, self.name, field_path,
+                                         query)
+        with self._profiled("distinct", query or {}) as span:
+            values = self._router.distinct(self.database, self.name, field_path,
+                                           query)
+            span.docs_returned = len(values)
+            return values
 
     def explain(self, query: dict[str, Any] | list[dict[str, Any]] | None = None,
                 limit: int | None = None) -> dict[str, Any]:
@@ -279,6 +371,10 @@ class ShardedCluster:
         # call into ``shard_collection``, which takes it again to publish.
         self._states_lock = threading.RLock()
         self._commands_executed = 0
+        # Router-level observability (the mongos side): router spans carry
+        # per-shard child spans; each shard keeps its own registry/profiler.
+        self.metrics = MetricsRegistry()
+        self.profiler = Profiler(self.metrics)
 
     # -- DocumentServer-compatible surface ----------------------------------------
 
@@ -351,6 +447,18 @@ class ShardedCluster:
             }}
         if "serverStatus" in command:
             return {"ok": 1, **self.server_status()}
+        if "profile" in command:
+            level = command["profile"]
+            if level == -1:
+                return {"ok": 1, "was": self.profiler.level,
+                        "level": self.profiler.level,
+                        "slowms": self.profiler.slow_ms}
+            return {"ok": 1, **self.set_profiling(level,
+                                                  slow_ms=command.get("slowms"))}
+        if "currentOp" in command:
+            return {"ok": 1, "inprog": self.current_ops()}
+        if "top" in command:
+            return {"ok": 1, "totals": self.top()}
         if "dbStats" in command:
             name = command["dbStats"]
             if name not in self.database_names():
@@ -386,10 +494,99 @@ class ShardedCluster:
             status["failovers"] = sum(rs.failovers for rs in replica_sets)
             status["rolled_back_entries"] = sum(
                 rs.rolled_back_entries for rs in replica_sets)
+        status["metrics"] = self.metrics_snapshot()
+        status["locks"] = self.locks_report()
         return status
 
     def __getitem__(self, name: str) -> ShardedDatabase:
         return self.database(name)
+
+    # -- observability -----------------------------------------------------------------
+
+    def set_profiling(self, level: int, slow_ms: float | None = None,
+                      capacity: int | None = None) -> dict[str, Any]:
+        """Set the profiling level on the router *and* every shard (and, for
+        replicated shards, every member)."""
+        result = self.profiler.set_profiling(level, slow_ms=slow_ms,
+                                             capacity=capacity)
+        for shard in self.shards:
+            shard.set_profiling(level, slow_ms=slow_ms, capacity=capacity)
+        return result
+
+    def get_slow_ops(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Router and shard slow-op logs merged, ordered by start time.
+
+        Router entries carry ``source: "router"`` (with per-shard child
+        spans inline); shard entries carry ``source: "shardN"`` or
+        ``"shardN/<member>"`` for replicated shards.
+        """
+        merged = [dict(entry, source="router")
+                  for entry in self.profiler.slow_ops()]
+        for index, shard in enumerate(self.shards):
+            if isinstance(shard, ReplicaSet):
+                # Member names already embed the shard ("shardN/memberM").
+                merged.extend(shard.get_slow_ops())
+            else:
+                for entry in shard.get_slow_ops():
+                    merged.append(dict(entry, source=f"shard{index}"))
+        merged.sort(key=lambda entry: entry.get("started", 0.0))
+        if limit is not None:
+            merged = merged[-limit:]
+        return merged
+
+    def current_ops(self) -> list[dict[str, Any]]:
+        ops = [dict(entry, source="router")
+               for entry in self.profiler.current_ops()]
+        for index, shard in enumerate(self.shards):
+            for entry in shard.current_ops():
+                tagged = dict(entry)
+                if "source" not in tagged:  # plain server shard
+                    tagged["source"] = f"shard{index}"
+                ops.append(tagged)
+        return ops
+
+    def top(self) -> dict[str, Any]:
+        """Per-namespace usage totals merged across the router and shards."""
+        return merge_top([self.profiler.top()]
+                         + [shard.top() for shard in self.shards])
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Router + shard registries merged.
+
+        Counters intentionally layer (a routed query counts once at the
+        router and once per contacted shard, exactly as mongos and mongod
+        each count it); the planner rollup sums shard-side plan caches.
+        """
+        shard_snaps = [shard.metrics_snapshot() for shard in self.shards]
+        merged = MetricsRegistry.merge([self.metrics.snapshot()] + shard_snaps)
+        planner = {"entries": 0, "hits": 0, "misses": 0, "fast_id_plans": 0,
+                   "collections": 0}
+        recorded = self.profiler.slow_ops_recorded
+        dropped = self.profiler.slow_ops_dropped
+        for snap in shard_snaps:
+            for key in planner:
+                planner[key] += snap["planner"][key]
+            recorded += snap["profiler"]["slow_ops_recorded"]
+            dropped += snap["profiler"]["slow_ops_dropped"]
+        merged["planner"] = planner
+        merged["profiler"] = {
+            "level": self.profiler.level,
+            "slowms": self.profiler.slow_ms,
+            "slow_ops_recorded": recorded,
+            "slow_ops_dropped": dropped,
+            "shards": self.shard_count,
+        }
+        return merged
+
+    def locks_report(self) -> dict[str, dict[str, float]]:
+        """Per-namespace lock statistics summed across every shard."""
+        report: dict[str, dict[str, float]] = {}
+        for shard in self.shards:
+            for namespace, stats in shard.locks_report().items():
+                slot = report.setdefault(namespace, {})
+                for key, value in stats.items():
+                    slot[key] = slot.get(key, 0) + value
+        return report
 
     # -- sharding management -----------------------------------------------------------
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.docstore.client import CollectionHandle, DocumentClient
+from repro.docstore.observability import MetricsSampler
 from repro.docstore.topology import (
     DocumentDeployment,
     TopologySpec,
@@ -59,6 +60,10 @@ class WorkloadSpec:
         write_concern: ``1`` .. ``replicas`` or ``"majority"``.
         read_preference: ``"primary"`` / ``"secondary"`` / ``"nearest"``.
         replication_lag: oplog entries secondaries may trail behind.
+        profile_level: operation profiling level applied to the deployment
+            before the run (0 off, 1 slow ops only, 2 all ops).
+        slow_ms: slow-op threshold in simulated milliseconds (only
+            meaningful with ``profile_level`` > 0).
     """
 
     record_count: int = 1000
@@ -78,12 +83,18 @@ class WorkloadSpec:
     write_concern: int | str = 1
     read_preference: str = "primary"
     replication_lag: int = 0
+    profile_level: int = 0
+    slow_ms: float = 100.0
 
     def __post_init__(self) -> None:
         if self.record_count <= 0 or self.operation_count <= 0:
             raise ValidationError("record_count and operation_count must be positive")
         if self.threads <= 0:
             raise ValidationError("threads must be positive")
+        if self.profile_level not in (0, 1, 2):
+            raise ValidationError("profile_level must be 0, 1 or 2")
+        if self.slow_ms < 0:
+            raise ValidationError("slow_ms must be non-negative")
         self.topology()  # the topology layer validates every deployment field
 
     def topology(self, storage_engine: str = "wiredtiger") -> TopologySpec:
@@ -172,6 +183,9 @@ class DocumentBenchmark:
             spec.distribution, spec.record_count
         )
         self._inserted = spec.record_count
+        self.sampler: MetricsSampler | None = None
+        if spec.profile_level > 0:
+            self.server.set_profiling(spec.profile_level, slow_ms=spec.slow_ms)
 
     @classmethod
     def for_spec(cls, spec: WorkloadSpec, storage_engine: str = "wiredtiger",
@@ -200,6 +214,27 @@ class DocumentBenchmark:
         server = build_topology(topology, **engine_options)
         return cls(server, spec, database=database, collection=collection,
                    topology=topology)
+
+    # -- observability ------------------------------------------------------------------
+
+    def attach_sampler(self, interval_seconds: float = 0.25,
+                       max_samples: int = 600) -> MetricsSampler:
+        """Attach an FTDC-style metrics sampler pumped by the run loop.
+
+        The sampler snapshots the deployment's full metrics registry at most
+        every ``interval_seconds`` of wall clock, into a bounded in-memory
+        series callers can dump as JSON (:meth:`MetricsSampler.as_dict`).
+        An initial baseline sample is taken immediately.
+        """
+        self.sampler = MetricsSampler(self.server.metrics_snapshot,
+                                      interval_seconds=interval_seconds,
+                                      max_samples=max_samples)
+        self.sampler.sample()
+        return self.sampler
+
+    def slow_ops(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The deployment's merged slow-op log (empty while profiling is off)."""
+        return self.server.get_slow_ops(limit)
 
     # -- phases ------------------------------------------------------------------------
 
@@ -249,12 +284,17 @@ class DocumentBenchmark:
         latencies: list[float] = []
         counts = {"read": 0, "update": 0, "insert": 0, "scan": 0,
                   "read_modify_write": 0, "grouped_count": 0, "top_k": 0}
+        sampler = self.sampler
         for index in range(self.spec.operation_count):
             if self.operation_hook is not None:
                 self.operation_hook(index)
             operation = self._choose_operation()
             latencies.append(self._execute(operation))
             counts[operation] += 1
+            if sampler is not None:
+                sampler.maybe_sample()
+        if sampler is not None:
+            sampler.sample()
         return self._summarise(latencies, counts)
 
     def execute_full(self) -> BenchmarkResult:

@@ -560,3 +560,102 @@ class TestAggregationUnderWriters:
 
         errors = run_threads(8, worker)
         assert not errors
+
+
+# -- PR 8 satellite: profiler correctness under concurrency -----------------------
+
+
+class TestProfilerUnderConcurrency:
+    """The slow-op log must be exact under contention: every operation above
+    the threshold appears exactly once, and no recorded span is torn (fields
+    from two different operations mixed into one record)."""
+
+    THREADS = 8
+    OPS_PER_THREAD = 40
+    RECORDS = 200
+
+    def _build_server(self) -> tuple[DocumentServer, object]:
+        server = DocumentServer("wiredtiger")
+        collection = server.database("db").collection("c")
+        collection.insert_many([
+            {"_id": f"k{index:04d}", "counter": index,
+             "category": f"cat{index % 4}"}
+            for index in range(self.RECORDS)
+        ])
+        collection.create_index("counter")
+        server.set_profiling(
+            2, slow_ms=0.0,
+            capacity=self.THREADS * self.OPS_PER_THREAD + 10)
+        return server, collection
+
+    def test_every_op_recorded_exactly_once(self):
+        server, collection = self._build_server()
+        # Each thread issues a distinct query shape per op slot, so every
+        # recorded span is attributable to exactly one (thread, op) pair.
+        def worker(worker_id: int) -> None:
+            for index in range(self.OPS_PER_THREAD):
+                collection.find_one(
+                    {"_id": f"k{(worker_id * 31 + index) % self.RECORDS:04d}",
+                     f"w{worker_id}": {"$exists": False}})
+
+        errors = run_threads(self.THREADS, worker)
+        assert not errors
+        entries = server.get_slow_ops()
+        assert len(entries) == self.THREADS * self.OPS_PER_THREAD
+        described = server.profiler.describe()
+        assert described["slow_ops_recorded"] == len(entries)
+        assert described["slow_ops_dropped"] == 0
+        assert described["in_flight"] == 0
+
+        # Exactly-once: every (thread, slot) shape appears once.  The shape
+        # string embeds the wN marker field, so counting shapes per thread
+        # proves no span was lost or double-recorded.
+        per_thread: dict[str, int] = {}
+        for entry in entries:
+            assert entry["op"] == "query"
+            marker = [key for key in entry["shape"].split('"')
+                      if key.startswith("w") and key[1:].isdigit()]
+            assert len(marker) == 1, entry
+            per_thread[marker[0]] = per_thread.get(marker[0], 0) + 1
+        assert per_thread == {f"w{worker}": self.OPS_PER_THREAD
+                              for worker in range(self.THREADS)}
+
+        # No torn spans: every record is internally consistent.
+        opids = set()
+        for entry in entries:
+            assert entry["opid"] not in opids
+            opids.add(entry["opid"])
+            assert entry["ns"] == "db.c"
+            assert entry["access_path"] == "ID_LOOKUP"
+            assert entry["docs_returned"] == 1
+            assert entry["docs_examined"] == 1
+            assert entry["simulated_ms"] > 0.0
+            assert entry["duration_ms"] >= 0.0
+            assert entry["lock_wait_ms"] >= 0.0
+
+    def test_mixed_ops_with_writes_stay_consistent(self):
+        server, collection = self._build_server()
+
+        def worker(worker_id: int) -> None:
+            for index in range(self.OPS_PER_THREAD):
+                target = (worker_id * 17 + index) % self.RECORDS
+                if worker_id % 2 == 0:
+                    collection.update_one({"_id": f"k{target:04d}"},
+                                          {"$inc": {"payload": 1}})
+                else:
+                    collection.find_one({"_id": f"k{target:04d}"})
+
+        errors = run_threads(self.THREADS, worker)
+        assert not errors
+        entries = server.get_slow_ops()
+        assert len(entries) == self.THREADS * self.OPS_PER_THREAD
+        by_op = {"query": 0, "update": 0}
+        for entry in entries:
+            by_op[entry["op"]] += 1
+            if entry["op"] == "update":
+                assert entry["matched"] == 1 and entry["modified"] == 1
+        half = self.THREADS * self.OPS_PER_THREAD // 2
+        assert by_op == {"query": half, "update": half}
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["operations.query"] == half
+        assert counters["operations.update"] == half
