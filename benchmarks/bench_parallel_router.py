@@ -1,0 +1,296 @@
+"""E17 -- parallel scatter-gather: router fan-out wall-clock vs shard count.
+
+The cost model always priced multi-shard fan-out as parallel
+(``combine_shard_costs(parallel=True)`` takes the max over shards), but
+until the per-shard :class:`~repro.docstore.sharding.executor.ShardExecutor`
+existed every fan-out ran a serial shard loop, so under
+``real_service_scale`` a 4-shard scatter paid 4x the wall-clock it
+claimed.  E17 measures the gap closing: the same workloads run against a
+``parallel_fanout=True`` cluster and the serial-loop baseline
+(``parallel_fanout=False``), and the speedup at S shards should approach S
+-- fan-out wall-clock equals the slowest shard, not the sum.
+
+Workloads per shard count (total documents fixed, so per-shard work
+shrinks as shards grow and the *serial* wall stays roughly flat):
+
+* ``scatter_reads``     -- non-key-predicate finds (full scatter scan),
+* ``group_pushdown``    -- ``$group`` aggregate (partial-group scatter),
+* ``broadcast_writes``  -- non-key ``update_many`` (broadcast write).
+
+Every run also differentially checks sharded == standalone document-for-
+document in both modes, so the parallelism can never buy wrong answers.
+
+CI smoke check (fails when 4-shard scatter reads do not reach 1.8x the
+serial baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_router.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.docstore.client import CollectionHandle, DocumentClient  # noqa: E402
+from repro.docstore.cost import CostParameters  # noqa: E402
+from repro.docstore.server import DocumentServer  # noqa: E402
+from repro.docstore.sharding import ShardedCluster  # noqa: E402
+
+LOAD_BATCH = 500
+
+# Same scale as E14: simulated service times become real GIL-releasing
+# sleeps, so fan-out dispatch really overlaps per-shard service time.
+REAL_SERVICE_SCALE = 8.0
+
+SHARD_LADDER = [1, 2, 4, 8]
+
+# Floors at 4 shards vs the serial baseline: the full-run acceptance bar
+# for scatter reads and $group pushdown, and the conservative CI floor
+# (shared runners schedule threads noisily).
+FULL_SPEEDUP_TARGET = 2.5
+SMOKE_SPEEDUP_FLOOR = 1.8
+
+GROUP_PIPELINE = [
+    {"$group": {"_id": "$category", "total": {"$sum": "$n"},
+                "peak": {"$max": "$n"}}},
+    {"$sort": {"_id": 1}},
+]
+
+
+def build_deployment(shards: int, parallel: bool, records: int,
+                     seed: int = 42):
+    """A loaded cluster (or standalone reference for shards == 0)."""
+    costs = CostParameters(real_service_scale=REAL_SERVICE_SCALE)
+    if shards == 0:
+        server: DocumentServer | ShardedCluster = DocumentServer(
+            cost_parameters=costs)
+    else:
+        # split_threshold above the load keeps chunk migrations out of the
+        # measured phases; the fan-out dispatch is the only variable.
+        server = ShardedCluster(shards=shards, split_threshold=1_000_000,
+                                parallel_fanout=parallel,
+                                cost_parameters=costs)
+    handle = DocumentClient(server).collection("benchmark", "usertable")
+    rng = random.Random(seed)
+    for start in range(0, records, LOAD_BATCH):
+        handle.insert_many([
+            {"_id": f"user{index:06d}", "n": rng.randrange(10_000),
+             "category": index % 16, "payload": "x" * 64}
+            for index in range(start, min(start + LOAD_BATCH, records))
+        ])
+    return server, handle
+
+
+def _timed(operations: int, op: Callable[[int], None]) -> dict[str, float]:
+    started = time.perf_counter()
+    for index in range(operations):
+        op(index)
+    seconds = time.perf_counter() - started
+    return {
+        "operations": operations,
+        "wall_seconds": round(seconds, 6),
+        "ops_per_sec": round(operations / seconds, 1) if seconds else 0.0,
+    }
+
+
+def run_workloads(handle: CollectionHandle, operations: int,
+                  records: int) -> dict[str, dict[str, float]]:
+    """The three fan-out phases against one deployment."""
+    read_query = {"n": {"$gte": 0}}  # non-key predicate: full scatter
+
+    def scatter_read(__: int) -> None:
+        result = handle.find_with_cost(read_query)
+        assert result.matched_count == records
+
+    def group_pushdown(__: int) -> None:
+        rows = handle.aggregate(GROUP_PIPELINE)
+        assert len(rows) == min(16, records)
+
+    def broadcast_write(index: int) -> None:
+        result = handle.update_many({"category": {"$gte": 0}},
+                                    {"$inc": {"touched": 1}})
+        assert result.matched_count == records
+
+    return {
+        "scatter_reads": _timed(operations, scatter_read),
+        "group_pushdown": _timed(operations, group_pushdown),
+        "broadcast_writes": _timed(max(1, operations // 2), broadcast_write),
+    }
+
+
+def check_equivalence(records: int, shards: int) -> dict[str, Any]:
+    """Sharded == standalone, document for document, in both fan-out modes.
+
+    Runs the benchmark's own query shapes plus a write round and compares
+    full result sets against a standalone server with identical data.
+    """
+    def fingerprint(handle: CollectionHandle) -> dict[str, Any]:
+        handle.update_many({"category": {"$lt": 8}}, {"$inc": {"n": 1}})
+        documents = sorted(handle.find_with_cost({"n": {"$gte": 0}}).documents,
+                           key=lambda document: document["_id"])
+        return {
+            "documents": [(doc["_id"], doc["n"], doc["category"])
+                          for doc in documents],
+            "group_rows": handle.aggregate(GROUP_PIPELINE),
+            "distinct": handle.distinct("category", {"n": {"$gte": 100}}),
+            "count": handle.count_documents({"category": {"$gte": 4}}),
+        }
+
+    __, standalone = build_deployment(0, True, records)
+    reference = fingerprint(standalone)
+    for parallel in (True, False):
+        __, handle = build_deployment(shards, parallel, records)
+        candidate = fingerprint(handle)
+        assert candidate == reference, (
+            f"sharded != standalone with parallel_fanout={parallel}")
+    return {"checked_shards": shards, "modes": ["parallel", "serial"],
+            "documents": records, "passed": True}
+
+
+def run(records: int, operations: int,
+        shard_ladder: list[int]) -> dict[str, Any]:
+    workloads: dict[str, dict[str, Any]] = {
+        "scatter_reads": {}, "group_pushdown": {}, "broadcast_writes": {}}
+    for shards in shard_ladder:
+        per_mode: dict[str, dict[str, dict[str, float]]] = {}
+        for mode, parallel in (("parallel", True), ("serial", False)):
+            __, handle = build_deployment(shards, parallel, records)
+            per_mode[mode] = run_workloads(handle, operations, records)
+        for name, slot in workloads.items():
+            parallel_phase = per_mode["parallel"][name]
+            serial_phase = per_mode["serial"][name]
+            speedup = (serial_phase["wall_seconds"]
+                       / parallel_phase["wall_seconds"]
+                       if parallel_phase["wall_seconds"] else 0.0)
+            slot[str(shards)] = {
+                "parallel": parallel_phase,
+                "serial": serial_phase,
+                "speedup": round(speedup, 2),
+            }
+        summary = ", ".join(
+            f"{name}={workloads[name][str(shards)]['speedup']:.2f}x"
+            for name in workloads)
+        print(f"[{shards} shard{'s' if shards > 1 else ' '}] "
+              f"parallel-vs-serial: {summary}")
+    return {
+        "benchmark": "E17_parallel_router",
+        "records": records,
+        "operations": operations,
+        "real_service_scale": REAL_SERVICE_SCALE,
+        "shard_ladder": shard_ladder,
+        "speedup_target": FULL_SPEEDUP_TARGET,
+        "workloads": workloads,
+        "equivalence": check_equivalence(records, max(shard_ladder)),
+    }
+
+
+def speedup_at(report: dict[str, Any], workload: str, shards: int) -> float:
+    return report["workloads"][workload][str(shards)]["speedup"]
+
+
+def check_floor(report: dict[str, Any], floor: float,
+                workload_names: list[str]) -> list[str]:
+    """The scaling guard: 4-shard fan-outs must beat the serial loop."""
+    failures = []
+    for name in workload_names:
+        achieved = speedup_at(report, name, 4)
+        if achieved < floor:
+            failures.append(
+                f"{name} at 4 shards reached only {achieved:.2f}x the "
+                f"serial-fanout baseline (floor {floor:.1f}x)")
+    return failures
+
+
+def write_markdown(report: dict[str, Any], path: Path) -> None:
+    lines = [
+        "# E17 -- parallel scatter-gather wall-clock",
+        "",
+        f"Shard ladder {report['shard_ladder']}, {report['records']} "
+        f"documents total, {report['operations']} fan-outs per phase, "
+        f"real_service_scale={report['real_service_scale']}.",
+        "",
+        "Each cell compares the per-shard executor pool "
+        "(`parallel_fanout=True`) against the serial shard loop "
+        "(`parallel_fanout=False`) on identical data; the speedup is the "
+        "serial wall-clock over the parallel wall-clock.  Both modes "
+        "passed the sharded == standalone differential check.",
+        "",
+        "| shards | scatter reads | $group pushdown | broadcast writes |",
+        "|--:|--:|--:|--:|",
+    ]
+    for shards in report["shard_ladder"]:
+        cells = " | ".join(
+            f"{speedup_at(report, name, shards):.2f}x"
+            for name in ("scatter_reads", "group_pushdown",
+                         "broadcast_writes"))
+        lines.append(f"| {shards} | {cells} |")
+    reads = speedup_at(report, "scatter_reads", 4)
+    group = speedup_at(report, "group_pushdown", 4)
+    verdict = ("meets" if min(reads, group) >= report["speedup_target"]
+               else "misses")
+    lines += [
+        "",
+        f"4-shard scatter reads ran **{reads:.2f}x** and $group pushdown "
+        f"**{group:.2f}x** faster than the serial baseline ({verdict} the "
+        f">= {report['speedup_target']:.1f}x acceptance bar).",
+        "",
+    ]
+    path.write_text("\n".join(lines))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small run with the conservative CI floor")
+    parser.add_argument("--records", type=int, default=None,
+                        help="documents loaded per deployment")
+    parser.add_argument("--operations", type=int, default=None,
+                        help="fan-out operations per phase")
+    parser.add_argument("--json", type=Path,
+                        default=(Path(__file__).parent / "results"
+                                 / "E17_parallel_router.json"),
+                        help="where to write the machine-readable report")
+    arguments = parser.parse_args()
+
+    smoke = arguments.smoke
+    records = arguments.records or (600 if smoke else 1_600)
+    operations = arguments.operations or (12 if smoke else 30)
+    shard_ladder = [1, 4] if smoke else SHARD_LADDER
+
+    report = run(records, operations, shard_ladder)
+    report["mode"] = "smoke" if smoke else "full"
+
+    arguments.json.parent.mkdir(parents=True, exist_ok=True)
+    arguments.json.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {arguments.json}")
+    if not smoke:
+        markdown = arguments.json.with_suffix(".md")
+        write_markdown(report, markdown)
+        print(f"wrote {markdown}")
+
+    if smoke:
+        failures = check_floor(report, SMOKE_SPEEDUP_FLOOR,
+                               ["scatter_reads"])
+    else:
+        failures = check_floor(report, FULL_SPEEDUP_TARGET,
+                               ["scatter_reads", "group_pushdown"])
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if smoke:
+        print(f"smoke ok: 4-shard scatter reads ran "
+              f"{speedup_at(report, 'scatter_reads', 4):.2f}x the serial "
+              f"baseline (floor {SMOKE_SPEEDUP_FLOOR}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,8 +11,10 @@ Walks through the PR 8 observability stack:
   histograms with p50/p95/p99, the server-wide plan-cache rollup and the
   per-collection lock report,
 * profile a 4-shard replicated cluster and read a scatter-gather span --
-  per-shard child costs, the parallel flag, the straggler shard -- plus the
-  merged log with entries sourced from the router and every member, and
+  per-shard child costs, *measured* per-shard ``wall_ms`` from the PR 10
+  parallel fan-out executor, the parallel flag, the straggler shard (the
+  measured slowest of the fan-out) -- plus the merged log with entries
+  sourced from the router and every member, and
 * attach the FTDC-style :class:`MetricsSampler` to a workload run and dump
   its bounded time series.
 
@@ -48,15 +50,22 @@ def show(title: str, entries) -> None:
                 f"cache={entry.get('plan_cache', '-'):<7} "
                 f"exam/ret={entry['docs_examined']}/{entry['docs_returned']} "
                 f"sim={entry['simulated_ms']:.3f}ms")
+        walls = {}
         if entry.get("shards"):
             names = [child["shard"] for child in entry["shards"]]
             line += (f" shards={names}"
                      f"{' parallel' if entry.get('parallel') else ''}")
             if entry.get("straggler"):
                 line += f" straggler={entry['straggler']}"
+            walls = {child["shard"]: child["wall_ms"]
+                     for child in entry["shards"] if "wall_ms" in child}
         if entry.get("source"):
             line += f" source={entry['source']}"
         print(line)
+        if walls:
+            measured = ", ".join(f"{shard}={wall:.2f}ms"
+                                 for shard, wall in sorted(walls.items()))
+            print(f"            measured walls: {measured}")
 
 
 def standalone_profiling() -> None:
@@ -113,8 +122,20 @@ def cluster_profiling() -> None:
     handle.aggregate([{"$group": {"_id": "$category", "n": {"$count": {}}}}])
 
     entries = cluster.get_slow_ops()
-    show("router spans (mongos view):",
-         [entry for entry in entries if entry["source"] == "router"])
+    router_spans = [entry for entry in entries if entry["source"] == "router"]
+    show("router spans (mongos view):", router_spans)
+    fanned = [entry for entry in router_spans
+              if any("wall_ms" in child for child in entry.get("shards", []))]
+    if fanned:
+        span = fanned[0]
+        slowest = max((child for child in span["shards"]
+                       if "wall_ms" in child),
+                      key=lambda child: child["wall_ms"])
+        print(f"\n  straggler of the {span['op']} fan-out is the *measured* "
+              f"slowest shard: {span['straggler']} "
+              f"({slowest['wall_ms']:.2f}ms wall) -- the executor ran all "
+              f"{len(span['shards'])} shards concurrently, so the span's "
+              f"duration tracks that straggler, not the sum")
     shard_side = [entry for entry in entries if entry["source"] != "router"]
     show(f"first shard-side spans (of {len(shard_side)}):", shard_side[:4])
     print("\nmerged top():",

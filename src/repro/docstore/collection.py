@@ -90,6 +90,10 @@ class OperationResult:
         shard_costs: per-shard cost breakdown, filled in by the sharding
             router when the operation ran against a cluster (empty for
             single-server operations).
+        shard_wall_seconds: measured per-shard wall-clock seconds for router
+            fan-outs (empty for single-server and single-shard operations);
+            unlike ``shard_costs`` these are real elapsed times, so they
+            expose the actual straggler under parallel dispatch.
     """
 
     acknowledged: bool = True
@@ -100,6 +104,7 @@ class OperationResult:
     simulated_seconds: float = 0.0
     documents: list[dict[str, Any]] = field(default_factory=list)
     shard_costs: dict[str, float] = field(default_factory=dict)
+    shard_wall_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class Collection:

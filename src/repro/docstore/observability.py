@@ -280,17 +280,35 @@ class ProfiledOp:
         self.children.append(child)
 
     def add_shard_children(self, shard_costs: dict[str, float],
-                           parallel: bool) -> None:
+                           parallel: bool,
+                           wall_seconds: dict[str, float] | None = None) -> None:
         """Synthesise per-shard child spans from an OperationResult's
         ``shard_costs`` breakdown.  ``parallel`` records whether the parent
-        duration combines children by max (fan-out) or sum (serial)."""
+        duration combines children by max (fan-out) or sum (serial).
+
+        ``wall_seconds`` carries the *measured* per-shard wall-clock of a
+        real fan-out dispatch (``OperationResult.shard_wall_seconds``);
+        when present each child also reports ``wall_ms``, and the straggler
+        is the shard with the largest measured wall-clock.  Without
+        measurements (single-shard ops, synthetic spans) the straggler
+        falls back to the largest simulated cost, which keeps it
+        deterministic for simulated-only workloads."""
         self.parallel = parallel
+        wall_seconds = wall_seconds or {}
         for name in sorted(shard_costs):
-            self.add_child(name, shard_costs[name])
+            if name in wall_seconds:
+                self.add_child(name, shard_costs[name],
+                               wall_ms=wall_seconds[name] * 1000.0)
+            else:
+                self.add_child(name, shard_costs[name])
         shard_children = [c for c in self.children
                           if c["shard"] != "balancer"]
         if parallel and shard_children:
-            slowest = max(shard_children, key=lambda c: c["simulated_ms"])
+            measured = [c for c in shard_children if "wall_ms" in c]
+            if measured:
+                slowest = max(measured, key=lambda c: c["wall_ms"])
+            else:
+                slowest = max(shard_children, key=lambda c: c["simulated_ms"])
             self.straggler = slowest["shard"]
 
     # -- rendering -------------------------------------------------------------

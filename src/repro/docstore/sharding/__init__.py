@@ -13,6 +13,11 @@ processes behind ``mongos``:
   :class:`~repro.docstore.sharding.router.QueryRouter` targets operations
   that pin the shard key to one shard and scatter-gathers everything else,
   merging per-shard simulated costs into ``OperationResult.shard_costs``.
+* :mod:`~repro.docstore.sharding.executor` --
+  :class:`~repro.docstore.sharding.executor.ShardExecutor` gives the router
+  a persistent per-shard worker pool (mongos-connection-pool style), so
+  fan-outs really run concurrently and multi-shard wall-clock tracks the
+  slowest shard instead of the sum.
 * :mod:`~repro.docstore.sharding.chunks` --
   :class:`~repro.docstore.sharding.chunks.ChunkManager` partitions the key
   space into chunks (``hash`` or ``range`` strategy) and splits chunks that
@@ -42,6 +47,7 @@ from repro.docstore.sharding.cluster import (
     ShardedDatabase,
     ShardingState,
 )
+from repro.docstore.sharding.executor import ShardExecutor
 from repro.docstore.sharding.router import QueryRouter
 
 __all__ = [
@@ -55,6 +61,7 @@ __all__ = [
     "STRATEGY_RANGE",
     "QueryRouter",
     "RoutedCollection",
+    "ShardExecutor",
     "ShardedCluster",
     "ShardedDatabase",
     "ShardingState",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import threading
+import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any
@@ -40,6 +41,7 @@ from repro.docstore.replication.replica_set import READ_PRIMARY, ReplicaSet
 from repro.docstore.server import _ENGINE_FACTORIES, DocumentServer
 from repro.docstore.sharding.balancer import Balancer, Migration
 from repro.docstore.sharding.chunks import STRATEGIES, STRATEGY_HASH, ChunkManager
+from repro.docstore.sharding.executor import ShardExecutor
 from repro.docstore.sharding.router import QueryRouter
 from repro.errors import DocumentStoreError, NotFoundError, NotPrimaryError
 
@@ -102,11 +104,13 @@ class RoutedCollection:
     def _finish_span(self, span: Any, result: OperationResult,
                      parallel: bool) -> None:
         """Fill a router span from the merged result: per-shard child spans
-        (from ``shard_costs``), the straggler for parallel fan-outs, and the
+        (from ``shard_costs``, with measured ``wall_ms`` when the fan-out
+        really dispatched), the straggler for parallel fan-outs, and the
         scatter/targeted classification."""
         span.note_result(result)
         if result.shard_costs:
-            span.add_shard_children(result.shard_costs, parallel)
+            span.add_shard_children(result.shard_costs, parallel,
+                                    wall_seconds=result.shard_wall_seconds or None)
             shard_children = sum(1 for child in span.children
                                  if child["shard"] != "balancer")
             span.targeting = ("scatter"
@@ -313,6 +317,13 @@ class ShardedCluster:
             (with the router driving elections and retrying on failover).
         write_concern / read_preference / replication_lag: replica-set
             configuration applied to every shard (ignored for replicas=1).
+        parallel_fanout: when True (the default) multi-shard fan-outs
+            dispatch concurrently through the cluster's per-shard
+            :class:`~repro.docstore.sharding.executor.ShardExecutor`; when
+            False the router falls back to the serial shard loop (the
+            measured baseline of benchmark E17).
+        fanout_workers: worker threads per shard in the executor pool
+            (spawned lazily on a shard's first fan-out).
         cost_parameters / engine_options: forwarded to every shard server.
     """
 
@@ -328,6 +339,8 @@ class ShardedCluster:
         write_concern: int | str = 1,
         read_preference: str = READ_PRIMARY,
         replication_lag: int = 0,
+        parallel_fanout: bool = True,
+        fanout_workers: int = 2,
         cost_parameters: CostParameters | None = None,
         **engine_options: Any,
     ):
@@ -362,6 +375,14 @@ class ShardedCluster:
         self.default_strategy = strategy
         self.split_threshold = split_threshold
         self.auto_maintenance = auto_maintenance
+        self.parallel_fanout = parallel_fanout
+        # The cluster's parallel dispatch layer: one queue + worker pool per
+        # shard, created with the cluster and shut down with it.  The
+        # finalizer holds only the executor (via the bound method), never
+        # the cluster, so the router<->cluster reference cycle still
+        # collects; ``close()`` runs it early and is idempotent.
+        self.executor = ShardExecutor(shards, workers_per_shard=fanout_workers)
+        self._executor_finalizer = weakref.finalize(self, self.executor.close)
         self.router = QueryRouter(self)
         self._states: dict[tuple[str, str], ShardingState] = {}
         # Guards get-or-create on ``_states``: two threads first touching a
@@ -480,6 +501,12 @@ class ShardedCluster:
             "sharded": True,
             "shards": self.shard_count,
             "replicas": self.replicas,
+            "parallel_fanout": self.parallel_fanout,
+            "fanout": {
+                "workers": self.executor.active_workers(),
+                "fanouts": self.executor.fanouts,
+                "tasks_dispatched": self.executor.tasks_dispatched,
+            },
             "commands": self._commands_executed,
             "databases": len(self.database_names()),
             "totalDocuments": sum(status["totalDocuments"] for status in per_shard),
@@ -831,6 +858,17 @@ class ShardedCluster:
         threads_per_shard = max(1, math.ceil(threads / self.shard_count))
         per_shard = profile.speedup(threads_per_shard, write_ratio)
         return min(float(threads), per_shard * min(self.shard_count, threads))
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the fan-out worker pool.
+
+        Optional -- the pool's daemon workers also stop when the cluster is
+        garbage-collected (via the finalizer) or the process exits.  After
+        closing, routed operations keep working with serial fan-out.
+        """
+        self._executor_finalizer()
 
     # -- internals -------------------------------------------------------------------------
 

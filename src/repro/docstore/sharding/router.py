@@ -30,10 +30,17 @@ predicate) affects exactly one matching document, but *which* one is
 shard-probe order, which may differ from a single server's insertion-order
 choice when several documents match.
 
-Cost accounting: all multi-shard latency merging goes through
-:func:`combine_shard_costs` -- fan-outs run in parallel (cost of the slowest
-shard), sequential probes accumulate every probed shard.  The per-shard
-breakdown always flows into ``OperationResult.shard_costs``.
+Cost accounting and execution model: all multi-shard latency merging goes
+through :func:`combine_shard_costs` -- fan-outs cost the slowest shard,
+sequential probes accumulate every probed shard.  The execution matches the
+model: every fan-out dispatches its shards concurrently through the
+cluster's per-shard :class:`~repro.docstore.sharding.executor.ShardExecutor`
+(a serial loop remains available behind ``parallel_fanout=False``), and the
+determinism rule is that per-shard results are always merged in shard_id
+order, which keeps sharded output reproducible and document-for-document
+equal to a standalone server in either mode.  The per-shard breakdown flows
+into ``OperationResult.shard_costs`` (simulated) and
+``OperationResult.shard_wall_seconds`` (measured wall-clock per shard).
 
 Failover handling: when shards are replica sets
 (``ShardedCluster(replicas=M)``) the sets do not elect on their own -- a
@@ -75,8 +82,9 @@ def combine_shard_costs(shard_costs: Mapping[str, float], parallel: bool) -> flo
     """The single latency model for every multi-shard operation.
 
     Fan-out operations (scatter/targeted-subset reads, broadcast writes)
-    contact their shards concurrently, so the merged simulated time is the
-    *slowest* shard's cost (max).  Serial probes (``update_one`` /
+    contact their shards concurrently -- really, through the cluster's
+    :class:`~repro.docstore.sharding.executor.ShardExecutor` -- so the
+    merged simulated time is the *slowest* shard's cost (max).  Serial probes (``update_one`` /
     ``delete_one`` without a resolvable shard key stop at the first matching
     shard) visit shards one after another, so their merged time is the *sum*
     of every shard actually probed.  Routing both shapes through this one
@@ -195,20 +203,27 @@ class QueryRouter:
         shard_ids, targeted = self._shards_for_query(state, query)
         self._note(targeted)
         merged = OperationResult()
-        for shard_id in shard_ids:
-            result = self._run_on_shard(database, collection, shard_id,
-                                        "find_with_cost", query, limit=limit)
+        results, walls = self._fanout(database, collection, shard_ids,
+                                      "find_with_cost", query, limit=limit)
+        multi_shard = len(shard_ids) > 1
+        for shard_id, result, wall in zip(shard_ids, results, walls):
+            name = self._shard_name(shard_id)
             merged.documents.extend(result.documents)
-            merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+            merged.shard_costs[name] = result.simulated_seconds
+            if multi_shard:  # walls only describe real fan-out dispatches
+                merged.shard_wall_seconds[name] = wall
         if len(shard_ids) > 1:
             # During an in-flight migration a document exists on donor and
             # recipient for a moment; a multi-shard read deduplicates by
             # ``_id`` so that window can never surface the same document
             # twice (single-shard targeted reads cannot see duplicates).
-            seen_ids: set[str] = set()
+            # Identity is the type-tagged ``group_token``, the same identity
+            # aggregation grouping uses -- ``str()`` would conflate ids of
+            # different types such as ``1`` and ``"1"``.
+            seen_ids: set[tuple] = set()
             unique: list[dict[str, Any]] = []
             for document in merged.documents:
-                identity = str(document.get("_id"))
+                identity = group_token(document.get("_id"))
                 if identity not in seen_ids:
                     seen_ids.add(identity)
                     unique.append(document)
@@ -231,7 +246,13 @@ class QueryRouter:
         shard, and a pushed ``$sort``/``$limit`` ships pre-sorted limited
         streams the router ordered-merges.  A leading ``$match`` drives
         shard targeting exactly like a ``find``.  Shards are contacted in
-        parallel, so the merged cost is the slowest shard's.
+        parallel -- one dispatch per shard through the cluster's
+        :class:`~repro.docstore.sharding.executor.ShardExecutor` (serial
+        when ``parallel_fanout=False``) -- so the merged cost is the
+        slowest shard's, and wall-clock tracks it under
+        ``real_service_scale``.  Determinism rule: whatever order shard
+        replies arrive in, partial rows and pre-sorted streams are merged
+        in shard_id order, so the output equals a single server's exactly.
         """
         split = split_pipeline(pipeline)
         state = self.cluster.sharding_state(database, collection)
@@ -247,23 +268,21 @@ class QueryRouter:
             return self._single_shard(database, collection, shard_ids[0],
                                       "aggregate", pipeline)
         if split.mode == "group":
-            row_lists: list[list[dict[str, Any]]] = []
-            for shard_id in shard_ids:
-                result = self._run_on_shard(
-                    database, collection, shard_id, "aggregate_partial",
-                    split.shard_stages, split.group_spec)
-                row_lists.append(result.documents)
-                merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+            results, walls = self._fanout(database, collection, shard_ids,
+                                          "aggregate_partial",
+                                          split.shard_stages, split.group_spec)
+            row_lists = [result.documents for result in results]
             documents = combine_partial_groups(row_lists, split.group_spec)
         else:
-            shard_documents: list[list[dict[str, Any]]] = []
-            for shard_id in shard_ids:
-                result = self._run_on_shard(database, collection, shard_id,
-                                            "aggregate", split.shard_stages)
-                shard_documents.append(result.documents)
-                merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+            results, walls = self._fanout(database, collection, shard_ids,
+                                          "aggregate", split.shard_stages)
+            shard_documents = [result.documents for result in results]
             documents = merge_shard_streams(shard_documents, split.sort_spec,
                                             split.merge_limit)
+        for shard_id, result, wall in zip(shard_ids, results, walls):
+            name = self._shard_name(shard_id)
+            merged.shard_costs[name] = result.simulated_seconds
+            merged.shard_wall_seconds[name] = wall
         merged.documents = apply_raw_stages(documents, split.router_stages)
         merged.matched_count = len(merged.documents)
         merged.simulated_seconds = combine_shard_costs(merged.shard_costs,
@@ -282,10 +301,11 @@ class QueryRouter:
         query = query or {}
         shard_ids, targeted = self._shards_for_query(state, query)
         self._note(targeted)
+        value_lists, _walls = self._fanout(database, collection, shard_ids,
+                                           "distinct", field_path, query)
         seen: dict[tuple, Any] = {}
-        for shard_id in shard_ids:
-            for value in self._run_on_shard(database, collection, shard_id,
-                                            "distinct", field_path, query):
+        for values in value_lists:  # union in shard_id order: deterministic
+            for value in values:
                 seen.setdefault(group_token(value), value)
         return [seen[token] for token in sorted(seen)]
 
@@ -294,11 +314,9 @@ class QueryRouter:
         state = self.cluster.sharding_state(database, collection)
         shard_ids, targeted = self._shards_for_query(state, query)
         self._note(targeted)
-        return sum(
-            self._run_on_shard(database, collection, shard_id,
-                               "count_documents", query)
-            for shard_id in shard_ids
-        )
+        counts, _walls = self._fanout(database, collection, shard_ids,
+                                      "count_documents", query)
+        return sum(counts)
 
     def explain(self, database: str, collection: str, query: dict[str, Any],
                 limit: int | None = None) -> dict[str, Any]:
@@ -372,18 +390,15 @@ class QueryRouter:
                 f"unique index on {field_path!r} cannot be enforced across "
                 f"shards; the shard key is {state.key!r}"
             )
-        for shard_id in range(self.cluster.shard_count):
-            self._run_on_shard(database, collection, shard_id, "create_index",
-                               field_path, unique=unique)
+        self._fanout(database, collection, list(range(self.cluster.shard_count)),
+                     "create_index", field_path, unique=unique)
         return field_path
 
     def drop_index(self, database: str, collection: str, field_path: str) -> bool:
-        dropped = False
-        for shard_id in range(self.cluster.shard_count):
-            if self._run_on_shard(database, collection, shard_id,
-                                  "drop_index", field_path):
-                dropped = True
-        return dropped
+        dropped, _walls = self._fanout(database, collection,
+                                       list(range(self.cluster.shard_count)),
+                                       "drop_index", field_path)
+        return any(dropped)
 
     # -- internals -------------------------------------------------------------------------
 
@@ -405,6 +420,29 @@ class QueryRouter:
                 self.failover_retries += 1
             self.cluster.ensure_shard_primary(shard_id)
             return getattr(target, operation)(*arguments, **keywords)
+
+    def _fanout(self, database: str, collection: str, shard_ids: list[int],
+                operation: str, *arguments: Any, **keywords: Any
+                ) -> tuple[list[Any], list[float]]:
+        """Dispatch one operation to every listed shard, in parallel.
+
+        Returns per-shard results and measured wall-clock seconds, both
+        aligned with ``shard_ids`` -- callers pass the ids sorted, so every
+        merge downstream happens in shard_id order (the determinism rule).
+        The failover retry lives *inside* the per-shard task
+        (:meth:`_run_on_shard`), so a ``NotPrimaryError`` raised mid-fan-out
+        elects and retries on the dispatching worker thread exactly as it
+        would inline; an unrecoverable error surfaces on the calling
+        thread, deterministically from the lowest failing shard.  With
+        ``parallel_fanout=False`` (or a single shard) the loop runs
+        serially inline, preserving the pre-executor behaviour.
+        """
+        def run(shard_id: int) -> Any:
+            return self._run_on_shard(database, collection, shard_id,
+                                      operation, *arguments, **keywords)
+        if len(shard_ids) > 1 and self.cluster.parallel_fanout:
+            return self.cluster.executor.scatter(shard_ids, run)
+        return self.cluster.executor.run_serial(shard_ids, run)
 
     def _shards_for_query(self, state: "ShardingState",
                           query: dict[str, Any]) -> tuple[list[int], bool]:
@@ -483,13 +521,15 @@ class QueryRouter:
                    operation: str, *arguments: Any) -> OperationResult:
         """Run a multi-document write on the shards in parallel and merge."""
         merged = OperationResult()
-        for shard_id in shard_ids:
-            result = self._run_on_shard(database, collection, shard_id,
-                                        operation, *arguments)
+        results, walls = self._fanout(database, collection, shard_ids,
+                                      operation, *arguments)
+        for shard_id, result, wall in zip(shard_ids, results, walls):
+            name = self._shard_name(shard_id)
             merged.matched_count += result.matched_count
             merged.modified_count += result.modified_count
             merged.deleted_count += result.deleted_count
-            merged.shard_costs[self._shard_name(shard_id)] = result.simulated_seconds
+            merged.shard_costs[name] = result.simulated_seconds
+            merged.shard_wall_seconds[name] = wall
         merged.simulated_seconds = combine_shard_costs(merged.shard_costs,
                                                        parallel=True)
         return merged

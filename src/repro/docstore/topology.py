@@ -74,6 +74,21 @@ def parse_write_concern(raw: Any) -> int | str:
         ) from error
 
 
+def parse_bool(raw: Any, name: str) -> bool:
+    """Coerce a parameter-style boolean (``"true"``/``"0"``/``1``/...)."""
+    if isinstance(raw, bool):
+        return raw
+    if isinstance(raw, (int, float)) and raw in (0, 1):
+        return bool(raw)
+    if isinstance(raw, str):
+        lowered = raw.strip().lower()
+        if lowered in ("true", "yes", "on", "1"):
+            return True
+        if lowered in ("false", "no", "off", "0"):
+            return False
+    raise ValidationError(f"{name} must be a boolean, got {raw!r}")
+
+
 @dataclass(frozen=True)
 class TopologySpec:
     """One deployment shape of the document store, as plain validated data.
@@ -89,6 +104,10 @@ class TopologySpec:
         replication_lag: oplog entries secondaries may trail behind.
         storage_engine: engine every server runs
             (``"wiredtiger"`` / ``"mmapv1"``).
+        parallel_fanout: whether a sharded deployment's router dispatches
+            multi-shard fan-outs concurrently through its per-shard
+            executor pool (True, the default) or serially (the measured
+            baseline of benchmark E17).  Ignored for unsharded shapes.
     """
 
     shards: int = 1
@@ -99,6 +118,7 @@ class TopologySpec:
     read_preference: str = READ_PRIMARY
     replication_lag: int = 0
     storage_engine: str = "wiredtiger"
+    parallel_fanout: bool = True
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
@@ -123,6 +143,11 @@ class TopologySpec:
             raise ValidationError(
                 f"unknown storage engine {self.storage_engine!r}; "
                 f"supported: {sorted(_ENGINE_FACTORIES)}"
+            )
+        if not isinstance(self.parallel_fanout, bool):
+            raise ValidationError(
+                f"parallel_fanout must be a boolean, "
+                f"got {self.parallel_fanout!r}"
             )
         try:
             resolve_write_concern(self.write_concern, self.replicas)
@@ -159,6 +184,8 @@ class TopologySpec:
         if self.is_replicated:
             description += (f", {self.replicas}-member shards, "
                             f"w={self.write_concern!r}")
+        if not self.parallel_fanout:
+            description += ", serial fan-out"
         return description + ")"
 
     # -- serialization -----------------------------------------------------------------
@@ -263,6 +290,8 @@ class TopologySpec:
                 read_preference=str(merged.get("read_preference", READ_PRIMARY)),
                 replication_lag=int(merged.get("replication_lag", 0)),
                 storage_engine=str(merged.get("storage_engine", "wiredtiger")),
+                parallel_fanout=parse_bool(
+                    merged.get("parallel_fanout", True), "parallel_fanout"),
             )
         except (TypeError, ValueError) as error:
             raise ValidationError(f"invalid topology parameters: {error}") from error
@@ -309,6 +338,7 @@ def build_topology(spec: TopologySpec,
         write_concern=spec.write_concern,
         read_preference=spec.read_preference,
         replication_lag=spec.replication_lag,
+        parallel_fanout=spec.parallel_fanout,
         cost_parameters=cost_parameters,
         **engine_options,
     )
@@ -333,12 +363,14 @@ def topology_of(server: Any) -> TopologySpec:
                 read_preference=replica_set.read_preference,
                 replication_lag=replica_set.replication_lag,
                 storage_engine=server.storage_engine,
+                parallel_fanout=server.parallel_fanout,
             )
         return TopologySpec(
             shards=server.shard_count,
             shard_key=server.default_shard_key,
             shard_strategy=server.default_strategy,
             storage_engine=server.storage_engine,
+            parallel_fanout=server.parallel_fanout,
         )
     if isinstance(server, ReplicaSet):
         return TopologySpec(

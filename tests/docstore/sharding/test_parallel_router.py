@@ -1,0 +1,333 @@
+"""The parallel dispatch layer: ShardExecutor and the router on top of it.
+
+Three guarantee families:
+
+* the executor itself -- shard_id-ordered results, real concurrency (a
+  fan-out of sleeping tasks finishes in ~max, not ~sum), deterministic
+  exception propagation, and a clean close() that degrades to serial;
+* parallel == serial == standalone -- the same seeded CRUD and aggregation
+  sequences produce document-for-document identical results with
+  ``parallel_fanout`` on and off, so flipping the knob can never change
+  answers, only wall-clock;
+* failover from worker threads -- a primary killed mid-fan-out raises
+  ``NotPrimaryError`` *inside* a worker, and the router's elect-and-retry
+  must converge exactly as it does inline, while unrecoverable errors
+  surface on the calling thread.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.docstore.client import CollectionHandle, DocumentClient
+from repro.docstore.cost import CostParameters
+from repro.docstore.replication.failures import FailureInjector
+from repro.docstore.server import DocumentServer
+from repro.docstore.sharding import ShardedCluster, ShardExecutor
+from repro.docstore.topology import TopologySpec, build_topology, topology_of
+from repro.errors import NoPrimaryError
+from tests.docstore.sharding.test_sharded_equivalence import run_sequence
+
+
+class TestShardExecutor:
+    def test_results_come_back_in_given_shard_order(self):
+        executor = ShardExecutor(6)
+        # Later shards finish first; the result list must still follow the
+        # order the ids were given in.
+        def task(shard_id: int) -> int:
+            time.sleep(0.002 * (6 - shard_id))
+            return shard_id * 10
+        results, walls = executor.scatter([0, 2, 3, 5], task)
+        assert results == [0, 20, 30, 50]
+        assert len(walls) == 4 and all(wall > 0.0 for wall in walls)
+        executor.close()
+
+    def test_workers_spawn_lazily_per_shard(self):
+        executor = ShardExecutor(4, workers_per_shard=2)
+        assert executor.active_workers() == 0
+        # Single-shard dispatch stays inline: still no workers.
+        results, __ = executor.scatter([2], lambda shard_id: shard_id)
+        assert results == [2]
+        assert executor.active_workers() == 0
+        # A real fan-out runs the first shard on the caller and spawns
+        # workers only for the remaining shards.
+        executor.scatter([0, 1], lambda shard_id: shard_id)
+        assert executor.active_workers() == 2
+        executor.scatter([0, 1, 2, 3], lambda shard_id: shard_id)
+        assert executor.active_workers() == 6  # shard 0 still caller-run
+        executor.close()
+
+    def test_fanout_wall_clock_is_max_not_sum(self):
+        executor = ShardExecutor(4)
+        nap = 0.05
+        started = time.perf_counter()
+        __, walls = executor.scatter(
+            [0, 1, 2, 3], lambda shard_id: time.sleep(nap))
+        elapsed = time.perf_counter() - started
+        # Serial would cost 4 * nap; allow generous scheduling slack and
+        # still require clearly-parallel behaviour.
+        assert elapsed < 3 * nap
+        assert all(wall >= nap for wall in walls)
+        executor.close()
+
+    def test_exception_surfaces_from_lowest_failing_shard(self):
+        executor = ShardExecutor(4)
+        completed: list[int] = []
+
+        def task(shard_id: int) -> int:
+            if shard_id in (1, 3):
+                raise ValueError(f"shard{shard_id} failed")
+            completed.append(shard_id)
+            return shard_id
+
+        with pytest.raises(ValueError, match="shard1 failed"):
+            executor.scatter([0, 1, 2, 3], task)
+        # Every non-failing task still ran to completion (a real scatter
+        # cannot recall in-flight sub-operations).
+        assert sorted(completed) == [0, 2]
+        executor.close()
+
+    def test_caller_thread_exception_also_propagates(self):
+        executor = ShardExecutor(2)
+
+        def task(shard_id: int) -> int:
+            if shard_id == 0:  # shard 0 runs inline on the caller
+                raise RuntimeError("inline failure")
+            return shard_id
+
+        with pytest.raises(RuntimeError, match="inline failure"):
+            executor.scatter([0, 1], task)
+        executor.close()
+
+    def test_close_degrades_to_serial_and_is_idempotent(self):
+        executor = ShardExecutor(3)
+        executor.scatter([0, 1, 2], lambda shard_id: shard_id)
+        executor.close()
+        executor.close()
+        assert executor.closed
+        results, walls = executor.scatter([0, 1, 2], lambda shard_id: -shard_id)
+        assert results == [0, -1, -2]
+        assert len(walls) == 3
+
+    def test_concurrent_callers_share_the_pool(self):
+        executor = ShardExecutor(4, workers_per_shard=2)
+        outputs: dict[int, list[int]] = {}
+        lock = threading.Lock()
+
+        def caller(caller_id: int) -> None:
+            results, __ = executor.scatter(
+                [0, 1, 2, 3], lambda shard_id: caller_id * 100 + shard_id)
+            with lock:
+                outputs[caller_id] = results
+
+        threads = [threading.Thread(target=caller, args=(caller_id,))
+                   for caller_id in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outputs == {caller_id: [caller_id * 100 + shard
+                                       for shard in range(4)]
+                           for caller_id in range(6)}
+        executor.close()
+
+
+def make_handle(shards: int, strategy: str = "hash",
+                parallel_fanout: bool = True) -> CollectionHandle:
+    if shards == 1:
+        server: DocumentServer | ShardedCluster = DocumentServer()
+    else:
+        server = ShardedCluster(shards=shards, strategy=strategy,
+                                split_threshold=16,
+                                parallel_fanout=parallel_fanout)
+    return DocumentClient(server).collection("app", "users")
+
+
+def run_aggregations(handle: CollectionHandle, seed: int = 11):
+    """Seeded aggregation + distinct mix; returns comparable outcomes."""
+    rng = random.Random(seed)
+    handle.insert_many([
+        {"_id": f"doc{index}", "n": rng.randrange(1000),
+         "group": index % 7, "flag": index % 3 == 0}
+        for index in range(240)
+    ])
+    outcomes = []
+    outcomes.append(("group", sorted(
+        (row["_id"], row["total"], row["peak"]) for row in handle.aggregate([
+            {"$group": {"_id": "$group", "total": {"$sum": "$n"},
+                        "peak": {"$max": "$n"}}},
+        ]))))
+    outcomes.append(("match_group", handle.aggregate([
+        {"$match": {"flag": True}},
+        {"$group": {"_id": None, "count": {"$sum": 1}, "avg": {"$avg": "$n"}}},
+    ])))
+    outcomes.append(("sort_limit", [
+        (row["_id"], row["n"]) for row in handle.aggregate([
+            {"$sort": {"n": 1, "_id": 1}}, {"$limit": 25},
+        ])]))
+    outcomes.append(("distinct", handle.distinct("group")))
+    outcomes.append(("distinct_filtered",
+                     handle.distinct("group", {"n": {"$gte": 500}})))
+    outcomes.append(("count", handle.count_documents({"n": {"$lt": 300}})))
+    return outcomes
+
+
+class TestParallelEqualsSerialEqualsStandalone:
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("strategy", ["hash", "range"])
+    def test_crud_sequences_identical_across_modes(self, shards, strategy):
+        single = run_sequence(make_handle(1))
+        parallel = run_sequence(make_handle(shards, strategy,
+                                            parallel_fanout=True))
+        serial = run_sequence(make_handle(shards, strategy,
+                                          parallel_fanout=False))
+        assert parallel == single
+        assert serial == single
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_aggregation_mixes_identical_across_modes(self, shards):
+        single = run_aggregations(make_handle(1))
+        parallel = run_aggregations(make_handle(shards, parallel_fanout=True))
+        serial = run_aggregations(make_handle(shards, parallel_fanout=False))
+        assert parallel == single
+        assert serial == single
+
+    def test_find_dedup_does_not_conflate_id_types(self):
+        # ``1`` and ``"1"`` are distinct _ids; the multi-shard dedup must
+        # key on the type-tagged identity, not ``str()``.
+        cluster = ShardedCluster(shards=4, shard_key="k", auto_maintenance=False)
+        handle = DocumentClient(cluster).collection("app", "mixed")
+        handle.insert_one({"_id": 1, "k": "a"})
+        handle.insert_one({"_id": "1", "k": "b"})
+        documents = handle.find_with_cost({}).documents
+        assert len(documents) == 2
+
+    def test_topology_spec_round_trips_the_fanout_knob(self):
+        spec = TopologySpec(shards=4, parallel_fanout=False)
+        assert TopologySpec.from_json(spec.to_json()) == spec
+        assert "serial fan-out" in spec.describe()
+        cluster = build_topology(spec)
+        assert cluster.parallel_fanout is False
+        assert topology_of(cluster) == spec
+        parsed = TopologySpec.from_parameters(
+            {"shards": "4", "parallel_fanout": "false"})
+        assert parsed.parallel_fanout is False
+
+
+class TestWorkerThreadFailover:
+    def build(self, parallel_fanout: bool = True):
+        cluster = ShardedCluster(shards=3, replicas=3, split_threshold=10_000,
+                                 parallel_fanout=parallel_fanout)
+        handle = DocumentClient(cluster).collection("app", "users")
+        handle.insert_many([
+            {"_id": f"user{index}", "n": index, "group": index % 5}
+            for index in range(90)
+        ])
+        return cluster, handle
+
+    def test_primary_killed_before_scatter_read_converges(self):
+        cluster, handle = self.build()
+        for shard_id in (1, 2):  # both failures land on worker threads
+            FailureInjector.for_shard(cluster, shard_id).kill_primary()
+        documents = handle.find({"group": 3})
+        assert sorted(doc["_id"] for doc in documents) == sorted(
+            f"user{index}" for index in range(90) if index % 5 == 3)
+        assert cluster.router.failover_retries >= 2
+
+    def test_primary_killed_mid_fanout_retries_on_worker(self):
+        cluster, handle = self.build()
+        injector = FailureInjector.for_shard(cluster, 2)
+        thread_names: list[str] = []
+        state = {"killed": False}
+
+        # Sabotage shard 2's sub-operation just before its first attempt:
+        # the NotPrimaryError is raised on the dispatching worker thread
+        # mid-fan-out, and the elect-and-retry must happen right there.
+        original = cluster.router._run_on_shard
+
+        def sabotaged(database, collection, shard_id, operation,
+                      *args, **kwargs):
+            if shard_id == 2 and operation == "update_many":
+                thread_names.append(threading.current_thread().name)
+                if not state["killed"]:
+                    state["killed"] = True
+                    injector.kill_primary()
+            return original(database, collection, shard_id, operation,
+                            *args, **kwargs)
+
+        cluster.router._run_on_shard = sabotaged
+        try:
+            result = handle.update_many({}, {"$inc": {"touched": 1}})
+        finally:
+            cluster.router._run_on_shard = original
+        assert result.matched_count == 90
+        assert result.modified_count == 90
+        assert cluster.router.failover_retries == 1
+        assert thread_names and all(name.startswith("shard2-fanout")
+                                    for name in thread_names)
+        assert handle.count_documents({"touched": 1}) == 90
+
+    def test_majority_dead_surfaces_on_calling_thread(self):
+        cluster, handle = self.build()
+        injector = FailureInjector.for_shard(cluster, 1)
+        injector.kill_primary()
+        # Kill a second member: 1 of 3 left is below the majority of 2, so
+        # the worker's election fails and the error must reach the caller.
+        survivor_ids = [member.member_id
+                        for member in cluster.replica_set(1).members
+                        if member.up]
+        injector.kill(survivor_ids[0])
+        with pytest.raises(NoPrimaryError):
+            handle.find({"group": 1})
+
+    def test_serial_mode_failover_still_works(self):
+        cluster, handle = self.build(parallel_fanout=False)
+        FailureInjector.for_shard(cluster, 1).kill_primary()
+        assert handle.count_documents({}) == 90
+        assert cluster.router.failover_retries >= 1
+
+
+class TestMeasuredSpans:
+    def test_router_spans_carry_measured_wall_ms_children(self):
+        cluster = ShardedCluster(
+            shards=4, split_threshold=10_000,
+            cost_parameters=CostParameters(real_service_scale=8.0))
+        handle = DocumentClient(cluster).collection("app", "users")
+        handle.insert_many([
+            {"_id": f"user{index}", "n": index} for index in range(200)
+        ])
+        cluster.set_profiling(2, slow_ms=0.0)
+        handle.find({"n": {"$gte": 0}})
+        handle.update_many({}, {"$inc": {"n": 1}})
+        entries = [entry for entry in cluster.get_slow_ops()
+                   if entry["source"] == "router"]
+        assert len(entries) == 2
+        for entry in entries:
+            children = [child for child in entry["shards"]
+                        if child["shard"] != "balancer"]
+            assert len(children) == 4
+            assert entry["parallel"] is True
+            for child in children:
+                assert child["wall_ms"] > 0.0
+            # The straggler is the measured slowest shard.
+            slowest = max(children, key=lambda child: child["wall_ms"])
+            assert entry["straggler"] == slowest["shard"]
+            # Parallel dispatch: the parent's measured duration tracks the
+            # slowest child, not the sum of all four.
+            total = sum(child["wall_ms"] for child in children)
+            assert entry["duration_ms"] < total
+
+    def test_single_shard_ops_report_no_wall_children(self):
+        cluster = ShardedCluster(shards=4, split_threshold=10_000)
+        handle = DocumentClient(cluster).collection("app", "users")
+        handle.insert_one({"_id": "user0", "n": 0})
+        cluster.set_profiling(2, slow_ms=0.0)
+        handle.find({"_id": "user0"})
+        (entry,) = [entry for entry in cluster.get_slow_ops()
+                    if entry["source"] == "router"]
+        (child,) = entry["shards"]
+        assert "wall_ms" not in child  # targeted op: no fan-out dispatch

@@ -21,6 +21,7 @@ import pytest
 
 from repro.docstore.btree import BTree
 from repro.docstore.cache import LruCache
+from repro.docstore.client import DocumentClient
 from repro.docstore.collection import Collection
 from repro.docstore.mmapv1 import MmapV1Engine
 from repro.docstore.replication.oplog import OP_INSERT, Oplog
@@ -659,3 +660,82 @@ class TestProfilerUnderConcurrency:
         counters = server.metrics.snapshot()["counters"]
         assert counters["operations.query"] == half
         assert counters["operations.update"] == half
+
+
+class TestParallelRouterUnderConcurrency:
+    """Concurrent client threads over the *parallel* router: fan-out worker
+    threads must not tear spans, double-record profiling, or lose updates.
+
+    Every client thread scatters across every shard on every op (non-key
+    predicates), so worker-pool dispatch, span assembly and LockStats
+    attribution are all exercised from many calling threads at once."""
+
+    THREADS = 6
+    OPS_PER_THREAD = 25
+    RECORDS = 120
+
+    def _build_cluster(self):
+        cluster = ShardedCluster(shards=4, split_threshold=10_000)
+        handle = DocumentClient(cluster).collection("db", "c")
+        handle.insert_many([
+            {"_id": f"k{index:04d}", "counter": 0, "category": index % 4}
+            for index in range(self.RECORDS)
+        ])
+        capacity = self.THREADS * self.OPS_PER_THREAD + 10
+        cluster.set_profiling(2, slow_ms=0.0, capacity=capacity)
+        return cluster, handle
+
+    def test_scattered_incs_lose_nothing_and_spans_record_once(self):
+        cluster, handle = self._build_cluster()
+
+        def worker(worker_id: int) -> None:
+            for index in range(self.OPS_PER_THREAD):
+                if index % 5 == 0:
+                    # Broadcast read with a thread marker: its span is
+                    # attributable to exactly one (thread, slot) pair.
+                    handle.find({"category": {"$gte": 0},
+                                 f"w{worker_id}": {"$exists": False}})
+                else:
+                    # Scatter update: every shard $incs its slice.
+                    handle.update_many({"category": {"$gte": 0}},
+                                       {"$inc": {"counter": 1}})
+
+        errors = run_threads(self.THREADS, worker)
+        assert not errors
+        cluster.set_profiling(0)  # the checks below must not add spans
+
+        # No lost $inc: every scattered update_many bumped every document.
+        updates = self.THREADS * self.OPS_PER_THREAD * 4 // 5
+        documents = handle.find({})
+        assert len(documents) == self.RECORDS
+        assert all(doc["counter"] == updates for doc in documents)
+
+        # Exactly-once router spans, none torn.
+        router_entries = [entry for entry in cluster.get_slow_ops()
+                          if entry["source"] == "router"]
+        assert len(router_entries) == self.THREADS * self.OPS_PER_THREAD
+        described = cluster.profiler.describe()
+        assert described["slow_ops_recorded"] == len(router_entries)
+        assert described["slow_ops_dropped"] == 0
+        assert described["in_flight"] == 0
+        opids = set()
+        reads = 0
+        for entry in router_entries:
+            assert entry["opid"] not in opids
+            opids.add(entry["opid"])
+            assert entry["ns"] == "db.c"
+            children = [child for child in entry["shards"]
+                        if child["shard"] != "balancer"]
+            assert {child["shard"] for child in children} == {
+                f"shard{index}" for index in range(4)}
+            assert entry["parallel"] is True
+            assert entry["straggler"] in {child["shard"] for child in children}
+            for child in children:
+                assert child["wall_ms"] >= 0.0
+            if entry["op"] == "query":
+                reads += 1
+                assert entry["docs_returned"] == self.RECORDS
+            else:
+                assert entry["op"] == "update"
+                assert entry["matched"] == self.RECORDS
+        assert reads == self.THREADS * self.OPS_PER_THREAD // 5
